@@ -1,0 +1,46 @@
+#ifndef TRAJKIT_BENCH_BENCH_COMMON_H_
+#define TRAJKIT_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing of the experiment harnesses: a tiny --flag=value parser
+// and the corpus knobs every experiment accepts. Harnesses are plain
+// executables that print the paper's rows; microbenchmarks (micro_*.cc) use
+// google-benchmark instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "core/experiments.h"
+
+namespace trajkit::bench {
+
+/// The harnesses use the library's --key=value parser.
+using ::trajkit::Flags;
+
+/// Corpus knobs shared by all experiments. --users/--days/--seed shrink or
+/// grow the synthetic corpus; the defaults below reproduce the numbers in
+/// EXPERIMENTS.md.
+inline synthgeo::GeneratorOptions CorpusOptionsFromFlags(
+    const Flags& flags, int default_users = 60, int default_days = 6) {
+  synthgeo::GeneratorOptions options;
+  options.num_users = flags.GetInt("users", default_users);
+  options.days_per_user = flags.GetInt("days", default_days);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  return options;
+}
+
+/// Dies with a message when a Status/Result is not OK.
+template <typename T>
+T DieOnError(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace trajkit::bench
+
+#endif  // TRAJKIT_BENCH_BENCH_COMMON_H_

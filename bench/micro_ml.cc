@@ -1,0 +1,95 @@
+// Microbenchmarks for the ML substrate: tree/forest training and
+// prediction throughput on trajectory-feature-shaped data (70 columns).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+
+namespace trajkit::ml {
+namespace {
+
+Dataset SyntheticFeatures(size_t samples, size_t features, int classes,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  rows.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    const int y = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(classes)));
+    std::vector<double> row(features);
+    for (size_t f = 0; f < features; ++f) {
+      row[f] = rng.Gaussian(0.0, 1.0);
+    }
+    // A handful of informative columns.
+    row[0] += 1.5 * y;
+    row[1] += 0.8 * (y % 2);
+    row[2] -= 0.6 * y;
+    rows.push_back(std::move(row));
+    labels.push_back(y);
+  }
+  std::vector<std::string> class_names;
+  for (int c = 0; c < classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  return std::move(Dataset::Create(Matrix::FromRows(rows), std::move(labels),
+                                   {}, {}, std::move(class_names)))
+      .value();
+}
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(
+      static_cast<size_t>(state.range(0)), 70, 5, 1);
+  for (auto _ : state) {
+    DecisionTree tree;
+    benchmark::DoNotOptimize(tree.Fit(ds));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(1024, 70, 5, 2);
+  for (auto _ : state) {
+    RandomForestParams params;
+    params.n_estimators = static_cast<int>(state.range(0));
+    RandomForest forest(params);
+    benchmark::DoNotOptimize(forest.Fit(ds));
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(10)->Arg(50);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(2048, 70, 5, 3);
+  RandomForestParams params;
+  params.n_estimators = 50;
+  RandomForest forest(params);
+  (void)forest.Fit(ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(ds.features()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_GradientBoostingFit(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(1024, 70, 5, 4);
+  for (auto _ : state) {
+    GradientBoostingParams params;
+    params.n_rounds = static_cast<int>(state.range(0));
+    GradientBoosting gbdt(params);
+    benchmark::DoNotOptimize(gbdt.Fit(ds));
+  }
+}
+BENCHMARK(BM_GradientBoostingFit)->Arg(10)->Arg(30);
+
+}  // namespace
+}  // namespace trajkit::ml
+
+BENCHMARK_MAIN();

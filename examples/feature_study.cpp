@@ -1,0 +1,109 @@
+// Feature-selection study in miniature: ranks the 70 trajectory features
+// with random-forest importance, compares the full feature set against the
+// top-k subset under user-oriented CV, and runs a small wrapper search —
+// the workflow of §4.2 as a library user would script it.
+//
+// Build & run:
+//   ./build/examples/feature_study
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+#include "core/label_sets.h"
+#include "ml/crossval.h"
+#include "ml/feature_selection.h"
+#include "ml/random_forest.h"
+#include "traj/trajectory_features.h"
+
+namespace trajkit {
+namespace {
+
+double UserCvAccuracy(const ml::Dataset& dataset, int trees, uint64_t seed) {
+  ml::RandomForestParams params;
+  params.n_estimators = trees;
+  params.seed = seed;
+  const ml::RandomForest forest(params);
+  const auto folds =
+      core::MakeFolds(core::CvScheme::kUserOriented, dataset, 3, seed);
+  const auto cv = ml::CrossValidate(forest, dataset, folds);
+  return cv.ok() ? cv->MeanAccuracy() : 0.0;
+}
+
+int Run() {
+  synthgeo::GeneratorOptions options;
+  options.num_users = 30;
+  options.days_per_user = 3;
+  options.seed = 19;
+  const auto built = core::BuildSyntheticDataset(
+      options, core::PipelineOptions{}, core::LabelSet::Endo());
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const ml::Dataset& dataset = built->dataset;
+  const auto& names = traj::TrajectoryFeatureExtractor::FeatureNames();
+  std::printf("dataset: %zu segments x %zu features (%d classes)\n\n",
+              dataset.num_samples(), dataset.num_features(),
+              dataset.num_classes());
+
+  // 1. Importance ranking.
+  ml::RandomForestParams params;
+  params.n_estimators = 50;
+  params.seed = 5;
+  ml::RandomForest forest(params);
+  if (const Status s = forest.Fit(dataset); !s.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::vector<int> ranking = forest.ImportanceRanking();
+  std::printf("ten most important features (RF impurity decrease):\n");
+  for (int i = 0; i < 10; ++i) {
+    const int f = ranking[static_cast<size_t>(i)];
+    std::printf("  %2d. %-24s %.4f\n", i + 1,
+                names[static_cast<size_t>(f)].c_str(),
+                forest.FeatureImportances()[static_cast<size_t>(f)]);
+  }
+
+  // 2. Full set vs top-k subsets.
+  std::printf("\nuser-oriented CV accuracy by feature-subset size:\n");
+  TablePrinter table({"subset", "features", "accuracy"});
+  table.AddRow({"all", "70",
+                StrPrintf("%.4f", UserCvAccuracy(dataset, 25, 7))});
+  for (int k : {40, 20, 10, 5}) {
+    std::vector<int> top(ranking.begin(), ranking.begin() + k);
+    table.AddRow(
+        {StrPrintf("top-%d", k), StrPrintf("%d", k),
+         StrPrintf("%.4f",
+                    UserCvAccuracy(dataset.SelectFeatures(top), 25, 7))});
+  }
+  table.Print();
+
+  // 3. A short wrapper search (first 8 picks).
+  std::printf("\nforward wrapper search, first 8 picks:\n");
+  const ml::SubsetEvaluator evaluator = [](const ml::Dataset& subset) {
+    return UserCvAccuracy(subset, 10, 13);
+  };
+  const auto steps = ml::ForwardWrapperSelection(dataset, evaluator, 8);
+  if (!steps.ok()) {
+    std::fprintf(stderr, "wrapper failed: %s\n",
+                 steps.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < steps->size(); ++i) {
+    std::printf("  %zu. %-24s -> %.4f\n", i + 1,
+                names[static_cast<size_t>((*steps)[i].feature_index)]
+                    .c_str(),
+                (*steps)[i].score);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace trajkit
+
+int main() { return trajkit::Run(); }

@@ -1,0 +1,53 @@
+#ifndef TRAJKIT_COMMON_CHECK_H_
+#define TRAJKIT_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace trajkit::internal_check {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used only via the TRAJKIT_CHECK* macros; invariant violations are
+/// programmer errors, not recoverable conditions.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace trajkit::internal_check
+
+/// Aborts with a diagnostic if `cond` is false. For invariants and documented
+/// preconditions only — recoverable errors use Status/Result.
+#define TRAJKIT_CHECK(cond)                                        \
+  if (cond) {                                                      \
+  } else /* NOLINT */                                              \
+    ::trajkit::internal_check::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define TRAJKIT_CHECK_EQ(a, b) TRAJKIT_CHECK((a) == (b))
+#define TRAJKIT_CHECK_NE(a, b) TRAJKIT_CHECK((a) != (b))
+#define TRAJKIT_CHECK_LT(a, b) TRAJKIT_CHECK((a) < (b))
+#define TRAJKIT_CHECK_LE(a, b) TRAJKIT_CHECK((a) <= (b))
+#define TRAJKIT_CHECK_GT(a, b) TRAJKIT_CHECK((a) > (b))
+#define TRAJKIT_CHECK_GE(a, b) TRAJKIT_CHECK((a) >= (b))
+
+#endif  // TRAJKIT_COMMON_CHECK_H_

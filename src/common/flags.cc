@@ -1,0 +1,53 @@
+#include "common/flags.h"
+
+#include "common/strings.h"
+
+namespace trajkit {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "1";
+    } else {
+      values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+int Flags::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return static_cast<int>(ParseInt64(it->second).value_or(fallback));
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return ParseDouble(it->second).value_or(fallback);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+}  // namespace trajkit

@@ -1,0 +1,37 @@
+#ifndef TRAJKIT_COMMON_FLAGS_H_
+#define TRAJKIT_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trajkit {
+
+/// Minimal command-line parser for the experiment harnesses and the CLI:
+/// recognizes "--key=value" and bare "--key" (value "1"); anything not
+/// starting with "--" is collected as a positional argument.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Typed lookups with fallbacks (malformed values fall back too).
+  int GetInt(const std::string& key, int fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  bool Has(const std::string& key) const;
+
+  /// Non-flag arguments in order (e.g. the CLI subcommand).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace trajkit
+
+#endif  // TRAJKIT_COMMON_FLAGS_H_

@@ -1,0 +1,85 @@
+#ifndef TRAJKIT_COMMON_RESULT_H_
+#define TRAJKIT_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace trajkit {
+
+/// Either a value of type T or a non-OK Status. The moral equivalent of
+/// arrow::Result / absl::StatusOr, reduced to what this library needs.
+///
+/// A Result constructed from a value is OK; a Result constructed from a
+/// Status must carry a non-OK status (checked). Accessing the value of a
+/// non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, so `return value;` works in Result-returning
+  /// functions (mirrors arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TRAJKIT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Precondition: ok().
+  const T& value() const& {
+    TRAJKIT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TRAJKIT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TRAJKIT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which it declares).
+#define TRAJKIT_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  TRAJKIT_ASSIGN_OR_RETURN_IMPL_(                        \
+      TRAJKIT_CONCAT_(_trajkit_result_, __LINE__), lhs, rexpr)
+
+#define TRAJKIT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define TRAJKIT_CONCAT_(a, b) TRAJKIT_CONCAT_IMPL_(a, b)
+#define TRAJKIT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace trajkit
+
+#endif  // TRAJKIT_COMMON_RESULT_H_

@@ -1,0 +1,39 @@
+#ifndef TRAJKIT_COMMON_TABLE_PRINTER_H_
+#define TRAJKIT_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace trajkit {
+
+/// Formats experiment results as fixed-width ASCII tables, the way the
+/// bench harnesses print the paper's rows. Columns are sized to content and
+/// numeric-looking cells are right-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  /// Renders the table, including a rule under the header.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trajkit
+
+#endif  // TRAJKIT_COMMON_TABLE_PRINTER_H_

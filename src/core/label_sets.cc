@@ -1,0 +1,64 @@
+#include "core/label_sets.h"
+
+#include "common/check.h"
+
+namespace trajkit::core {
+
+using traj::Mode;
+
+LabelSet::LabelSet(std::string name, std::vector<std::string> class_names,
+                   std::vector<int> class_of_mode)
+    : name_(std::move(name)),
+      class_names_(std::move(class_names)),
+      class_of_mode_(std::move(class_of_mode)) {
+  TRAJKIT_CHECK_EQ(class_of_mode_.size(),
+                   static_cast<size_t>(traj::kNumModes));
+}
+
+int LabelSet::ClassOf(Mode mode) const {
+  const int index = static_cast<int>(mode);
+  TRAJKIT_CHECK_GE(index, 0);
+  TRAJKIT_CHECK_LT(index, traj::kNumModes);
+  return class_of_mode_[static_cast<size_t>(index)];
+}
+
+LabelSet LabelSet::Dabiri() {
+  std::vector<int> map(traj::kNumModes, -1);
+  map[static_cast<int>(Mode::kWalk)] = 0;
+  map[static_cast<int>(Mode::kBike)] = 1;
+  map[static_cast<int>(Mode::kBus)] = 2;
+  map[static_cast<int>(Mode::kCar)] = 3;   // driving
+  map[static_cast<int>(Mode::kTaxi)] = 3;  // driving
+  map[static_cast<int>(Mode::kTrain)] = 4;
+  map[static_cast<int>(Mode::kSubway)] = 4;
+  return LabelSet("dabiri", {"walk", "bike", "bus", "driving", "train"},
+                  std::move(map));
+}
+
+LabelSet LabelSet::Endo() {
+  std::vector<int> map(traj::kNumModes, -1);
+  map[static_cast<int>(Mode::kWalk)] = 0;
+  map[static_cast<int>(Mode::kBike)] = 1;
+  map[static_cast<int>(Mode::kBus)] = 2;
+  map[static_cast<int>(Mode::kCar)] = 3;
+  map[static_cast<int>(Mode::kTaxi)] = 4;
+  map[static_cast<int>(Mode::kSubway)] = 5;
+  map[static_cast<int>(Mode::kTrain)] = 6;
+  return LabelSet(
+      "endo",
+      {"walk", "bike", "bus", "car", "taxi", "subway", "train"},
+      std::move(map));
+}
+
+LabelSet LabelSet::AllModes() {
+  std::vector<int> map(traj::kNumModes, -1);
+  std::vector<std::string> names;
+  int next = 0;
+  for (Mode mode : traj::AllLabeledModes()) {
+    map[static_cast<int>(mode)] = next++;
+    names.emplace_back(traj::ModeToString(mode));
+  }
+  return LabelSet("all_modes", std::move(names), std::move(map));
+}
+
+}  // namespace trajkit::core

@@ -1,0 +1,48 @@
+#ifndef TRAJKIT_CORE_LABEL_SETS_H_
+#define TRAJKIT_CORE_LABEL_SETS_H_
+
+#include <string>
+#include <vector>
+
+#include "traj/types.h"
+
+namespace trajkit::core {
+
+/// A mapping from annotated transportation modes to experiment classes.
+/// Modes outside the set are excluded from the experiment (their segments
+/// are dropped). Reproduces the label filters of the compared papers.
+class LabelSet {
+ public:
+  /// Dabiri & Heaslip [2]: {walk, bike, bus, driving, train} where driving
+  /// merges car+taxi and train merges train+subway (§4.3). Used by the
+  /// Fig. 2 classifier-selection experiment.
+  static LabelSet Dabiri();
+
+  /// Endo et al. [4]: the labelled GeoLife modes kept distinct —
+  /// {walk, bike, bus, car, taxi, subway, train}. Used by the Fig. 3
+  /// feature-selection experiments and the §4.3 user-split comparison.
+  static LabelSet Endo();
+
+  /// All eleven annotated modes, each its own class.
+  static LabelSet AllModes();
+
+  /// Class index of a mode, or -1 when the mode is excluded.
+  int ClassOf(traj::Mode mode) const;
+
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  int num_classes() const { return static_cast<int>(class_names_.size()); }
+  const std::string& name() const { return name_; }
+
+ private:
+  LabelSet(std::string name, std::vector<std::string> class_names,
+           std::vector<int> class_of_mode);
+
+  std::string name_;
+  std::vector<std::string> class_names_;
+  /// Indexed by Mode enum value; -1 = excluded.
+  std::vector<int> class_of_mode_;
+};
+
+}  // namespace trajkit::core
+
+#endif  // TRAJKIT_CORE_LABEL_SETS_H_

@@ -1,0 +1,91 @@
+#include "core/pipeline.h"
+
+#include "traj/point_features.h"
+
+namespace trajkit::core {
+
+Pipeline::Pipeline(PipelineOptions options) : options_(options) {}
+
+Result<ml::Dataset> Pipeline::BuildDataset(
+    const std::vector<traj::Trajectory>& corpus,
+    const LabelSet& labels) const {
+  std::vector<traj::Segment> segments =
+      options_.strategy == SegmentationStrategy::kUserDayMode
+          ? traj::SegmentCorpus(corpus, options_.segmentation)
+          : traj::SegmentCorpusByWindows(corpus, options_.windows);
+  return BuildDatasetFromSegments(std::move(segments), labels);
+}
+
+std::vector<std::string> Pipeline::FeatureNames() const {
+  std::vector<std::string> names =
+      traj::TrajectoryFeatureExtractor::FeatureNames();
+  if (options_.include_extended_features) {
+    const std::vector<std::string>& extended = traj::ExtendedFeatureNames();
+    names.insert(names.end(), extended.begin(), extended.end());
+  }
+  return names;
+}
+
+Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
+    std::vector<traj::Segment> segments, const LabelSet& labels) const {
+  stats_ = PipelineStats{};
+  stats_.segments_total = segments.size();
+
+  if (options_.remove_noise) {
+    const int min_points =
+        options_.strategy == SegmentationStrategy::kUserDayMode
+            ? options_.segmentation.min_points
+            : options_.windows.min_points;
+    const traj::NoiseRemovalStats noise_stats = traj::RemoveNoiseFromCorpus(
+        segments, options_.noise, min_points);
+    stats_.outliers_removed = noise_stats.outliers_removed;
+  }
+
+  const traj::TrajectoryFeatureExtractor extractor(options_.point_features);
+  traj::ExtendedFeatureOptions extended_options = options_.extended;
+  extended_options.point_features = options_.point_features;
+  const traj::ExtendedFeatureExtractor extended_extractor(extended_options);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> y;
+  std::vector<int> groups;
+  std::vector<double> times;
+  rows.reserve(segments.size());
+
+  for (const traj::Segment& segment : segments) {
+    const int cls = labels.ClassOf(segment.mode);
+    if (cls < 0) continue;
+    if (segment.points.size() < 2) continue;
+    // Point features are computed once and shared by both extractors.
+    const traj::PointFeatures point_features =
+        traj::ComputePointFeatures(segment.points, options_.point_features);
+    std::vector<double> features =
+        extractor.ExtractFromPointFeatures(point_features);
+    if (options_.include_extended_features) {
+      const std::vector<double> extended =
+          extended_extractor.ExtractFromPointFeatures(point_features,
+                                                      segment.points);
+      features.insert(features.end(), extended.begin(), extended.end());
+    }
+    rows.push_back(std::move(features));
+    y.push_back(cls);
+    groups.push_back(segment.user_id);
+    times.push_back(segment.points.front().timestamp);
+    stats_.points_total += segment.points.size();
+  }
+  stats_.segments_in_label_set = rows.size();
+  if (rows.empty()) {
+    return Status::InvalidArgument(
+        "no segments matched the label set '" + labels.name() +
+        "' — corpus too small or labels missing");
+  }
+  TRAJKIT_ASSIGN_OR_RETURN(
+      ml::Dataset dataset,
+      ml::Dataset::Create(ml::Matrix::FromRows(rows), std::move(y),
+                          std::move(groups), FeatureNames(),
+                          labels.class_names()));
+  TRAJKIT_RETURN_IF_ERROR(dataset.SetTimes(std::move(times)));
+  return dataset;
+}
+
+}  // namespace trajkit::core

@@ -1,0 +1,46 @@
+#ifndef TRAJKIT_ML_ADABOOST_H_
+#define TRAJKIT_ML_ADABOOST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of multi-class AdaBoost (SAMME), sklearn-style:
+/// depth-1 trees, 50 rounds, learning rate 1.
+struct AdaBoostParams {
+  int n_estimators = 50;
+  int base_max_depth = 1;
+  double learning_rate = 1.0;
+  uint64_t seed = 42;
+};
+
+/// SAMME AdaBoost over shallow CART trees. Boosting stops early when a
+/// round's weighted error reaches 0 (perfect learner) or exceeds the
+/// random-guessing bound 1 - 1/K.
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "adaboost"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  size_t NumRounds() const { return learners_.size(); }
+  bool fitted() const { return !learners_.empty(); }
+
+ private:
+  AdaBoostParams params_;
+  int num_classes_ = 0;
+  std::vector<DecisionTree> learners_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_ADABOOST_H_

@@ -1,0 +1,53 @@
+#ifndef TRAJKIT_ML_CLASSIFIER_H_
+#define TRAJKIT_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace trajkit::ml {
+
+/// Common interface of the six classifier families the paper evaluates.
+///
+/// Usage: construct with a parameter struct, Fit() on a training Dataset,
+/// Predict() on a feature matrix with the same column layout. Classifiers
+/// are deterministic given their seed parameter. Clone() produces a fresh,
+/// unfitted classifier with identical hyper-parameters — the primitive the
+/// cross-validation driver uses to train one model per fold.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `train`. Returns InvalidArgument for unusable input (empty,
+  /// single-class where unsupported, etc.).
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Predicts a class index for every row. Precondition: Fit() succeeded
+  /// and `features` has the training column count.
+  virtual std::vector<int> Predict(const Matrix& features) const = 0;
+
+  /// Per-class probability estimates (rows × num_classes); Unimplemented
+  /// for classifiers without a probabilistic output.
+  virtual Result<Matrix> PredictProba(const Matrix& features) const {
+    (void)features;
+    return Status::Unimplemented(name() + " has no probability output");
+  }
+
+  /// Human-readable family name ("random_forest", ...).
+  virtual std::string name() const = 0;
+
+  /// Fresh unfitted copy with the same hyper-parameters and seed.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+};
+
+/// Split-quality criterion for tree learners.
+enum class SplitCriterion { kGini, kEntropy };
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_CLASSIFIER_H_

@@ -1,0 +1,92 @@
+#include "ml/crossval.h"
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "ml/normalize.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+double MeanOf(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double CrossValidationResult::MeanAccuracy() const {
+  return MeanOf(fold_accuracy);
+}
+
+double CrossValidationResult::StdAccuracy() const {
+  if (fold_accuracy.size() < 2) return 0.0;
+  const double mu = MeanAccuracy();
+  double acc = 0.0;
+  for (double x : fold_accuracy) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(fold_accuracy.size()));
+}
+
+double CrossValidationResult::MeanWeightedF1() const {
+  return MeanOf(fold_weighted_f1);
+}
+
+double CrossValidationResult::MeanMacroF1() const {
+  return MeanOf(fold_macro_f1);
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const Classifier& prototype, const Dataset& dataset,
+    const std::vector<FoldSplit>& folds,
+    const CrossValidationOptions& options) {
+  if (folds.empty()) {
+    return Status::InvalidArgument("no folds supplied");
+  }
+  CrossValidationResult result;
+  for (const FoldSplit& fold : folds) {
+    TRAJKIT_ASSIGN_OR_RETURN(HoldoutResult holdout,
+                             EvaluateHoldout(prototype, dataset, fold,
+                                             options));
+    result.fold_accuracy.push_back(holdout.accuracy);
+    result.fold_macro_f1.push_back(holdout.macro_f1);
+    result.fold_weighted_f1.push_back(holdout.weighted_f1);
+    result.pooled_true.insert(result.pooled_true.end(),
+                              holdout.y_true.begin(), holdout.y_true.end());
+    result.pooled_pred.insert(result.pooled_pred.end(),
+                              holdout.y_pred.begin(), holdout.y_pred.end());
+  }
+  return result;
+}
+
+Result<HoldoutResult> EvaluateHoldout(const Classifier& prototype,
+                                      const Dataset& dataset,
+                                      const FoldSplit& split,
+                                      const CrossValidationOptions& options) {
+  if (split.train_indices.empty() || split.test_indices.empty()) {
+    return Status::InvalidArgument("empty train or test split");
+  }
+  Dataset train = dataset.SelectSamples(split.train_indices);
+  Dataset test = dataset.SelectSamples(split.test_indices);
+  if (options.minmax_normalize) {
+    MinMaxScaler scaler;
+    scaler.Fit(train.features());
+    scaler.Transform(train.mutable_features());
+    scaler.Transform(test.mutable_features());
+  }
+  std::unique_ptr<Classifier> model = prototype.Clone();
+  TRAJKIT_RETURN_IF_ERROR(model->Fit(train));
+  HoldoutResult out;
+  out.y_true = test.labels();
+  out.y_pred = model->Predict(test.features());
+  const ClassificationReport report =
+      Evaluate(out.y_true, out.y_pred, dataset.num_classes());
+  out.accuracy = report.accuracy;
+  out.weighted_f1 = report.weighted_f1;
+  out.macro_f1 = report.macro_f1;
+  return out;
+}
+
+}  // namespace trajkit::ml

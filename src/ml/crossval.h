@@ -1,0 +1,58 @@
+#ifndef TRAJKIT_ML_CROSSVAL_H_
+#define TRAJKIT_ML_CROSSVAL_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/splits.h"
+
+namespace trajkit::ml {
+
+/// Options of the cross-validation driver.
+struct CrossValidationOptions {
+  /// Fit a MinMaxScaler on each fold's training features and apply it to
+  /// train and test (step 7 done correctly inside CV, no leakage).
+  bool minmax_normalize = true;
+};
+
+/// Per-fold and aggregate scores of one cross-validated classifier.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracy;
+  std::vector<double> fold_macro_f1;
+  std::vector<double> fold_weighted_f1;
+  /// Test labels/predictions pooled over folds, for confusion matrices.
+  std::vector<int> pooled_true;
+  std::vector<int> pooled_pred;
+
+  double MeanAccuracy() const;
+  double StdAccuracy() const;
+  double MeanWeightedF1() const;
+  double MeanMacroF1() const;
+};
+
+/// Trains a clone of `prototype` on each fold's training set and scores it
+/// on the fold's test set. Folds typically come from KFold (random CV),
+/// StratifiedKFold, or GroupKFold (user-oriented CV).
+Result<CrossValidationResult> CrossValidate(
+    const Classifier& prototype, const Dataset& dataset,
+    const std::vector<FoldSplit>& folds,
+    const CrossValidationOptions& options = {});
+
+/// Single-split variant: fit on the train indices, score on the test
+/// indices; also returns the per-sample predictions.
+struct HoldoutResult {
+  double accuracy = 0.0;
+  double weighted_f1 = 0.0;
+  double macro_f1 = 0.0;
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+};
+Result<HoldoutResult> EvaluateHoldout(const Classifier& prototype,
+                                      const Dataset& dataset,
+                                      const FoldSplit& split,
+                                      const CrossValidationOptions& options = {});
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_CROSSVAL_H_

@@ -1,0 +1,103 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace trajkit::ml {
+
+Result<Dataset> Dataset::Create(Matrix features, std::vector<int> labels,
+                                std::vector<int> groups,
+                                std::vector<std::string> feature_names,
+                                std::vector<std::string> class_names) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("feature rows (%zu) != labels (%zu)", features.rows(),
+                  labels.size()));
+  }
+  if (!groups.empty() && groups.size() != labels.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("groups (%zu) != labels (%zu)", groups.size(),
+                  labels.size()));
+  }
+  if (!feature_names.empty() && feature_names.size() != features.cols()) {
+    return Status::InvalidArgument(
+        StrPrintf("feature names (%zu) != feature cols (%zu)",
+                  feature_names.size(), features.cols()));
+  }
+  const int num_classes = static_cast<int>(class_names.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      return Status::InvalidArgument(
+          StrPrintf("label %d at row %zu outside [0, %d)", labels[i], i,
+                    num_classes));
+    }
+  }
+  Dataset ds;
+  ds.features_ = std::move(features);
+  ds.labels_ = std::move(labels);
+  ds.groups_ = groups.empty()
+                   ? std::vector<int>(ds.labels_.size(), 0)
+                   : std::move(groups);
+  if (feature_names.empty()) {
+    feature_names.reserve(ds.features_.cols());
+    for (size_t c = 0; c < ds.features_.cols(); ++c) {
+      feature_names.push_back(StrPrintf("f%zu", c));
+    }
+  }
+  ds.feature_names_ = std::move(feature_names);
+  ds.class_names_ = std::move(class_names);
+  return ds;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(static_cast<size_t>(num_classes()), 0);
+  for (int y : labels_) ++counts[static_cast<size_t>(y)];
+  return counts;
+}
+
+std::vector<int> Dataset::DistinctGroups() const {
+  std::set<int> set(groups_.begin(), groups_.end());
+  return std::vector<int>(set.begin(), set.end());
+}
+
+Status Dataset::SetTimes(std::vector<double> times) {
+  if (times.size() != labels_.size()) {
+    return Status::InvalidArgument("times size != sample count");
+  }
+  times_ = std::move(times);
+  return Status::Ok();
+}
+
+Dataset Dataset::SelectSamples(std::span<const size_t> row_indices) const {
+  Dataset out;
+  out.features_ = features_.SelectRows(row_indices);
+  out.labels_.reserve(row_indices.size());
+  out.groups_.reserve(row_indices.size());
+  for (size_t r : row_indices) {
+    TRAJKIT_CHECK_LT(r, labels_.size());
+    out.labels_.push_back(labels_[r]);
+    out.groups_.push_back(groups_[r]);
+    if (!times_.empty()) out.times_.push_back(times_[r]);
+  }
+  out.feature_names_ = feature_names_;
+  out.class_names_ = class_names_;
+  return out;
+}
+
+Dataset Dataset::SelectFeatures(std::span<const int> column_indices) const {
+  Dataset out;
+  out.features_ = features_.SelectColumns(column_indices);
+  out.labels_ = labels_;
+  out.groups_ = groups_;
+  out.times_ = times_;
+  out.feature_names_.reserve(column_indices.size());
+  for (int c : column_indices) {
+    out.feature_names_.push_back(feature_names_[static_cast<size_t>(c)]);
+  }
+  out.class_names_ = class_names_;
+  return out;
+}
+
+}  // namespace trajkit::ml

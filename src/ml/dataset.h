@@ -1,0 +1,74 @@
+#ifndef TRAJKIT_ML_DATASET_H_
+#define TRAJKIT_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace trajkit::ml {
+
+/// A supervised learning problem: a feature matrix, integer class labels in
+/// [0, num_classes), a per-sample group id (the user id, for user-oriented
+/// cross-validation), and the human-readable names of features and classes.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Assembles and validates a dataset. Labels must be in
+  /// [0, class_names.size()); groups must have the same length as labels
+  /// (or be empty, in which case each sample gets group 0).
+  static Result<Dataset> Create(Matrix features, std::vector<int> labels,
+                                std::vector<int> groups,
+                                std::vector<std::string> feature_names,
+                                std::vector<std::string> class_names);
+
+  /// Attaches per-sample timestamps (seconds since epoch; the segment's
+  /// start time in the pipeline). Enables the temporal splitters.
+  /// Returns InvalidArgument on length mismatch.
+  Status SetTimes(std::vector<double> times);
+
+  /// Per-sample timestamps; empty when never set.
+  const std::vector<double>& times() const { return times_; }
+  bool has_times() const { return !times_.empty(); }
+
+  size_t num_samples() const { return features_.rows(); }
+  size_t num_features() const { return features_.cols(); }
+  int num_classes() const { return static_cast<int>(class_names_.size()); }
+
+  const Matrix& features() const { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& groups() const { return groups_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// Per-class sample counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Distinct group ids, ascending.
+  std::vector<int> DistinctGroups() const;
+
+  /// New dataset with only the given samples (metadata shared).
+  Dataset SelectSamples(std::span<const size_t> row_indices) const;
+
+  /// New dataset with only the given feature columns.
+  Dataset SelectFeatures(std::span<const int> column_indices) const;
+
+  /// Mutable access used by scalers, which transform features in place.
+  Matrix& mutable_features() { return features_; }
+
+ private:
+  Matrix features_;
+  std::vector<int> labels_;
+  std::vector<int> groups_;
+  std::vector<double> times_;  // Empty when unavailable.
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_DATASET_H_

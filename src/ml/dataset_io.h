@@ -1,0 +1,32 @@
+#ifndef TRAJKIT_ML_DATASET_IO_H_
+#define TRAJKIT_ML_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace trajkit::ml {
+
+/// CSV persistence for Datasets, for interop with pandas/sklearn-side
+/// analysis. Layout: one header row with the feature names followed by
+/// "__label" and "__group" columns; one row per sample.
+
+/// Serializes to CSV text.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Writes a dataset to a CSV file (creating parent directories).
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Parses a dataset from CSV text. Class names are synthesized as
+/// "class<k>" for k in [0, max label] unless `class_names` is supplied.
+Result<Dataset> DatasetFromCsv(std::string_view text,
+                               std::vector<std::string> class_names = {});
+
+/// Reads a dataset from a CSV file.
+Result<Dataset> LoadDatasetCsv(const std::string& path,
+                               std::vector<std::string> class_names = {});
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_DATASET_IO_H_

@@ -1,0 +1,315 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+double ImpurityFromCounts(const std::vector<double>& counts, double total,
+                          SplitCriterion criterion) {
+  if (total <= 0.0) return 0.0;
+  if (criterion == SplitCriterion::kGini) {
+    double sum_sq = 0.0;
+    for (double c : counts) {
+      const double p = c / total;
+      sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+  }
+  double entropy = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeParams params)
+    : params_(params) {}
+
+Status DecisionTree::Fit(const Dataset& train) {
+  return FitWeighted(train, {});
+}
+
+Status DecisionTree::FitWeighted(const Dataset& train,
+                                 std::span<const double> weights) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit a tree on an empty dataset");
+  }
+  if (!weights.empty() && weights.size() != train.num_samples()) {
+    return Status::InvalidArgument("weights size != sample count");
+  }
+  std::vector<double> w(train.num_samples(), 1.0);
+  if (params_.balanced_class_weights) {
+    // weight(c) = n / (k * count_c); combined multiplicatively with any
+    // explicit sample weights below.
+    const std::vector<size_t> counts = train.ClassCounts();
+    const double n = static_cast<double>(train.num_samples());
+    const double k = static_cast<double>(train.num_classes());
+    for (size_t i = 0; i < w.size(); ++i) {
+      const size_t c = static_cast<size_t>(train.labels()[i]);
+      if (counts[c] > 0) {
+        w[i] = n / (k * static_cast<double>(counts[c]));
+      }
+    }
+  }
+  if (!weights.empty()) {
+    double total = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] < 0.0) {
+        return Status::InvalidArgument("negative sample weight");
+      }
+      w[i] *= weights[i];
+      total += weights[i];
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument("all sample weights are zero");
+    }
+  }
+
+  num_classes_ = train.num_classes();
+  nodes_.clear();
+  leaf_distributions_.clear();
+  importances_.assign(train.num_features(), 0.0);
+  depth_ = 0;
+
+  std::vector<size_t> indices(train.num_samples());
+  std::iota(indices.begin(), indices.end(), 0u);
+  Rng rng(params_.seed);
+  BuildNode(train.features(), train.labels(), w, indices, 0, indices.size(),
+            0, rng);
+
+  // Normalize importances to sum 1 (when any split happened).
+  const double total_importance =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total_importance > 0.0) {
+    for (double& v : importances_) v /= total_importance;
+  }
+  return Status::Ok();
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
+                            const std::vector<double>& w,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, int depth, Rng& rng) {
+  TRAJKIT_CHECK_LT(begin, end);
+  depth_ = std::max(depth_, depth);
+  const size_t n = end - begin;
+  const size_t k = static_cast<size_t>(num_classes_);
+
+  std::vector<double> counts(k, 0.0);
+  double total_weight = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    counts[static_cast<size_t>(y[indices[i]])] += w[indices[i]];
+    total_weight += w[indices[i]];
+  }
+  const double node_impurity =
+      ImpurityFromCounts(counts, total_weight, params_.criterion);
+
+  auto make_leaf = [&]() -> int {
+    std::vector<double> dist(k, 0.0);
+    if (total_weight > 0.0) {
+      for (size_t c = 0; c < k; ++c) dist[c] = counts[c] / total_weight;
+    }
+    Node node;
+    node.feature = -1;
+    node.distribution = static_cast<int>(leaf_distributions_.size());
+    leaf_distributions_.push_back(std::move(dist));
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  const bool depth_exhausted =
+      params_.max_depth > 0 && depth >= params_.max_depth;
+  if (depth_exhausted || n < static_cast<size_t>(params_.min_samples_split) ||
+      node_impurity <= 0.0 || total_weight <= 0.0) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset of max_features.
+  const int num_features = static_cast<int>(x.cols());
+  std::vector<int> candidates(static_cast<size_t>(num_features));
+  std::iota(candidates.begin(), candidates.end(), 0);
+  int num_candidates = num_features;
+  if (params_.max_features > 0 && params_.max_features < num_features) {
+    // Partial Fisher–Yates: the first max_features entries become a
+    // uniform random subset.
+    num_candidates = params_.max_features;
+    for (int i = 0; i < num_candidates; ++i) {
+      const int j = i + static_cast<int>(rng.NextBounded(
+                            static_cast<uint64_t>(num_features - i)));
+      std::swap(candidates[static_cast<size_t>(i)],
+                candidates[static_cast<size_t>(j)]);
+    }
+  }
+
+  struct SplitChoice {
+    int feature = -1;
+    double threshold = 0.0;
+    double impurity_decrease = 0.0;
+  };
+  SplitChoice best;
+
+  // Scratch: (value, weight, label) triplets sorted per candidate feature.
+  struct Sample {
+    double value;
+    double weight;
+    int label;
+  };
+  std::vector<Sample> samples(n);
+  std::vector<double> left_counts(k);
+
+  for (int ci = 0; ci < num_candidates; ++ci) {
+    const int f = candidates[static_cast<size_t>(ci)];
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = indices[begin + i];
+      samples[i] = {x(row, static_cast<size_t>(f)), w[row], y[row]};
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) {
+                return a.value < b.value;
+              });
+    if (samples.front().value == samples.back().value) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double left_weight = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_counts[static_cast<size_t>(samples[i].label)] += samples[i].weight;
+      left_weight += samples[i].weight;
+      if (samples[i].value == samples[i + 1].value) continue;
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < static_cast<size_t>(params_.min_samples_leaf) ||
+          right_n < static_cast<size_t>(params_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_weight = total_weight - left_weight;
+      double left_impurity =
+          ImpurityFromCounts(left_counts, left_weight, params_.criterion);
+      // Right counts derived from totals.
+      double right_impurity;
+      {
+        double sum_metric = 0.0;
+        if (params_.criterion == SplitCriterion::kGini) {
+          for (size_t c = 0; c < k; ++c) {
+            const double rc = counts[c] - left_counts[c];
+            const double p = right_weight > 0.0 ? rc / right_weight : 0.0;
+            sum_metric += p * p;
+          }
+          right_impurity = 1.0 - sum_metric;
+        } else {
+          right_impurity = 0.0;
+          for (size_t c = 0; c < k; ++c) {
+            const double rc = counts[c] - left_counts[c];
+            if (rc <= 0.0 || right_weight <= 0.0) continue;
+            const double p = rc / right_weight;
+            right_impurity -= p * std::log2(p);
+          }
+        }
+      }
+      const double children_impurity =
+          (left_weight * left_impurity + right_weight * right_impurity) /
+          total_weight;
+      const double decrease = node_impurity - children_impurity;
+      if (decrease > best.impurity_decrease) {
+        best.feature = f;
+        best.threshold = 0.5 * (samples[i].value + samples[i + 1].value);
+        best.impurity_decrease = decrease;
+      }
+    }
+  }
+
+  if (best.feature < 0 ||
+      best.impurity_decrease < params_.min_impurity_decrease) {
+    return make_leaf();
+  }
+
+  // Partition indices[begin, end) by the chosen split (stable partition so
+  // builds are deterministic).
+  std::stable_partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end), [&](size_t row) {
+        return x(row, static_cast<size_t>(best.feature)) <= best.threshold;
+      });
+  size_t mid = begin;
+  while (mid < end &&
+         x(indices[mid], static_cast<size_t>(best.feature)) <=
+             best.threshold) {
+    ++mid;
+  }
+  TRAJKIT_CHECK(mid > begin && mid < end)
+      << "degenerate split on feature" << best.feature;
+
+  // Importance: weighted impurity decrease, weighted by node share.
+  importances_[static_cast<size_t>(best.feature)] +=
+      total_weight * best.impurity_decrease;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
+  const int left = BuildNode(x, y, w, indices, begin, mid, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  const int right = BuildNode(x, y, w, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+size_t DecisionTree::FindLeaf(std::span<const double> row) const {
+  TRAJKIT_CHECK(fitted());
+  size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const double v = row[static_cast<size_t>(nodes_[node].feature)];
+    node = static_cast<size_t>(v <= nodes_[node].threshold
+                                   ? nodes_[node].left
+                                   : nodes_[node].right);
+  }
+  return node;
+}
+
+std::span<const double> DecisionTree::LeafDistribution(
+    std::span<const double> row) const {
+  const size_t leaf = FindLeaf(row);
+  return leaf_distributions_[static_cast<size_t>(nodes_[leaf].distribution)];
+}
+
+std::vector<int> DecisionTree::Predict(const Matrix& features) const {
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> dist = LeafDistribution(features.Row(r));
+    out[r] = static_cast<int>(
+        std::max_element(dist.begin(), dist.end()) - dist.begin());
+  }
+  return out;
+}
+
+Result<Matrix> DecisionTree::PredictProba(const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> dist = LeafDistribution(features.Row(r));
+    for (size_t c = 0; c < dist.size(); ++c) probs(r, c) = dist[c];
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> DecisionTree::Clone() const {
+  return std::make_unique<DecisionTree>(params_);
+}
+
+const std::vector<double>& DecisionTree::FeatureImportances() const {
+  TRAJKIT_CHECK(fitted());
+  return importances_;
+}
+
+}  // namespace trajkit::ml

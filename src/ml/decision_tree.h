@@ -1,0 +1,104 @@
+#ifndef TRAJKIT_ML_DECISION_TREE_H_
+#define TRAJKIT_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of the CART classification tree.
+struct DecisionTreeParams {
+  SplitCriterion criterion = SplitCriterion::kGini;
+  /// Maximum depth; <= 0 means unbounded.
+  int max_depth = 0;
+  /// A node with fewer samples becomes a leaf.
+  int min_samples_split = 2;
+  /// Both children of an accepted split must hold at least this many
+  /// samples.
+  int min_samples_leaf = 1;
+  /// Number of features examined per node; <= 0 means all. Random forests
+  /// pass sqrt(num_features).
+  int max_features = 0;
+  /// Minimum weighted impurity decrease for a split to be accepted.
+  double min_impurity_decrease = 1e-12;
+  /// Reweight samples inversely to their class frequency (sklearn's
+  /// class_weight="balanced"); useful on GeoLife's imbalanced mode mix.
+  bool balanced_class_weights = false;
+  uint64_t seed = 42;
+};
+
+/// CART decision tree with gini/entropy splitting, optional per-node random
+/// feature subsetting (for forests) and sample weights (for AdaBoost).
+/// An embedded feature-selection method in the paper's taxonomy: fitted
+/// trees expose impurity-decrease feature importances.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+
+  Status Fit(const Dataset& train) override;
+
+  /// Weighted fit; `weights` must be per-sample, non-negative, with at
+  /// least one positive entry. Empty span = uniform.
+  Status FitWeighted(const Dataset& train, std::span<const double> weights);
+
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "decision_tree"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  /// Impurity-decrease importances over training columns; sums to 1 (or is
+  /// all zeros for a single-leaf tree). Precondition: fitted.
+  const std::vector<double>& FeatureImportances() const;
+
+  /// Number of nodes (internal + leaves). Precondition: fitted.
+  size_t NodeCount() const { return nodes_.size(); }
+  /// Tree depth (root-only tree has depth 0). Precondition: fitted.
+  int Depth() const { return depth_; }
+  int num_classes() const { return num_classes_; }
+  bool fitted() const { return !nodes_.empty(); }
+
+  /// Leaf class distribution for one sample (used by RandomForest's
+  /// probability averaging). Precondition: fitted.
+  std::span<const double> LeafDistribution(std::span<const double> row) const;
+
+  /// Appends a line-based text serialization of the fitted tree to `out`
+  /// (see model_io.h for the file-level helpers). Precondition: fitted.
+  void AppendSerialized(std::string& out) const;
+
+  /// Parses one tree block from `lines` starting at `cursor` (advanced
+  /// past the block). The inverse of AppendSerialized.
+  static Result<DecisionTree> DeserializeBlock(
+      const std::vector<std::string_view>& lines, size_t& cursor);
+
+ private:
+  struct Node {
+    // Internal node: feature >= 0, children set. Leaf: feature == -1.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    // Index into leaf_distributions_ for leaves.
+    int distribution = -1;
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<int>& y,
+                const std::vector<double>& w, std::vector<size_t>& indices,
+                size_t begin, size_t end, int depth, Rng& rng);
+  size_t FindLeaf(std::span<const double> row) const;
+
+  DecisionTreeParams params_;
+  int num_classes_ = 0;
+  int depth_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<double>> leaf_distributions_;
+  std::vector<double> importances_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_DECISION_TREE_H_

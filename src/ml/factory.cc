@@ -1,0 +1,96 @@
+#include "ml/factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+int Scaled(int base, double scale) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllClassifierNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"decision_tree", "random_forest",
+                                   "xgboost",       "adaboost",
+                                   "svm",           "neural_network"};
+  return *kNames;
+}
+
+const std::vector<std::string>& ExtendedClassifierNames() {
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>(AllClassifierNames());
+    names->push_back("knn");
+    names->push_back("logistic_regression");
+    return names;
+  }();
+  return *kNames;
+}
+
+Result<std::unique_ptr<Classifier>> MakeClassifier(
+    std::string_view name, const FactoryOptions& options) {
+  const double scale = options.scale > 0.0 ? options.scale : 1.0;
+  if (name == "decision_tree") {
+    DecisionTreeParams params;
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new DecisionTree(params));
+  }
+  if (name == "random_forest") {
+    RandomForestParams params;
+    params.n_estimators = Scaled(50, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new RandomForest(params));
+  }
+  if (name == "xgboost") {
+    GradientBoostingParams params;
+    params.n_rounds = Scaled(50, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new GradientBoosting(params));
+  }
+  if (name == "adaboost") {
+    AdaBoostParams params;
+    params.n_estimators = Scaled(50, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new AdaBoost(params));
+  }
+  if (name == "svm") {
+    LinearSvmParams params;
+    params.epochs = Scaled(30, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new LinearSvm(params));
+  }
+  if (name == "knn") {
+    KnnParams params;
+    params.k = 5;
+    return std::unique_ptr<Classifier>(new Knn(params));
+  }
+  if (name == "logistic_regression") {
+    LogisticRegressionParams params;
+    params.epochs = Scaled(200, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new LogisticRegression(params));
+  }
+  if (name == "neural_network") {
+    MlpParams params;
+    params.epochs = Scaled(100, scale);
+    params.seed = options.seed;
+    return std::unique_ptr<Classifier>(new Mlp(params));
+  }
+  return Status::InvalidArgument("unknown classifier: '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace trajkit::ml

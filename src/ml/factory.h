@@ -1,0 +1,39 @@
+#ifndef TRAJKIT_ML_FACTORY_H_
+#define TRAJKIT_ML_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Knobs of the classifier factory.
+struct FactoryOptions {
+  uint64_t seed = 42;
+  /// Multiplies ensemble sizes / epochs; < 1 builds faster, weaker models
+  /// for quick experiments or tests. Clamped so sizes stay >= 1.
+  double scale = 1.0;
+};
+
+/// The six classifier families of Fig. 2, by canonical name:
+/// "decision_tree", "random_forest", "xgboost", "adaboost", "svm",
+/// "neural_network".
+const std::vector<std::string>& AllClassifierNames();
+
+/// The six paper families plus the library's extra baselines
+/// ("knn", "logistic_regression").
+const std::vector<std::string>& ExtendedClassifierNames();
+
+/// Constructs an unfitted classifier by family name with the paper's
+/// hyper-parameter conventions (RF: 50 estimators, ...). Returns
+/// InvalidArgument for unknown names.
+Result<std::unique_ptr<Classifier>> MakeClassifier(
+    std::string_view name, const FactoryOptions& options = {});
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_FACTORY_H_

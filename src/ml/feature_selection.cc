@@ -1,0 +1,89 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+Result<std::vector<SelectionStep>> ForwardWrapperSelection(
+    const Dataset& dataset, const SubsetEvaluator& evaluator,
+    int max_features) {
+  const int total = static_cast<int>(dataset.num_features());
+  if (total == 0) {
+    return Status::InvalidArgument("dataset has no features");
+  }
+  int budget = (max_features <= 0 || max_features > total) ? total
+                                                           : max_features;
+  std::vector<SelectionStep> steps;
+  std::vector<int> selected;
+  std::vector<bool> used(static_cast<size_t>(total), false);
+
+  for (int step = 0; step < budget; ++step) {
+    int best_feature = -1;
+    double best_score = -1.0;
+    for (int f = 0; f < total; ++f) {
+      if (used[static_cast<size_t>(f)]) continue;
+      std::vector<int> candidate = selected;
+      candidate.push_back(f);
+      const double score = evaluator(dataset.SelectFeatures(candidate));
+      if (score > best_score) {
+        best_score = score;
+        best_feature = f;
+      }
+    }
+    TRAJKIT_CHECK_GE(best_feature, 0);
+    used[static_cast<size_t>(best_feature)] = true;
+    selected.push_back(best_feature);
+    steps.push_back({best_feature, best_score});
+  }
+  return steps;
+}
+
+Result<std::vector<SelectionStep>> IncrementalRankingSelection(
+    const Dataset& dataset, const SubsetEvaluator& evaluator,
+    std::span<const int> ranking, int max_features) {
+  if (ranking.empty()) {
+    return Status::InvalidArgument("empty feature ranking");
+  }
+  for (int f : ranking) {
+    if (f < 0 || f >= static_cast<int>(dataset.num_features())) {
+      return Status::InvalidArgument("ranking contains invalid feature index");
+    }
+  }
+  const int total = static_cast<int>(ranking.size());
+  const int budget = (max_features <= 0 || max_features > total)
+                         ? total
+                         : max_features;
+  std::vector<SelectionStep> steps;
+  std::vector<int> prefix;
+  for (int k = 0; k < budget; ++k) {
+    prefix.push_back(ranking[static_cast<size_t>(k)]);
+    const double score = evaluator(dataset.SelectFeatures(prefix));
+    steps.push_back({ranking[static_cast<size_t>(k)], score});
+  }
+  return steps;
+}
+
+std::vector<int> BestPrefix(const std::vector<SelectionStep>& steps) {
+  size_t best_len = 0;
+  double best_score = -1.0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].score > best_score) {
+      best_score = steps[i].score;
+      best_len = i + 1;
+    }
+  }
+  return PrefixOfSize(steps, best_len);
+}
+
+std::vector<int> PrefixOfSize(const std::vector<SelectionStep>& steps,
+                              size_t k) {
+  TRAJKIT_CHECK_LE(k, steps.size());
+  std::vector<int> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(steps[i].feature_index);
+  return out;
+}
+
+}  // namespace trajkit::ml

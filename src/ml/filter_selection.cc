@@ -1,0 +1,220 @@
+#include "ml/filter_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+// Quantile-bins one feature column: each value maps to a bin in
+// [0, bins). Equal values share a bin (bin edges come from order
+// statistics), so constant columns collapse to one bin.
+std::vector<int> QuantileBin(const Matrix& x, size_t column, int bins) {
+  const size_t n = x.rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return x(a, column) < x(b, column);
+  });
+  std::vector<int> bin_of(n, 0);
+  // Walk the sorted order; advance the bin at quantile boundaries but
+  // never split ties across bins.
+  int bin = 0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (rank > 0) {
+      const int target_bin = static_cast<int>(
+          static_cast<size_t>(bins) * rank / n);
+      const bool tie_with_prev =
+          x(order[rank], column) == x(order[rank - 1], column);
+      if (target_bin > bin && !tie_with_prev) bin = target_bin;
+    }
+    bin_of[order[rank]] = bin;
+  }
+  return bin_of;
+}
+
+// Joint histogram of (bin, class) counts.
+struct Contingency {
+  std::vector<double> joint;  // bins × classes, row-major.
+  std::vector<double> bin_totals;
+  std::vector<double> class_totals;
+  double total = 0.0;
+  int bins = 0;
+  int classes = 0;
+
+  double At(int b, int c) const {
+    return joint[static_cast<size_t>(b) * static_cast<size_t>(classes) +
+                 static_cast<size_t>(c)];
+  }
+};
+
+Contingency BuildContingency(const std::vector<int>& bin_of,
+                             const std::vector<int>& labels, int bins,
+                             int classes) {
+  Contingency table;
+  table.bins = bins;
+  table.classes = classes;
+  table.joint.assign(static_cast<size_t>(bins) *
+                         static_cast<size_t>(classes),
+                     0.0);
+  table.bin_totals.assign(static_cast<size_t>(bins), 0.0);
+  table.class_totals.assign(static_cast<size_t>(classes), 0.0);
+  for (size_t i = 0; i < bin_of.size(); ++i) {
+    const size_t b = static_cast<size_t>(bin_of[i]);
+    const size_t c = static_cast<size_t>(labels[i]);
+    table.joint[b * static_cast<size_t>(classes) + c] += 1.0;
+    table.bin_totals[b] += 1.0;
+    table.class_totals[c] += 1.0;
+    table.total += 1.0;
+  }
+  return table;
+}
+
+std::vector<FeatureScore> SortScores(std::vector<FeatureScore> scores) {
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FeatureScore& a, const FeatureScore& b) {
+                     return a.score > b.score;
+                   });
+  return scores;
+}
+
+Status ValidateInput(const Dataset& dataset, int bins) {
+  if (dataset.num_samples() == 0 || dataset.num_features() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (bins < 2) {
+    return Status::InvalidArgument("bins must be >= 2");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<FeatureScore>> MutualInformationScores(
+    const Dataset& dataset, int bins) {
+  TRAJKIT_RETURN_IF_ERROR(ValidateInput(dataset, bins));
+  const int classes = dataset.num_classes();
+  std::vector<FeatureScore> scores;
+  scores.reserve(dataset.num_features());
+  for (size_t f = 0; f < dataset.num_features(); ++f) {
+    const std::vector<int> bin_of =
+        QuantileBin(dataset.features(), f, bins);
+    const Contingency table =
+        BuildContingency(bin_of, dataset.labels(), bins, classes);
+    double mi = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      for (int c = 0; c < classes; ++c) {
+        const double joint = table.At(b, c);
+        if (joint <= 0.0) continue;
+        const double p_joint = joint / table.total;
+        const double p_bin =
+            table.bin_totals[static_cast<size_t>(b)] / table.total;
+        const double p_class =
+            table.class_totals[static_cast<size_t>(c)] / table.total;
+        mi += p_joint * std::log(p_joint / (p_bin * p_class));
+      }
+    }
+    scores.push_back({static_cast<int>(f), std::max(mi, 0.0)});
+  }
+  return SortScores(std::move(scores));
+}
+
+Result<std::vector<FeatureScore>> ChiSquareScores(const Dataset& dataset,
+                                                  int bins) {
+  TRAJKIT_RETURN_IF_ERROR(ValidateInput(dataset, bins));
+  const int classes = dataset.num_classes();
+  std::vector<FeatureScore> scores;
+  scores.reserve(dataset.num_features());
+  for (size_t f = 0; f < dataset.num_features(); ++f) {
+    const std::vector<int> bin_of =
+        QuantileBin(dataset.features(), f, bins);
+    const Contingency table =
+        BuildContingency(bin_of, dataset.labels(), bins, classes);
+    double chi2 = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      const double bin_total = table.bin_totals[static_cast<size_t>(b)];
+      if (bin_total <= 0.0) continue;
+      for (int c = 0; c < classes; ++c) {
+        const double expected =
+            bin_total * table.class_totals[static_cast<size_t>(c)] /
+            table.total;
+        if (expected <= 0.0) continue;
+        const double diff = table.At(b, c) - expected;
+        chi2 += diff * diff / expected;
+      }
+    }
+    scores.push_back({static_cast<int>(f), chi2});
+  }
+  return SortScores(std::move(scores));
+}
+
+Result<std::vector<FeatureScore>> AnovaFScores(const Dataset& dataset) {
+  TRAJKIT_RETURN_IF_ERROR(ValidateInput(dataset, /*bins=*/2));
+  const int classes = dataset.num_classes();
+  const double n = static_cast<double>(dataset.num_samples());
+  const std::vector<size_t> class_counts = dataset.ClassCounts();
+  int populated_classes = 0;
+  for (size_t count : class_counts) {
+    if (count > 0) ++populated_classes;
+  }
+  if (populated_classes < 2) {
+    return Status::InvalidArgument(
+        "ANOVA F needs at least two populated classes");
+  }
+  const double df_between = static_cast<double>(populated_classes - 1);
+  const double df_within = n - static_cast<double>(populated_classes);
+  if (df_within <= 0.0) {
+    return Status::InvalidArgument("not enough samples for ANOVA F");
+  }
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(dataset.num_features());
+  std::vector<double> class_sums(static_cast<size_t>(classes));
+  for (size_t f = 0; f < dataset.num_features(); ++f) {
+    std::fill(class_sums.begin(), class_sums.end(), 0.0);
+    double grand_sum = 0.0;
+    for (size_t i = 0; i < dataset.num_samples(); ++i) {
+      const double v = dataset.features()(i, f);
+      class_sums[static_cast<size_t>(dataset.labels()[i])] += v;
+      grand_sum += v;
+    }
+    const double grand_mean = grand_sum / n;
+    double ss_between = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      const double count =
+          static_cast<double>(class_counts[static_cast<size_t>(c)]);
+      if (count <= 0.0) continue;
+      const double mean = class_sums[static_cast<size_t>(c)] / count;
+      ss_between += count * (mean - grand_mean) * (mean - grand_mean);
+    }
+    double ss_within = 0.0;
+    for (size_t i = 0; i < dataset.num_samples(); ++i) {
+      const size_t c = static_cast<size_t>(dataset.labels()[i]);
+      const double mean =
+          class_sums[c] / static_cast<double>(class_counts[c]);
+      const double d = dataset.features()(i, f) - mean;
+      ss_within += d * d;
+    }
+    double f_stat = 0.0;
+    if (ss_within > 0.0) {
+      f_stat = (ss_between / df_between) / (ss_within / df_within);
+    } else if (ss_between > 0.0) {
+      f_stat = std::numeric_limits<double>::infinity();
+    }
+    scores.push_back({static_cast<int>(f), f_stat});
+  }
+  return SortScores(std::move(scores));
+}
+
+std::vector<int> RankingFromScores(const std::vector<FeatureScore>& scores) {
+  std::vector<int> ranking;
+  ranking.reserve(scores.size());
+  for (const FeatureScore& s : scores) ranking.push_back(s.feature_index);
+  return ranking;
+}
+
+}  // namespace trajkit::ml

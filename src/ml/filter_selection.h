@@ -1,0 +1,47 @@
+#ifndef TRAJKIT_ML_FILTER_SELECTION_H_
+#define TRAJKIT_ML_FILTER_SELECTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace trajkit::ml {
+
+/// One feature's score under a filter criterion.
+struct FeatureScore {
+  int feature_index = -1;
+  double score = 0.0;
+};
+
+/// Filter (classifier-independent) feature-selection criteria — the third
+/// branch of the paper's §2 taxonomy next to the wrapper (§4.2 forward
+/// search) and embedded (random-forest importance) methods implemented in
+/// feature_selection.h / random_forest.h. All three return per-feature
+/// scores sorted descending (ties broken by feature index).
+
+/// Mutual information I(X_j; Y) after quantile-binning each feature into
+/// `bins` equal-frequency bins (Y uses its class labels directly). Handles
+/// non-linear dependence; the "information theoretical" family of [22].
+/// Returns InvalidArgument for empty datasets or bins < 2.
+Result<std::vector<FeatureScore>> MutualInformationScores(
+    const Dataset& dataset, int bins = 10);
+
+/// Chi-square statistic of the binned feature against the class label —
+/// the Chi2 method of Liu & Setiono [18] that the paper's §2 cites (and
+/// notes needs "some discretization strategies": the same quantile
+/// binning is used here).
+Result<std::vector<FeatureScore>> ChiSquareScores(const Dataset& dataset,
+                                                  int bins = 10);
+
+/// One-way ANOVA F statistic per feature (sklearn's f_classif): the
+/// statistical filter family; no discretization required.
+Result<std::vector<FeatureScore>> AnovaFScores(const Dataset& dataset);
+
+/// Feature indices of `scores` in descending score order — feed to
+/// IncrementalRankingSelection or Dataset::SelectFeatures.
+std::vector<int> RankingFromScores(const std::vector<FeatureScore>& scores);
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_FILTER_SELECTION_H_

@@ -1,0 +1,289 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+// Row-wise softmax of a score matrix, numerically stabilized.
+void SoftmaxRows(const Matrix& scores, Matrix& probs) {
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    double max_score = scores(r, 0);
+    for (size_t c = 1; c < scores.cols(); ++c) {
+      max_score = std::max(max_score, scores(r, c));
+    }
+    double sum = 0.0;
+    for (size_t c = 0; c < scores.cols(); ++c) {
+      const double e = std::exp(scores(r, c) - max_score);
+      probs(r, c) = e;
+      sum += e;
+    }
+    const double inv = 1.0 / sum;
+    for (size_t c = 0; c < scores.cols(); ++c) probs(r, c) *= inv;
+  }
+}
+
+}  // namespace
+
+GradientBoosting::GradientBoosting(GradientBoostingParams params)
+    : params_(params) {}
+
+double GradientBoosting::RegressionTree::PredictRow(
+    std::span<const double> row) const {
+  size_t node = 0;
+  while (nodes[node].feature >= 0) {
+    const double v = row[static_cast<size_t>(nodes[node].feature)];
+    node = static_cast<size_t>(v <= nodes[node].threshold ? nodes[node].left
+                                                          : nodes[node].right);
+  }
+  return nodes[node].value;
+}
+
+Status GradientBoosting::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit boosting on an empty dataset");
+  }
+  if (params_.n_rounds <= 0 || params_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("n_rounds and learning_rate must be > 0");
+  }
+  if (params_.subsample <= 0.0 || params_.subsample > 1.0 ||
+      params_.colsample <= 0.0 || params_.colsample > 1.0) {
+    return Status::InvalidArgument("subsample/colsample must be in (0, 1]");
+  }
+  num_classes_ = train.num_classes();
+  trees_.clear();
+  importances_.assign(train.num_features(), 0.0);
+
+  const size_t n = train.num_samples();
+  const size_t k = static_cast<size_t>(num_classes_);
+  const size_t p = train.num_features();
+  Matrix scores(n, k);
+  Matrix probs(n, k);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  Rng rng(params_.seed);
+
+  const size_t sub_n = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(params_.subsample *
+                                         static_cast<double>(n))));
+  const size_t sub_p = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(params_.colsample *
+                                         static_cast<double>(p))));
+
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0u);
+  std::vector<int> all_features(p);
+  std::iota(all_features.begin(), all_features.end(), 0);
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    SoftmaxRows(scores, probs);
+
+    // Row subsample for this round (shared across the K class trees).
+    std::vector<size_t> rows = all_rows;
+    if (sub_n < n) {
+      rng.Shuffle(rows);
+      rows.resize(sub_n);
+    }
+
+    for (size_t cls = 0; cls < k; ++cls) {
+      for (size_t i = 0; i < n; ++i) {
+        const double pik = probs(i, cls);
+        const double yik =
+            train.labels()[i] == static_cast<int>(cls) ? 1.0 : 0.0;
+        grad[i] = pik - yik;
+        hess[i] = std::max(pik * (1.0 - pik), 1e-16);
+      }
+      // Column subsample per tree.
+      std::vector<int> features = all_features;
+      if (sub_p < p) {
+        rng.Shuffle(features);
+        features.resize(sub_p);
+        std::sort(features.begin(), features.end());
+      }
+      RegressionTree tree = FitTree(train.features(), grad, hess, rows,
+                                    features);
+      for (size_t i = 0; i < n; ++i) {
+        scores(i, cls) += params_.learning_rate *
+                          tree.PredictRow(train.features().Row(i));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::Ok();
+}
+
+GradientBoosting::RegressionTree GradientBoosting::FitTree(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<size_t>& rows,
+    const std::vector<int>& features) {
+  RegressionTree tree;
+  std::vector<size_t> mutable_rows = rows;
+  BuildRegressionNode(tree, x, grad, hess, mutable_rows, 0,
+                      mutable_rows.size(), features, 0);
+  return tree;
+}
+
+int GradientBoosting::BuildRegressionNode(
+    RegressionTree& tree, const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, std::vector<size_t>& rows, size_t begin,
+    size_t end, const std::vector<int>& features, int depth) {
+  TRAJKIT_CHECK_LT(begin, end);
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_total += grad[rows[i]];
+    h_total += hess[rows[i]];
+  }
+
+  auto make_leaf = [&]() -> int {
+    RegressionNode node;
+    node.feature = -1;
+    node.value = -g_total / (h_total + params_.lambda);
+    tree.nodes.push_back(node);
+    return static_cast<int>(tree.nodes.size() - 1);
+  };
+
+  if (depth >= params_.max_depth || end - begin < 2) {
+    return make_leaf();
+  }
+
+  const double parent_score = g_total * g_total / (h_total + params_.lambda);
+  struct SplitChoice {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+  SplitChoice best;
+
+  struct Sample {
+    double value;
+    double g;
+    double h;
+  };
+  const size_t n = end - begin;
+  std::vector<Sample> samples(n);
+
+  for (int f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = rows[begin + i];
+      samples[i] = {x(row, static_cast<size_t>(f)), grad[row], hess[row]};
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) {
+                return a.value < b.value;
+              });
+    if (samples.front().value == samples.back().value) continue;
+
+    double g_left = 0.0;
+    double h_left = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      g_left += samples[i].g;
+      h_left += samples[i].h;
+      if (samples[i].value == samples[i + 1].value) continue;
+      const double h_right = h_total - h_left;
+      if (h_left < params_.min_child_weight ||
+          h_right < params_.min_child_weight) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double gain =
+          0.5 * (g_left * g_left / (h_left + params_.lambda) +
+                 g_right * g_right / (h_right + params_.lambda) -
+                 parent_score) -
+          params_.gamma;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.threshold = 0.5 * (samples[i].value + samples[i + 1].value);
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= 0.0) {
+    return make_leaf();
+  }
+
+  std::stable_partition(
+      rows.begin() + static_cast<long>(begin),
+      rows.begin() + static_cast<long>(end), [&](size_t row) {
+        return x(row, static_cast<size_t>(best.feature)) <= best.threshold;
+      });
+  size_t mid = begin;
+  while (mid < end &&
+         x(rows[mid], static_cast<size_t>(best.feature)) <= best.threshold) {
+    ++mid;
+  }
+  TRAJKIT_CHECK(mid > begin && mid < end);
+
+  importances_[static_cast<size_t>(best.feature)] += best.gain;
+
+  const int node_index = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes[static_cast<size_t>(node_index)].feature = best.feature;
+  tree.nodes[static_cast<size_t>(node_index)].threshold = best.threshold;
+  const int left = BuildRegressionNode(tree, x, grad, hess, rows, begin, mid,
+                                       features, depth + 1);
+  tree.nodes[static_cast<size_t>(node_index)].left = left;
+  const int right = BuildRegressionNode(tree, x, grad, hess, rows, mid, end,
+                                        features, depth + 1);
+  tree.nodes[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+std::vector<int> GradientBoosting::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  const Result<Matrix> probs = PredictProba(features);
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> row = probs.value().Row(r);
+    out[r] = static_cast<int>(std::max_element(row.begin(), row.end()) -
+                              row.begin());
+  }
+  return out;
+}
+
+Result<Matrix> GradientBoosting::PredictProba(const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  const size_t k = static_cast<size_t>(num_classes_);
+  Matrix scores(features.rows(), k);
+  const size_t rounds = trees_.size() / k;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> row = features.Row(r);
+    for (size_t round = 0; round < rounds; ++round) {
+      for (size_t cls = 0; cls < k; ++cls) {
+        scores(r, cls) += params_.learning_rate *
+                          trees_[round * k + cls].PredictRow(row);
+      }
+    }
+  }
+  Matrix probs(features.rows(), k);
+  SoftmaxRows(scores, probs);
+  return probs;
+}
+
+std::unique_ptr<Classifier> GradientBoosting::Clone() const {
+  return std::make_unique<GradientBoosting>(params_);
+}
+
+const std::vector<double>& GradientBoosting::FeatureImportances() const {
+  TRAJKIT_CHECK(fitted());
+  return importances_;
+}
+
+int GradientBoosting::NumTreesTotal() const {
+  return static_cast<int>(trees_.size());
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,85 @@
+#ifndef TRAJKIT_ML_GRADIENT_BOOSTING_H_
+#define TRAJKIT_ML_GRADIENT_BOOSTING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of the second-order gradient-boosted tree ensemble
+/// (the XGBoost algorithm: softmax objective, per-leaf Newton step,
+/// L2-regularized gain).
+struct GradientBoostingParams {
+  /// Boosting rounds; each round fits one regression tree per class.
+  int n_rounds = 50;
+  double learning_rate = 0.15;
+  int max_depth = 4;
+  /// L2 regularization on leaf weights (XGBoost's lambda).
+  double lambda = 1.0;
+  /// Minimum split gain (XGBoost's gamma).
+  double gamma = 0.0;
+  /// Minimum sum of hessians per child (XGBoost's min_child_weight).
+  double min_child_weight = 1.0;
+  /// Row subsampling fraction per round, in (0, 1].
+  double subsample = 0.8;
+  /// Feature subsampling fraction per tree, in (0, 1].
+  double colsample = 0.8;
+  uint64_t seed = 42;
+};
+
+/// Multi-class gradient boosting with second-order (gradient + hessian)
+/// tree fitting. The "XGBoost" entry in the paper's Fig. 2 roster.
+class GradientBoosting final : public Classifier {
+ public:
+  explicit GradientBoosting(GradientBoostingParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "xgboost"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  /// Total gain-based feature importances, normalized to sum 1.
+  /// Precondition: fitted.
+  const std::vector<double>& FeatureImportances() const;
+
+  bool fitted() const { return num_classes_ > 0; }
+  int NumTreesTotal() const;
+
+ private:
+  struct RegressionNode {
+    int feature = -1;     // -1 for leaves.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;   // Leaf weight.
+  };
+  struct RegressionTree {
+    std::vector<RegressionNode> nodes;
+    double PredictRow(std::span<const double> row) const;
+  };
+
+  RegressionTree FitTree(const Matrix& x, const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<size_t>& rows,
+                         const std::vector<int>& features);
+  int BuildRegressionNode(RegressionTree& tree, const Matrix& x,
+                          const std::vector<double>& grad,
+                          const std::vector<double>& hess,
+                          std::vector<size_t>& rows, size_t begin, size_t end,
+                          const std::vector<int>& features, int depth);
+
+  GradientBoostingParams params_;
+  int num_classes_ = 0;
+  // trees_[round * num_classes_ + k].
+  std::vector<RegressionTree> trees_;
+  std::vector<double> importances_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_GRADIENT_BOOSTING_H_

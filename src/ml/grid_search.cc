@@ -1,0 +1,63 @@
+#include "ml/grid_search.h"
+
+#include <algorithm>
+
+namespace trajkit::ml {
+
+std::vector<ParamPoint> ExpandGrid(const ParamGrid& grid) {
+  std::vector<ParamPoint> points;
+  points.emplace_back();  // Start with the empty assignment.
+  for (const auto& [name, values] : grid) {
+    std::vector<ParamPoint> expanded;
+    expanded.reserve(points.size() * values.size());
+    for (const ParamPoint& base : points) {
+      for (double value : values) {
+        ParamPoint point = base;
+        point[name] = value;
+        expanded.push_back(std::move(point));
+      }
+    }
+    points = std::move(expanded);
+  }
+  return points;
+}
+
+Result<GridSearchResult> GridSearch(const ModelBuilder& builder,
+                                    const ParamGrid& grid,
+                                    const Dataset& dataset,
+                                    const std::vector<FoldSplit>& folds,
+                                    const CrossValidationOptions& options) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("empty parameter grid");
+  }
+  for (const auto& [name, values] : grid) {
+    if (values.empty()) {
+      return Status::InvalidArgument("empty axis in grid: '" + name + "'");
+    }
+  }
+  if (folds.empty()) {
+    return Status::InvalidArgument("no folds supplied");
+  }
+
+  GridSearchResult result;
+  for (const ParamPoint& point : ExpandGrid(grid)) {
+    std::unique_ptr<Classifier> model = builder(point);
+    if (model == nullptr) {
+      return Status::InvalidArgument("model builder returned null");
+    }
+    TRAJKIT_ASSIGN_OR_RETURN(CrossValidationResult cv,
+                             CrossValidate(*model, dataset, folds, options));
+    GridSearchEntry entry;
+    entry.params = point;
+    entry.mean_accuracy = cv.MeanAccuracy();
+    entry.std_accuracy = cv.StdAccuracy();
+    result.entries.push_back(std::move(entry));
+  }
+  std::stable_sort(result.entries.begin(), result.entries.end(),
+                   [](const GridSearchEntry& a, const GridSearchEntry& b) {
+                     return a.mean_accuracy > b.mean_accuracy;
+                   });
+  return result;
+}
+
+}  // namespace trajkit::ml

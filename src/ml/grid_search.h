@@ -1,0 +1,61 @@
+#ifndef TRAJKIT_ML_GRID_SEARCH_H_
+#define TRAJKIT_ML_GRID_SEARCH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/classifier.h"
+#include "ml/crossval.h"
+#include "ml/splits.h"
+
+namespace trajkit::ml {
+
+/// One hyper-parameter assignment: named numeric values ("n_estimators" →
+/// 50, "max_depth" → 4, ...). Interpretation belongs to the model builder.
+using ParamPoint = std::map<std::string, double>;
+
+/// The grid: each parameter maps to the values to try; the search is the
+/// cartesian product.
+using ParamGrid = std::map<std::string, std::vector<double>>;
+
+/// Builds an unfitted classifier for one grid point.
+using ModelBuilder =
+    std::function<std::unique_ptr<Classifier>(const ParamPoint&)>;
+
+/// One evaluated grid point.
+struct GridSearchEntry {
+  ParamPoint params;
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;
+};
+
+/// Result of a grid search: every entry (descending accuracy) plus the
+/// winner.
+struct GridSearchResult {
+  std::vector<GridSearchEntry> entries;
+  const GridSearchEntry& best() const { return entries.front(); }
+};
+
+/// Exhaustive cross-validated grid search: evaluates every point of the
+/// cartesian product of `grid` with CrossValidate over `folds` and returns
+/// all points sorted by mean accuracy (ties: first in product order).
+/// The paper runs library defaults everywhere; this utility answers the
+/// obvious follow-up of how sensitive its rankings are to tuning.
+/// Returns InvalidArgument for an empty grid/axis or when the builder
+/// returns null.
+Result<GridSearchResult> GridSearch(
+    const ModelBuilder& builder, const ParamGrid& grid,
+    const Dataset& dataset, const std::vector<FoldSplit>& folds,
+    const CrossValidationOptions& options = {});
+
+/// Expands a grid into the full list of points (product order: last axis
+/// fastest). Exposed for tests and for custom search loops.
+std::vector<ParamPoint> ExpandGrid(const ParamGrid& grid);
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_GRID_SEARCH_H_

@@ -1,0 +1,119 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+Knn::Knn(KnnParams params) : params_(params) {}
+
+Status Knn::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit k-NN on an empty dataset");
+  }
+  if (params_.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  num_classes_ = train.num_classes();
+  train_features_ = train.features();
+  train_labels_ = train.labels();
+
+  scale_min_.clear();
+  scale_inv_range_.clear();
+  if (params_.internal_scaling) {
+    const size_t cols = train_features_.cols();
+    scale_min_.assign(cols, 0.0);
+    scale_inv_range_.assign(cols, 1.0);
+    for (size_t c = 0; c < cols; ++c) {
+      double lo = train_features_(0, c);
+      double hi = lo;
+      for (size_t r = 1; r < train_features_.rows(); ++r) {
+        lo = std::min(lo, train_features_(r, c));
+        hi = std::max(hi, train_features_(r, c));
+      }
+      scale_min_[c] = lo;
+      scale_inv_range_[c] = hi > lo ? 1.0 / (hi - lo) : 0.0;
+      for (size_t r = 0; r < train_features_.rows(); ++r) {
+        train_features_(r, c) =
+            (train_features_(r, c) - lo) * scale_inv_range_[c];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> Knn::VoteRow(std::span<const double> row) const {
+  // Scale the query like the training data.
+  std::vector<double> query(row.begin(), row.end());
+  if (!scale_min_.empty()) {
+    for (size_t c = 0; c < query.size(); ++c) {
+      query[c] = (query[c] - scale_min_[c]) * scale_inv_range_[c];
+    }
+  }
+  struct Neighbour {
+    double distance_sq;
+    int label;
+  };
+  const size_t n = train_features_.rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(params_.k), n);
+  std::vector<Neighbour> neighbours(n);
+  for (size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    const std::span<const double> t = train_features_.Row(i);
+    for (size_t c = 0; c < query.size(); ++c) {
+      const double diff = query[c] - t[c];
+      d += diff * diff;
+    }
+    neighbours[i] = {d, train_labels_[i]};
+  }
+  std::nth_element(neighbours.begin(),
+                   neighbours.begin() + static_cast<long>(k - 1),
+                   neighbours.end(),
+                   [](const Neighbour& a, const Neighbour& b) {
+                     return a.distance_sq < b.distance_sq;
+                   });
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    const double weight =
+        params_.distance_weighted
+            ? 1.0 / (std::sqrt(neighbours[i].distance_sq) + 1e-9)
+            : 1.0;
+    votes[static_cast<size_t>(neighbours[i].label)] += weight;
+  }
+  return votes;
+}
+
+std::vector<int> Knn::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::vector<double> votes = VoteRow(features.Row(r));
+    out[r] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                              votes.begin());
+  }
+  return out;
+}
+
+Result<Matrix> Knn::PredictProba(const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::vector<double> votes = VoteRow(features.Row(r));
+    double total = 0.0;
+    for (double v : votes) total += v;
+    for (size_t c = 0; c < votes.size(); ++c) {
+      probs(r, c) = total > 0.0 ? votes[c] / total : 0.0;
+    }
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> Knn::Clone() const {
+  return std::make_unique<Knn>(params_);
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,49 @@
+#ifndef TRAJKIT_ML_KNN_H_
+#define TRAJKIT_ML_KNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of the k-nearest-neighbours classifier.
+struct KnnParams {
+  int k = 5;
+  /// Weight neighbours by inverse distance instead of uniformly.
+  bool distance_weighted = false;
+  /// Min-max scale features internally (distances are scale-sensitive).
+  bool internal_scaling = true;
+};
+
+/// Brute-force k-NN over Euclidean distance. Not part of the paper's six
+/// families; provided as an extra baseline (several of the surveyed works,
+/// e.g. Zheng et al. [29], evaluate nearest-neighbour baselines).
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "knn"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  bool fitted() const { return num_classes_ > 0; }
+
+ private:
+  std::vector<double> VoteRow(std::span<const double> row) const;
+
+  KnnParams params_;
+  int num_classes_ = 0;
+  Matrix train_features_;  // Scaled.
+  std::vector<int> train_labels_;
+  std::vector<double> scale_min_;
+  std::vector<double> scale_inv_range_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_KNN_H_

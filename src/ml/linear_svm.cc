@@ -1,0 +1,138 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace trajkit::ml {
+
+LinearSvm::LinearSvm(LinearSvmParams params) : params_(params) {}
+
+Status LinearSvm::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit SVM on an empty dataset");
+  }
+  if (params_.lambda <= 0.0 || params_.epochs <= 0) {
+    return Status::InvalidArgument("lambda and epochs must be positive");
+  }
+  num_classes_ = train.num_classes();
+  num_features_ = train.num_features();
+  const size_t n = train.num_samples();
+  const size_t d = num_features_ + 1;  // +1 bias.
+  weights_.assign(static_cast<size_t>(num_classes_) * d, 0.0);
+
+  // Internal scaling: fit min-max on the training matrix.
+  scale_min_.clear();
+  scale_inv_range_.clear();
+  if (params_.internal_scaling) {
+    scale_min_.assign(num_features_, 0.0);
+    scale_inv_range_.assign(num_features_, 1.0);
+    for (size_t c = 0; c < num_features_; ++c) {
+      double lo = train.features()(0, c);
+      double hi = lo;
+      for (size_t r = 1; r < n; ++r) {
+        lo = std::min(lo, train.features()(r, c));
+        hi = std::max(hi, train.features()(r, c));
+      }
+      scale_min_[c] = lo;
+      scale_inv_range_[c] = (hi > lo) ? 1.0 / (hi - lo) : 0.0;
+    }
+  }
+  auto scaled = [&](size_t r, size_t c) {
+    const double v = train.features()(r, c);
+    if (scale_min_.empty()) return v;
+    return (v - scale_min_[c]) * scale_inv_range_[c];
+  };
+
+  Rng rng(params_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  // Pegasos per one-vs-rest problem, with tail averaging: the returned
+  // weight vector is the average of the iterates over the second half of
+  // training, which removes most of the stochastic-subgradient jitter
+  // (Rakhlin et al.'s alpha-suffix averaging).
+  std::vector<double> averaged(d, 0.0);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    double* w = &weights_[static_cast<size_t>(cls) * d];
+    std::fill(averaged.begin(), averaged.end(), 0.0);
+    long averaged_steps = 0;
+    long t = 0;
+    const int tail_start_epoch = params_.epochs / 2;
+    for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+      rng.Shuffle(order);
+      for (size_t idx : order) {
+        ++t;
+        // 1/(lambda (t0 + t)) schedule: the t0 offset bounds the first
+        // steps at eta_0 = 1 (raw Pegasos starts at 1/lambda, which is
+        // enormous for small lambda and destabilizes the bias).
+        const double t0 = 1.0 / params_.lambda;
+        const double eta =
+            1.0 / (params_.lambda * (t0 + static_cast<double>(t)));
+        const double y = train.labels()[idx] == cls ? 1.0 : -1.0;
+        double margin = w[num_features_];  // Bias.
+        for (size_t c = 0; c < num_features_; ++c) {
+          margin += w[c] * scaled(idx, c);
+        }
+        // L2 shrink on the weight part (not the bias).
+        const double shrink = 1.0 - eta * params_.lambda;
+        for (size_t c = 0; c < num_features_; ++c) w[c] *= shrink;
+        if (y * margin < 1.0) {
+          for (size_t c = 0; c < num_features_; ++c) {
+            w[c] += eta * y * scaled(idx, c);
+          }
+          w[num_features_] += eta * y;
+        }
+        if (epoch >= tail_start_epoch) {
+          for (size_t c = 0; c < d; ++c) averaged[c] += w[c];
+          ++averaged_steps;
+        }
+      }
+    }
+    if (averaged_steps > 0) {
+      for (size_t c = 0; c < d; ++c) {
+        w[c] = averaged[c] / static_cast<double>(averaged_steps);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LinearSvm::DecisionFunction(
+    std::span<const double> row) const {
+  TRAJKIT_CHECK(fitted());
+  TRAJKIT_CHECK_EQ(row.size(), num_features_);
+  const size_t d = num_features_ + 1;
+  std::vector<double> margins(static_cast<size_t>(num_classes_));
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const double* w = &weights_[static_cast<size_t>(cls) * d];
+    double m = w[num_features_];
+    for (size_t c = 0; c < num_features_; ++c) {
+      double v = row[c];
+      if (!scale_min_.empty()) v = (v - scale_min_[c]) * scale_inv_range_[c];
+      m += w[c] * v;
+    }
+    margins[static_cast<size_t>(cls)] = m;
+  }
+  return margins;
+}
+
+std::vector<int> LinearSvm::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::vector<double> margins = DecisionFunction(features.Row(r));
+    out[r] = static_cast<int>(
+        std::max_element(margins.begin(), margins.end()) - margins.begin());
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LinearSvm::Clone() const {
+  return std::make_unique<LinearSvm>(params_);
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,57 @@
+#ifndef TRAJKIT_ML_LINEAR_SVM_H_
+#define TRAJKIT_ML_LINEAR_SVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of the linear SVM.
+struct LinearSvmParams {
+  /// L2 regularization strength (Pegasos λ); C ≈ 1/(λ·n). The fairly
+  /// strong default mirrors an untuned sklearn-style configuration (the
+  /// paper ran all six classifiers at library defaults, where the SVM
+  /// placed last).
+  double lambda = 1e-2;
+  /// Passes over the training data.
+  int epochs = 20;
+  /// When true (default), features are internally min-max scaled before
+  /// training/prediction (SVMs are scale-sensitive; the paper normalizes
+  /// in step 7 but the classifier-selection experiment runs without it).
+  bool internal_scaling = true;
+  uint64_t seed = 42;
+};
+
+/// One-vs-rest linear SVM trained with the Pegasos stochastic sub-gradient
+/// solver on the hinge loss. Decision: argmax of per-class margins.
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  std::string name() const override { return "svm"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  bool fitted() const { return num_classes_ > 0; }
+
+  /// Raw per-class margins for one row (after internal scaling).
+  std::vector<double> DecisionFunction(std::span<const double> row) const;
+
+ private:
+  LinearSvmParams params_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  // weights_[k * (num_features_ + 1) + f]; the last slot is the bias.
+  std::vector<double> weights_;
+  // Internal min-max ranges (empty when internal_scaling is off).
+  std::vector<double> scale_min_;
+  std::vector<double> scale_inv_range_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_LINEAR_SVM_H_

@@ -1,0 +1,160 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+LogisticRegression::LogisticRegression(LogisticRegressionParams params)
+    : params_(params) {}
+
+void LogisticRegression::RowScores(std::span<const double> row,
+                                   std::vector<double>& scores) const {
+  const size_t d = num_features_ + 1;
+  scores.assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const double* w = &weights_[static_cast<size_t>(cls) * d];
+    double z = w[num_features_];
+    for (size_t c = 0; c < num_features_; ++c) {
+      double v = row[c];
+      if (!scale_min_.empty()) {
+        v = (v - scale_min_[c]) * scale_inv_range_[c];
+      }
+      z += w[c] * v;
+    }
+    scores[static_cast<size_t>(cls)] = z;
+  }
+}
+
+Status LogisticRegression::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument(
+        "cannot fit logistic regression on an empty dataset");
+  }
+  if (params_.epochs <= 0 || params_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("epochs and learning_rate must be > 0");
+  }
+  num_classes_ = train.num_classes();
+  num_features_ = train.num_features();
+  const size_t n = train.num_samples();
+  const size_t d = num_features_ + 1;
+  const size_t k = static_cast<size_t>(num_classes_);
+  weights_.assign(k * d, 0.0);
+
+  scale_min_.clear();
+  scale_inv_range_.clear();
+  if (params_.internal_scaling) {
+    scale_min_.assign(num_features_, 0.0);
+    scale_inv_range_.assign(num_features_, 1.0);
+    for (size_t c = 0; c < num_features_; ++c) {
+      double lo = train.features()(0, c);
+      double hi = lo;
+      for (size_t r = 1; r < n; ++r) {
+        lo = std::min(lo, train.features()(r, c));
+        hi = std::max(hi, train.features()(r, c));
+      }
+      scale_min_[c] = lo;
+      scale_inv_range_[c] = hi > lo ? 1.0 / (hi - lo) : 0.0;
+    }
+  }
+  // Pre-scale a working copy for the training loop.
+  Matrix x = train.features();
+  if (!scale_min_.empty()) {
+    for (size_t c = 0; c < num_features_; ++c) {
+      for (size_t r = 0; r < n; ++r) {
+        x(r, c) = (x(r, c) - scale_min_[c]) * scale_inv_range_[c];
+      }
+    }
+  }
+
+  std::vector<double> velocity(weights_.size(), 0.0);
+  std::vector<double> gradient(weights_.size(), 0.0);
+  std::vector<double> probs(k);
+  constexpr double kMomentum = 0.9;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    // Nesterov lookahead.
+    std::vector<double> lookahead(weights_.size());
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      lookahead[i] = weights_[i] + kMomentum * velocity[i];
+    }
+    for (size_t r = 0; r < n; ++r) {
+      // Softmax at the lookahead point.
+      double max_z = -1e300;
+      for (size_t cls = 0; cls < k; ++cls) {
+        const double* w = &lookahead[cls * d];
+        double z = w[num_features_];
+        for (size_t c = 0; c < num_features_; ++c) z += w[c] * x(r, c);
+        probs[cls] = z;
+        max_z = std::max(max_z, z);
+      }
+      double sum = 0.0;
+      for (double& p : probs) {
+        p = std::exp(p - max_z);
+        sum += p;
+      }
+      for (double& p : probs) p /= sum;
+      const size_t y = static_cast<size_t>(train.labels()[r]);
+      for (size_t cls = 0; cls < k; ++cls) {
+        const double err = probs[cls] - (cls == y ? 1.0 : 0.0);
+        double* g = &gradient[cls * d];
+        for (size_t c = 0; c < num_features_; ++c) {
+          g[c] += err * x(r, c);
+        }
+        g[num_features_] += err;
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t cls = 0; cls < k; ++cls) {
+      for (size_t c = 0; c < d; ++c) {
+        const size_t i = cls * d + c;
+        double g = gradient[i] * inv_n;
+        if (c < num_features_) g += params_.l2 * lookahead[i];
+        velocity[i] = kMomentum * velocity[i] - params_.learning_rate * g;
+        weights_[i] += velocity[i];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<int> LogisticRegression::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> out(features.rows());
+  std::vector<double> scores;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    RowScores(features.Row(r), scores);
+    out[r] = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+  }
+  return out;
+}
+
+Result<Matrix> LogisticRegression::PredictProba(
+    const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
+  std::vector<double> scores;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    RowScores(features.Row(r), scores);
+    const double max_z = *std::max_element(scores.begin(), scores.end());
+    double sum = 0.0;
+    for (size_t c = 0; c < scores.size(); ++c) {
+      probs(r, c) = std::exp(scores[c] - max_z);
+      sum += probs(r, c);
+    }
+    for (size_t c = 0; c < scores.size(); ++c) probs(r, c) /= sum;
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(params_);
+}
+
+}  // namespace trajkit::ml

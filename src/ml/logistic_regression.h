@@ -1,0 +1,52 @@
+#ifndef TRAJKIT_ML_LOGISTIC_REGRESSION_H_
+#define TRAJKIT_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of multinomial logistic regression.
+struct LogisticRegressionParams {
+  /// L2 regularization strength (sklearn's 1/C per sample).
+  double l2 = 1e-4;
+  int epochs = 200;
+  double learning_rate = 0.5;  // Full-batch gradient step size.
+  bool internal_scaling = true;
+  uint64_t seed = 42;
+};
+
+/// Multinomial (softmax) logistic regression trained by full-batch
+/// gradient descent with Nesterov momentum. A calibrated linear baseline
+/// complementing the paper's six families.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "logistic_regression"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  bool fitted() const { return num_classes_ > 0; }
+
+ private:
+  void RowScores(std::span<const double> row,
+                 std::vector<double>& scores) const;
+
+  LogisticRegressionParams params_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  // weights_[k * (num_features_ + 1) + f]; last slot is the bias.
+  std::vector<double> weights_;
+  std::vector<double> scale_min_;
+  std::vector<double> scale_inv_range_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_LOGISTIC_REGRESSION_H_

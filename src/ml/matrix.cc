@@ -1,0 +1,47 @@
+#include "ml/matrix.h"
+
+namespace trajkit::ml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    TRAJKIT_CHECK_EQ(rows[r].size(), m.cols_)
+        << "ragged row" << r << "in Matrix::FromRows";
+    for (size_t c = 0; c < m.cols_; ++c) m.data_[r * m.cols_ + c] = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  TRAJKIT_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+Matrix Matrix::SelectRows(std::span<const size_t> row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    const size_t r = row_indices[i];
+    TRAJKIT_CHECK_LT(r, rows_);
+    for (size_t c = 0; c < cols_; ++c) {
+      out.data_[i * cols_ + c] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectColumns(std::span<const int> column_indices) const {
+  Matrix out(rows_, column_indices.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < column_indices.size(); ++i) {
+      const size_t c = static_cast<size_t>(column_indices[i]);
+      TRAJKIT_CHECK_LT(c, cols_);
+      out.data_[r * column_indices.size() + i] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+}  // namespace trajkit::ml

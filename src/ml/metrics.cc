@@ -1,0 +1,193 @@
+#include "ml/metrics.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace trajkit::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::span<const int> y_true,
+                                 std::span<const int> y_pred,
+                                 int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) *
+                  static_cast<size_t>(num_classes),
+              0) {
+  TRAJKIT_CHECK_EQ(y_true.size(), y_pred.size());
+  TRAJKIT_CHECK(!y_true.empty());
+  TRAJKIT_CHECK_GT(num_classes, 0);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    TRAJKIT_CHECK_GE(y_true[i], 0);
+    TRAJKIT_CHECK_LT(y_true[i], num_classes);
+    TRAJKIT_CHECK_GE(y_pred[i], 0);
+    TRAJKIT_CHECK_LT(y_pred[i], num_classes);
+    ++counts_[static_cast<size_t>(y_true[i]) *
+                  static_cast<size_t>(num_classes) +
+              static_cast<size_t>(y_pred[i])];
+    ++total_;
+  }
+}
+
+size_t ConfusionMatrix::Count(int true_class, int predicted_class) const {
+  TRAJKIT_CHECK_GE(true_class, 0);
+  TRAJKIT_CHECK_LT(true_class, num_classes_);
+  TRAJKIT_CHECK_GE(predicted_class, 0);
+  TRAJKIT_CHECK_LT(predicted_class, num_classes_);
+  return counts_[static_cast<size_t>(true_class) *
+                     static_cast<size_t>(num_classes_) +
+                 static_cast<size_t>(predicted_class)];
+}
+
+size_t ConfusionMatrix::TruePositives(int c) const { return Count(c, c); }
+
+size_t ConfusionMatrix::FalsePositives(int c) const {
+  size_t fp = 0;
+  for (int t = 0; t < num_classes_; ++t) {
+    if (t != c) fp += Count(t, c);
+  }
+  return fp;
+}
+
+size_t ConfusionMatrix::FalseNegatives(int c) const {
+  size_t fn = 0;
+  for (int p = 0; p < num_classes_; ++p) {
+    if (p != c) fn += Count(c, p);
+  }
+  return fn;
+}
+
+size_t ConfusionMatrix::Support(int c) const {
+  size_t s = 0;
+  for (int p = 0; p < num_classes_; ++p) s += Count(c, p);
+  return s;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = "true\\pred";
+  for (int c = 0; c < num_classes_; ++c) {
+    out += StrPrintf("%12s",
+                     c < static_cast<int>(class_names.size())
+                         ? class_names[static_cast<size_t>(c)].c_str()
+                         : StrPrintf("c%d", c).c_str());
+  }
+  out += '\n';
+  for (int t = 0; t < num_classes_; ++t) {
+    out += StrPrintf("%-9s",
+                     t < static_cast<int>(class_names.size())
+                         ? class_names[static_cast<size_t>(t)].c_str()
+                         : StrPrintf("c%d", t).c_str());
+    for (int p = 0; p < num_classes_; ++p) {
+      out += StrPrintf("%12zu", Count(t, p));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double Accuracy(std::span<const int> y_true, std::span<const int> y_pred) {
+  TRAJKIT_CHECK_EQ(y_true.size(), y_pred.size());
+  TRAJKIT_CHECK(!y_true.empty());
+  size_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+ClassificationReport Evaluate(std::span<const int> y_true,
+                              std::span<const int> y_pred, int num_classes) {
+  const ConfusionMatrix cm(y_true, y_pred, num_classes);
+  ClassificationReport rep;
+  const size_t k = static_cast<size_t>(num_classes);
+  rep.precision.assign(k, 0.0);
+  rep.recall.assign(k, 0.0);
+  rep.f1.assign(k, 0.0);
+  rep.support.assign(k, 0);
+
+  size_t correct = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const size_t tp = cm.TruePositives(c);
+    const size_t fp = cm.FalsePositives(c);
+    const size_t fn = cm.FalseNegatives(c);
+    correct += tp;
+    const size_t ci = static_cast<size_t>(c);
+    rep.support[ci] = cm.Support(c);
+    rep.precision[ci] =
+        (tp + fp) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                      : 0.0;
+    rep.recall[ci] =
+        (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                      : 0.0;
+    const double pr = rep.precision[ci] + rep.recall[ci];
+    rep.f1[ci] = pr > 0.0 ? 2.0 * rep.precision[ci] * rep.recall[ci] / pr
+                          : 0.0;
+  }
+  const double n = static_cast<double>(cm.TotalSamples());
+  rep.accuracy = static_cast<double>(correct) / n;
+  for (size_t c = 0; c < k; ++c) {
+    rep.macro_precision += rep.precision[c] / static_cast<double>(k);
+    rep.macro_recall += rep.recall[c] / static_cast<double>(k);
+    rep.macro_f1 += rep.f1[c] / static_cast<double>(k);
+    const double w = static_cast<double>(rep.support[c]) / n;
+    rep.weighted_precision += w * rep.precision[c];
+    rep.weighted_recall += w * rep.recall[c];
+    rep.weighted_f1 += w * rep.f1[c];
+  }
+  return rep;
+}
+
+double CohensKappa(std::span<const int> y_true, std::span<const int> y_pred,
+                   int num_classes) {
+  const ConfusionMatrix cm(y_true, y_pred, num_classes);
+  const double n = static_cast<double>(cm.TotalSamples());
+  double observed = 0.0;
+  double expected = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    observed += static_cast<double>(cm.TruePositives(c)) / n;
+    double row_total = 0.0;
+    double col_total = 0.0;
+    for (int other = 0; other < num_classes; ++other) {
+      row_total += static_cast<double>(cm.Count(c, other));
+      col_total += static_cast<double>(cm.Count(other, c));
+    }
+    expected += (row_total / n) * (col_total / n);
+  }
+  if (expected >= 1.0) return observed >= 1.0 ? 1.0 : 0.0;
+  return (observed - expected) / (1.0 - expected);
+}
+
+double BalancedAccuracy(std::span<const int> y_true,
+                        std::span<const int> y_pred, int num_classes) {
+  const ClassificationReport report =
+      Evaluate(y_true, y_pred, num_classes);
+  double total = 0.0;
+  int populated = 0;
+  for (size_t c = 0; c < report.recall.size(); ++c) {
+    if (report.support[c] == 0) continue;
+    total += report.recall[c];
+    ++populated;
+  }
+  return populated > 0 ? total / static_cast<double>(populated) : 0.0;
+}
+
+std::string ClassificationReport::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out =
+      StrPrintf("%-12s %9s %9s %9s %9s\n", "class", "precision", "recall",
+                "f1", "support");
+  for (size_t c = 0; c < precision.size(); ++c) {
+    const std::string name = c < class_names.size()
+                                 ? class_names[c]
+                                 : StrPrintf("c%zu", c);
+    out += StrPrintf("%-12s %9.4f %9.4f %9.4f %9zu\n", name.c_str(),
+                     precision[c], recall[c], f1[c], support[c]);
+  }
+  out += StrPrintf("%-12s %9.4f\n", "accuracy", accuracy);
+  out += StrPrintf("%-12s %9.4f %9.4f %9.4f\n", "macro", macro_precision,
+                   macro_recall, macro_f1);
+  out += StrPrintf("%-12s %9.4f %9.4f %9.4f\n", "weighted",
+                   weighted_precision, weighted_recall, weighted_f1);
+  return out;
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,77 @@
+#ifndef TRAJKIT_ML_METRICS_H_
+#define TRAJKIT_ML_METRICS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace trajkit::ml {
+
+/// Row-major confusion matrix: entry (true, predicted).
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel label vectors; labels must lie in
+  /// [0, num_classes). Precondition: equal non-zero lengths.
+  ConfusionMatrix(std::span<const int> y_true, std::span<const int> y_pred,
+                  int num_classes);
+
+  int num_classes() const { return num_classes_; }
+  size_t Count(int true_class, int predicted_class) const;
+  size_t TotalSamples() const { return total_; }
+
+  /// Per-class counts.
+  size_t TruePositives(int c) const;
+  size_t FalsePositives(int c) const;
+  size_t FalseNegatives(int c) const;
+  size_t Support(int c) const;  // Number of true samples of class c.
+
+  /// Renders with optional class names.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;  // num_classes × num_classes, row-major.
+};
+
+/// Fraction of matching predictions. Precondition: equal non-zero lengths.
+double Accuracy(std::span<const int> y_true, std::span<const int> y_pred);
+
+/// Per-class and averaged precision/recall/F1. Classes with zero support
+/// contribute 0 to macro averages (sklearn's zero_division=0 behaviour) and
+/// are excluded from weighted averages by their zero weight.
+struct ClassificationReport {
+  std::vector<double> precision;  // Per class.
+  std::vector<double> recall;
+  std::vector<double> f1;
+  std::vector<size_t> support;
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double weighted_precision = 0.0;
+  double weighted_recall = 0.0;
+  double weighted_f1 = 0.0;
+
+  /// sklearn-style text report.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+};
+
+/// Computes the full report from label vectors.
+ClassificationReport Evaluate(std::span<const int> y_true,
+                              std::span<const int> y_pred, int num_classes);
+
+/// Cohen's kappa: agreement corrected for chance. 1 = perfect, 0 = chance
+/// level, negative = worse than chance. Robust on imbalanced label sets
+/// (GeoLife's modes are heavily imbalanced, §4).
+double CohensKappa(std::span<const int> y_true, std::span<const int> y_pred,
+                   int num_classes);
+
+/// Balanced accuracy: mean per-class recall (macro recall). The accuracy
+/// analogue that an always-majority classifier cannot game.
+double BalancedAccuracy(std::span<const int> y_true,
+                        std::span<const int> y_pred, int num_classes);
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_METRICS_H_

@@ -1,0 +1,256 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace trajkit::ml {
+
+Mlp::Mlp(MlpParams params) : params_(std::move(params)) {}
+
+std::vector<double> Mlp::ScaleRow(std::span<const double> row) const {
+  std::vector<double> out(row.begin(), row.end());
+  if (!scale_min_.empty()) {
+    for (size_t c = 0; c < out.size(); ++c) {
+      out[c] = (out[c] - scale_min_[c]) * scale_inv_range_[c];
+    }
+  }
+  return out;
+}
+
+void Mlp::Forward(std::span<const double> input,
+                  std::vector<std::vector<double>>& activations) const {
+  activations.resize(layers_.size());
+  std::span<const double> current = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double>& act = activations[l];
+    act.assign(static_cast<size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double z = layer.biases[static_cast<size_t>(o)];
+      const double* w =
+          &layer.weights[static_cast<size_t>(o) *
+                         static_cast<size_t>(layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        z += w[i] * current[static_cast<size_t>(i)];
+      }
+      act[static_cast<size_t>(o)] = z;
+    }
+    if (l + 1 < layers_.size()) {
+      for (double& v : act) v = std::max(v, 0.0);  // ReLU.
+    } else {
+      // Softmax.
+      const double max_z = *std::max_element(act.begin(), act.end());
+      double sum = 0.0;
+      for (double& v : act) {
+        v = std::exp(v - max_z);
+        sum += v;
+      }
+      for (double& v : act) v /= sum;
+    }
+    current = act;
+  }
+}
+
+Status Mlp::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit MLP on an empty dataset");
+  }
+  if (params_.epochs <= 0 || params_.batch_size <= 0 ||
+      params_.learning_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "epochs, batch_size, learning_rate must be positive");
+  }
+  for (int h : params_.hidden_sizes) {
+    if (h <= 0) return Status::InvalidArgument("hidden sizes must be > 0");
+  }
+  num_classes_ = train.num_classes();
+  num_features_ = train.num_features();
+  const size_t n = train.num_samples();
+
+  scale_min_.clear();
+  scale_inv_range_.clear();
+  if (params_.internal_scaling) {
+    scale_min_.assign(num_features_, 0.0);
+    scale_inv_range_.assign(num_features_, 1.0);
+    for (size_t c = 0; c < num_features_; ++c) {
+      double lo = train.features()(0, c);
+      double hi = lo;
+      for (size_t r = 1; r < n; ++r) {
+        lo = std::min(lo, train.features()(r, c));
+        hi = std::max(hi, train.features()(r, c));
+      }
+      scale_min_[c] = lo;
+      scale_inv_range_[c] = (hi > lo) ? 1.0 / (hi - lo) : 0.0;
+    }
+  }
+
+  // Layer layout: input → hidden... → output.
+  Rng rng(params_.seed);
+  layers_.clear();
+  int prev = static_cast<int>(num_features_);
+  std::vector<int> widths = params_.hidden_sizes;
+  widths.push_back(num_classes_);
+  for (int width : widths) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = width;
+    layer.weights.resize(static_cast<size_t>(prev) *
+                         static_cast<size_t>(width));
+    layer.biases.assign(static_cast<size_t>(width), 0.0);
+    // He initialization for ReLU layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(prev));
+    for (double& w : layer.weights) w = rng.Gaussian(0.0, scale);
+    layers_.push_back(std::move(layer));
+    prev = width;
+  }
+
+  // Adam state per layer.
+  struct AdamState {
+    std::vector<double> mw, vw, mb, vb;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].mw.assign(layers_[l].weights.size(), 0.0);
+    adam[l].vw.assign(layers_[l].weights.size(), 0.0);
+    adam[l].mb.assign(layers_[l].biases.size(), 0.0);
+    adam[l].vb.assign(layers_[l].biases.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  long step = 0;
+
+  // Gradient accumulators (same shapes as layers).
+  std::vector<std::vector<double>> grad_w(layers_.size());
+  std::vector<std::vector<double>> grad_b(layers_.size());
+  std::vector<std::vector<double>> activations;
+  std::vector<std::vector<double>> deltas(layers_.size());
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(params_.batch_size)) {
+      const size_t stop =
+          std::min(n, start + static_cast<size_t>(params_.batch_size));
+      const double batch = static_cast<double>(stop - start);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        grad_w[l].assign(layers_[l].weights.size(), 0.0);
+        grad_b[l].assign(layers_[l].biases.size(), 0.0);
+      }
+
+      for (size_t bi = start; bi < stop; ++bi) {
+        const size_t row = order[bi];
+        const std::vector<double> input =
+            ScaleRow(train.features().Row(row));
+        Forward(input, activations);
+
+        // Output delta: softmax + cross-entropy → p - y.
+        const size_t last = layers_.size() - 1;
+        deltas[last] = activations[last];
+        deltas[last][static_cast<size_t>(train.labels()[row])] -= 1.0;
+
+        // Backprop through hidden layers.
+        for (size_t l = last; l-- > 0;) {
+          const Layer& next = layers_[l + 1];
+          deltas[l].assign(static_cast<size_t>(next.in), 0.0);
+          for (int o = 0; o < next.out; ++o) {
+            const double d = deltas[l + 1][static_cast<size_t>(o)];
+            const double* w =
+                &next.weights[static_cast<size_t>(o) *
+                              static_cast<size_t>(next.in)];
+            for (int i = 0; i < next.in; ++i) {
+              deltas[l][static_cast<size_t>(i)] += w[i] * d;
+            }
+          }
+          // ReLU derivative.
+          for (size_t i = 0; i < deltas[l].size(); ++i) {
+            if (activations[l][i] <= 0.0) deltas[l][i] = 0.0;
+          }
+        }
+
+        // Accumulate gradients.
+        for (size_t l = 0; l < layers_.size(); ++l) {
+          const std::vector<double>& in_act =
+              (l == 0) ? input : activations[l - 1];
+          const Layer& layer = layers_[l];
+          for (int o = 0; o < layer.out; ++o) {
+            const double d = deltas[l][static_cast<size_t>(o)];
+            grad_b[l][static_cast<size_t>(o)] += d;
+            double* gw = &grad_w[l][static_cast<size_t>(o) *
+                                    static_cast<size_t>(layer.in)];
+            for (int i = 0; i < layer.in; ++i) {
+              gw[i] += d * in_act[static_cast<size_t>(i)];
+            }
+          }
+        }
+      }
+
+      // Adam update.
+      ++step;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t i = 0; i < layer.weights.size(); ++i) {
+          double g = grad_w[l][i] / batch + params_.l2 * layer.weights[i];
+          adam[l].mw[i] = kBeta1 * adam[l].mw[i] + (1.0 - kBeta1) * g;
+          adam[l].vw[i] = kBeta2 * adam[l].vw[i] + (1.0 - kBeta2) * g * g;
+          layer.weights[i] -= params_.learning_rate *
+                              (adam[l].mw[i] / bc1) /
+                              (std::sqrt(adam[l].vw[i] / bc2) + kEps);
+        }
+        for (size_t i = 0; i < layer.biases.size(); ++i) {
+          const double g = grad_b[l][i] / batch;
+          adam[l].mb[i] = kBeta1 * adam[l].mb[i] + (1.0 - kBeta1) * g;
+          adam[l].vb[i] = kBeta2 * adam[l].vb[i] + (1.0 - kBeta2) * g * g;
+          layer.biases[i] -= params_.learning_rate *
+                             (adam[l].mb[i] / bc1) /
+                             (std::sqrt(adam[l].vb[i] / bc2) + kEps);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<int> Mlp::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> out(features.rows());
+  std::vector<std::vector<double>> activations;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::vector<double> input = ScaleRow(features.Row(r));
+    Forward(input, activations);
+    const std::vector<double>& probs = activations.back();
+    out[r] = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return out;
+}
+
+Result<Matrix> Mlp::PredictProba(const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
+  std::vector<std::vector<double>> activations;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::vector<double> input = ScaleRow(features.Row(r));
+    Forward(input, activations);
+    const std::vector<double>& p = activations.back();
+    for (size_t c = 0; c < p.size(); ++c) probs(r, c) = p[c];
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> Mlp::Clone() const {
+  return std::make_unique<Mlp>(params_);
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,65 @@
+#ifndef TRAJKIT_ML_MLP_H_
+#define TRAJKIT_ML_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace trajkit::ml {
+
+/// Hyper-parameters of the feed-forward neural network.
+struct MlpParams {
+  /// Hidden-layer widths; {100} mirrors sklearn's MLPClassifier default.
+  std::vector<int> hidden_sizes = {100};
+  int epochs = 100;
+  int batch_size = 64;
+  double learning_rate = 1e-3;  // Adam step size.
+  double l2 = 1e-4;             // Weight decay (sklearn's alpha).
+  /// When true (default), features are internally min-max scaled before
+  /// training/prediction (neural nets are scale-sensitive).
+  bool internal_scaling = true;
+  uint64_t seed = 42;
+};
+
+/// Multi-layer perceptron: ReLU hidden layers, softmax output, cross-entropy
+/// loss, Adam optimizer with mini-batches.
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(MlpParams params = {});
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> Predict(const Matrix& features) const override;
+  Result<Matrix> PredictProba(const Matrix& features) const override;
+  std::string name() const override { return "neural_network"; }
+  std::unique_ptr<Classifier> Clone() const override;
+
+  bool fitted() const { return num_classes_ > 0; }
+
+ private:
+  struct Layer {
+    // weights: out × in, row-major. biases: out.
+    std::vector<double> weights;
+    std::vector<double> biases;
+    int in = 0;
+    int out = 0;
+  };
+
+  /// Forward pass of one (already scaled) sample; fills per-layer
+  /// activations (post-ReLU for hidden, softmax for output).
+  void Forward(std::span<const double> input,
+               std::vector<std::vector<double>>& activations) const;
+  std::vector<double> ScaleRow(std::span<const double> row) const;
+
+  MlpParams params_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<Layer> layers_;
+  std::vector<double> scale_min_;
+  std::vector<double> scale_inv_range_;
+};
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_MLP_H_

@@ -1,0 +1,23 @@
+#ifndef TRAJKIT_ML_MODEL_IO_H_
+#define TRAJKIT_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/random_forest.h"
+
+namespace trajkit::ml {
+
+/// File-level persistence for trained random forests (the paper's model of
+/// choice). The format is a versioned line-based text file; restored
+/// models predict bit-identically.
+
+/// Writes a fitted forest to `path` (creating parent directories).
+Status SaveRandomForest(const RandomForest& forest, const std::string& path);
+
+/// Reads a forest written by SaveRandomForest.
+Result<RandomForest> LoadRandomForest(const std::string& path);
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_MODEL_IO_H_

@@ -1,0 +1,56 @@
+#include "ml/permutation_importance.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+
+namespace trajkit::ml {
+
+Result<std::vector<FeatureScore>> PermutationImportance(
+    const Classifier& model, const Dataset& holdout,
+    const PermutationImportanceOptions& options) {
+  if (holdout.num_samples() < 2) {
+    return Status::InvalidArgument(
+        "permutation importance needs at least 2 holdout samples");
+  }
+  if (options.repeats <= 0) {
+    return Status::InvalidArgument("repeats must be positive");
+  }
+
+  const double baseline =
+      Accuracy(holdout.labels(), model.Predict(holdout.features()));
+  Rng rng(options.seed);
+  const size_t n = holdout.num_samples();
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(holdout.num_features());
+  Matrix scratch = holdout.features();
+  std::vector<double> column(n);
+  std::vector<size_t> order(n);
+
+  for (size_t f = 0; f < holdout.num_features(); ++f) {
+    // Save the column, then shuffle it `repeats` times.
+    for (size_t r = 0; r < n; ++r) column[r] = scratch(r, f);
+    double drop_total = 0.0;
+    for (int repeat = 0; repeat < options.repeats; ++repeat) {
+      for (size_t r = 0; r < n; ++r) order[r] = r;
+      rng.Shuffle(order);
+      for (size_t r = 0; r < n; ++r) scratch(r, f) = column[order[r]];
+      const double shuffled =
+          Accuracy(holdout.labels(), model.Predict(scratch));
+      drop_total += baseline - shuffled;
+    }
+    // Restore.
+    for (size_t r = 0; r < n; ++r) scratch(r, f) = column[r];
+    scores.push_back(
+        {static_cast<int>(f),
+         drop_total / static_cast<double>(options.repeats)});
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FeatureScore& a, const FeatureScore& b) {
+                     return a.score > b.score;
+                   });
+  return scores;
+}
+
+}  // namespace trajkit::ml

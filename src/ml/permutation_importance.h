@@ -1,0 +1,33 @@
+#ifndef TRAJKIT_ML_PERMUTATION_IMPORTANCE_H_
+#define TRAJKIT_ML_PERMUTATION_IMPORTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/filter_selection.h"
+
+namespace trajkit::ml {
+
+/// Options for permutation importance.
+struct PermutationImportanceOptions {
+  /// Shuffle repetitions per feature (scores are averaged).
+  int repeats = 3;
+  uint64_t seed = 42;
+};
+
+/// Model-agnostic permutation feature importance (Breiman 2001): the drop
+/// in held-out accuracy when one feature column is shuffled. Complements
+/// the impurity importances (biased towards high-cardinality features) and
+/// the filter scores. `model` must already be fitted; `holdout` should be
+/// data the model was NOT trained on. Returns per-feature scores sorted
+/// descending (negative scores — shuffling helped — are possible for
+/// useless features).
+Result<std::vector<FeatureScore>> PermutationImportance(
+    const Classifier& model, const Dataset& holdout,
+    const PermutationImportanceOptions& options = {});
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_PERMUTATION_IMPORTANCE_H_

@@ -1,0 +1,124 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace trajkit::ml {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
+
+Status RandomForest::Fit(const Dataset& train) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("cannot fit a forest on an empty dataset");
+  }
+  if (params_.n_estimators <= 0) {
+    return Status::InvalidArgument("n_estimators must be positive");
+  }
+  num_classes_ = train.num_classes();
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(params_.n_estimators));
+  importances_.assign(train.num_features(), 0.0);
+
+  int max_features = params_.max_features;
+  if (max_features <= 0) {
+    max_features = std::max(
+        1, static_cast<int>(std::lround(
+               std::sqrt(static_cast<double>(train.num_features())))));
+  }
+
+  Rng rng(params_.seed);
+  const size_t n = train.num_samples();
+  for (int t = 0; t < params_.n_estimators; ++t) {
+    DecisionTreeParams tree_params;
+    tree_params.criterion = params_.criterion;
+    tree_params.max_depth = params_.max_depth;
+    tree_params.min_samples_split = params_.min_samples_split;
+    tree_params.min_samples_leaf = params_.min_samples_leaf;
+    tree_params.max_features = max_features;
+    tree_params.balanced_class_weights = params_.balanced_class_weights;
+    tree_params.seed = rng.NextUint64();
+
+    DecisionTree tree(tree_params);
+    if (params_.bootstrap) {
+      // Bootstrap as integer sample weights: equivalent to resampling and
+      // avoids materializing a copied dataset per tree.
+      std::vector<double> weights(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        weights[rng.NextBounded(n)] += 1.0;
+      }
+      TRAJKIT_RETURN_IF_ERROR(tree.FitWeighted(train, weights));
+    } else {
+      TRAJKIT_RETURN_IF_ERROR(tree.Fit(train));
+    }
+    const std::vector<double>& tree_importances = tree.FeatureImportances();
+    for (size_t f = 0; f < importances_.size(); ++f) {
+      importances_[f] += tree_importances[f];
+    }
+    trees_.push_back(std::move(tree));
+  }
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::Ok();
+}
+
+std::vector<int> RandomForest::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> out(features.rows());
+  std::vector<double> acc(static_cast<size_t>(num_classes_));
+  for (size_t r = 0; r < features.rows(); ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    const std::span<const double> row = features.Row(r);
+    for (const DecisionTree& tree : trees_) {
+      const std::span<const double> dist = tree.LeafDistribution(row);
+      for (size_t c = 0; c < acc.size(); ++c) acc[c] += dist[c];
+    }
+    out[r] = static_cast<int>(std::max_element(acc.begin(), acc.end()) -
+                              acc.begin());
+  }
+  return out;
+}
+
+Result<Matrix> RandomForest::PredictProba(const Matrix& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PredictProba before Fit");
+  }
+  Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> row = features.Row(r);
+    for (const DecisionTree& tree : trees_) {
+      const std::span<const double> dist = tree.LeafDistribution(row);
+      for (size_t c = 0; c < dist.size(); ++c) probs(r, c) += dist[c] * inv;
+    }
+  }
+  return probs;
+}
+
+std::unique_ptr<Classifier> RandomForest::Clone() const {
+  return std::make_unique<RandomForest>(params_);
+}
+
+const std::vector<double>& RandomForest::FeatureImportances() const {
+  TRAJKIT_CHECK(fitted());
+  return importances_;
+}
+
+std::vector<int> RandomForest::ImportanceRanking() const {
+  TRAJKIT_CHECK(fitted());
+  std::vector<int> order(importances_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return importances_[static_cast<size_t>(a)] >
+           importances_[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,171 @@
+#include "ml/stats_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace trajkit::ml {
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+namespace {
+
+// Exact null CDF of W+ for n untied ranks via the subset-sum recurrence:
+// counts[w] = number of subsets of {1..n} with rank sum w.
+// P(W+ <= w) and P(W+ >= w) follow by summation. n <= 25 keeps the table
+// small (n(n+1)/2 + 1 <= 326 entries) and the counts within double range.
+void ExactTailProbabilities(int n, double w_plus, double* p_le, double* p_ge) {
+  const int max_sum = n * (n + 1) / 2;
+  std::vector<double> counts(static_cast<size_t>(max_sum) + 1, 0.0);
+  counts[0] = 1.0;
+  for (int rank = 1; rank <= n; ++rank) {
+    for (int s = max_sum; s >= rank; --s) {
+      counts[static_cast<size_t>(s)] +=
+          counts[static_cast<size_t>(s - rank)];
+    }
+  }
+  const double total = std::pow(2.0, static_cast<double>(n));
+  double le = 0.0;
+  double ge = 0.0;
+  for (int s = 0; s <= max_sum; ++s) {
+    if (static_cast<double>(s) <= w_plus + 1e-9) {
+      le += counts[static_cast<size_t>(s)];
+    }
+    if (static_cast<double>(s) >= w_plus - 1e-9) {
+      ge += counts[static_cast<size_t>(s)];
+    }
+  }
+  *p_le = le / total;
+  *p_ge = ge / total;
+}
+
+Result<WilcoxonResult> WilcoxonFromDifferences(std::vector<double> diffs,
+                                               Alternative alternative) {
+  // Drop zero differences.
+  diffs.erase(std::remove_if(diffs.begin(), diffs.end(),
+                             [](double d) { return d == 0.0; }),
+              diffs.end());
+  const int n = static_cast<int>(diffs.size());
+  if (n < 1) {
+    return Status::InvalidArgument(
+        "Wilcoxon test needs at least one non-zero difference");
+  }
+
+  // Rank |d| with average ranks for ties.
+  struct Entry {
+    double abs_d;
+    bool positive;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(diffs.size());
+  for (double d : diffs) entries.push_back({std::fabs(d), d > 0.0});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.abs_d < b.abs_d; });
+
+  double w_plus = 0.0;
+  bool has_ties = false;
+  double tie_correction = 0.0;  // Σ (t³ - t) over tie groups.
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i;
+    while (j < entries.size() && entries[j].abs_d == entries[i].abs_d) ++j;
+    const double t = static_cast<double>(j - i);
+    if (j - i > 1) {
+      has_ties = true;
+      tie_correction += t * t * t - t;
+    }
+    // Average rank of positions [i, j): ranks are 1-based.
+    const double avg_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t p = i; p < j; ++p) {
+      if (entries[p].positive) w_plus += avg_rank;
+    }
+    i = j;
+  }
+
+  WilcoxonResult result;
+  result.statistic = w_plus;
+  result.n_used = n;
+
+  if (!has_ties && n <= 25) {
+    result.exact = true;
+    double p_le = 0.0;
+    double p_ge = 0.0;
+    ExactTailProbabilities(n, w_plus, &p_le, &p_ge);
+    switch (alternative) {
+      case Alternative::kTwoSided:
+        result.p_value = std::min(1.0, 2.0 * std::min(p_le, p_ge));
+        break;
+      case Alternative::kGreater:
+        result.p_value = p_ge;
+        break;
+      case Alternative::kLess:
+        result.p_value = p_le;
+        break;
+    }
+    return result;
+  }
+
+  // Normal approximation with tie correction and continuity correction.
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double variance =
+      dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) {
+    return Status::InvalidArgument(
+        "Wilcoxon variance is zero (all differences tied)");
+  }
+  const double sd = std::sqrt(variance);
+  auto z_with_cc = [&](double shift) {
+    return (w_plus - mean + shift) / sd;
+  };
+  switch (alternative) {
+    case Alternative::kTwoSided: {
+      const double d = w_plus - mean;
+      const double z =
+          (std::fabs(d) - 0.5) / sd;  // Continuity-corrected |z|.
+      result.p_value = std::min(1.0, 2.0 * (1.0 - StandardNormalCdf(z)));
+      break;
+    }
+    case Alternative::kGreater:
+      result.p_value = 1.0 - StandardNormalCdf(z_with_cc(-0.5));
+      break;
+    case Alternative::kLess:
+      result.p_value = StandardNormalCdf(z_with_cc(0.5));
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<WilcoxonResult> WilcoxonSignedRank(std::span<const double> x,
+                                          std::span<const double> y,
+                                          Alternative alternative) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("paired samples must have equal length");
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("empty samples");
+  }
+  std::vector<double> diffs(x.size());
+  for (size_t i = 0; i < x.size(); ++i) diffs[i] = x[i] - y[i];
+  return WilcoxonFromDifferences(std::move(diffs), alternative);
+}
+
+Result<WilcoxonResult> WilcoxonSignedRankOneSample(std::span<const double> x,
+                                                   double mu,
+                                                   Alternative alternative) {
+  if (x.empty()) {
+    return Status::InvalidArgument("empty sample");
+  }
+  std::vector<double> diffs(x.size());
+  for (size_t i = 0; i < x.size(); ++i) diffs[i] = x[i] - mu;
+  return WilcoxonFromDifferences(std::move(diffs), alternative);
+}
+
+}  // namespace trajkit::ml

@@ -1,0 +1,47 @@
+#ifndef TRAJKIT_ML_STATS_TESTS_H_
+#define TRAJKIT_ML_STATS_TESTS_H_
+
+#include <span>
+
+#include "common/result.h"
+
+namespace trajkit::ml {
+
+/// Direction of the alternative hypothesis.
+enum class Alternative { kTwoSided, kGreater, kLess };
+
+/// Outcome of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  /// Sum of ranks of positive differences (W+), the test statistic.
+  double statistic = 0.0;
+  double p_value = 1.0;
+  /// Non-zero differences actually used.
+  int n_used = 0;
+  /// True when the exact null distribution was enumerated (small n, no
+  /// ties); false when the normal approximation was used.
+  bool exact = false;
+};
+
+/// Wilcoxon signed-rank test on paired samples (the paper's test for
+/// comparing per-fold classifier accuracies, §4.1). Zero differences are
+/// dropped (Wilcoxon's original treatment); ties in |d| get average ranks.
+/// Exact p-values are enumerated for n ≤ 25 without ties; otherwise a
+/// normal approximation with tie correction and continuity correction is
+/// used. Returns InvalidArgument when inputs mismatch or fewer than 1
+/// non-zero difference remains.
+Result<WilcoxonResult> WilcoxonSignedRank(
+    std::span<const double> x, std::span<const double> y,
+    Alternative alternative = Alternative::kTwoSided);
+
+/// One-sample variant: tests the location of `x` against `mu` (the paper's
+/// §4.3 comparison of per-fold accuracies against a published number).
+Result<WilcoxonResult> WilcoxonSignedRankOneSample(
+    std::span<const double> x, double mu,
+    Alternative alternative = Alternative::kTwoSided);
+
+/// Standard normal CDF (used by the approximation; exposed for tests).
+double StandardNormalCdf(double z);
+
+}  // namespace trajkit::ml
+
+#endif  // TRAJKIT_ML_STATS_TESTS_H_

@@ -1,0 +1,99 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace trajkit::stats {
+
+namespace {
+
+// Average ranks (1-based, ties averaged).
+std::vector<double> AverageRanks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    const double avg =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t p = i; p < j; ++p) ranks[order[p]] = avg;
+    i = j;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("samples must have equal length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 observations");
+  }
+  const double n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) {
+    return Status::InvalidArgument("zero variance sample");
+  }
+  return cov / std::sqrt(var_x * var_y);
+}
+
+Result<double> SpearmanCorrelation(std::span<const double> x,
+                                   std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("samples must have equal length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 observations");
+  }
+  const std::vector<double> rx = AverageRanks(x);
+  const std::vector<double> ry = AverageRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+Result<double> MeanPairwiseCorrelation(
+    std::span<const std::vector<double>> series) {
+  double total = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < series.size(); ++a) {
+    for (size_t b = a + 1; b < series.size(); ++b) {
+      const Result<double> r = PearsonCorrelation(series[a], series[b]);
+      if (!r.ok()) continue;  // Skip degenerate pairs.
+      total += r.value();
+      ++pairs;
+    }
+  }
+  if (pairs == 0) {
+    return Status::InvalidArgument(
+        "fewer than two usable series for pairwise correlation");
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace trajkit::stats

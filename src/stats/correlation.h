@@ -1,0 +1,31 @@
+#ifndef TRAJKIT_STATS_CORRELATION_H_
+#define TRAJKIT_STATS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace trajkit::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns InvalidArgument for length mismatch, n < 2, or zero variance.
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on average ranks; robust to
+/// monotone transformations and outliers).
+Result<double> SpearmanCorrelation(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Mean pairwise Pearson correlation across the rows of `series` (each row
+/// one variable observed over the same positions) — the statistic behind
+/// §4.4's claim that per-fold scores agree less between classifiers under
+/// user-oriented CV than under random CV. Rows with zero variance are
+/// skipped; returns InvalidArgument when fewer than two usable rows.
+Result<double> MeanPairwiseCorrelation(
+    std::span<const std::vector<double>> series);
+
+}  // namespace trajkit::stats
+
+#endif  // TRAJKIT_STATS_CORRELATION_H_

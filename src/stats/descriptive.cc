@@ -1,0 +1,176 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace trajkit::stats {
+
+double Min(std::span<const double> values) {
+  TRAJKIT_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  TRAJKIT_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Mean(std::span<const double> values) {
+  TRAJKIT_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  TRAJKIT_CHECK(!values.empty());
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double SampleStdDev(std::span<const double> values) {
+  TRAJKIT_CHECK_GE(values.size(), 2u);
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Median(std::span<const double> values) {
+  return Percentile(values, 50.0);
+}
+
+namespace {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  const size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(n - 1);
+  const double lo_rank = std::floor(rank);
+  const size_t lo = static_cast<size_t>(lo_rank);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = rank - lo_rank;
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> values, double p) {
+  TRAJKIT_CHECK(!values.empty());
+  TRAJKIT_CHECK_GE(p, 0.0);
+  TRAJKIT_CHECK_LE(p, 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  TRAJKIT_CHECK(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    TRAJKIT_CHECK_GE(p, 0.0);
+    TRAJKIT_CHECK_LE(p, 100.0);
+    out.push_back(PercentileOfSorted(sorted, p));
+  }
+  return out;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const {
+  TRAJKIT_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double RunningStats::max() const {
+  TRAJKIT_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+double RunningStats::mean() const {
+  TRAJKIT_CHECK_GT(count_, 0u);
+  return mean_;
+}
+
+double RunningStats::PopulationVariance() const {
+  TRAJKIT_CHECK_GT(count_, 0u);
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::PopulationStdDev() const {
+  return std::sqrt(PopulationVariance());
+}
+
+double RunningStats::SampleVariance() const {
+  TRAJKIT_CHECK_GT(count_, 1u);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * (n2 / n);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  TRAJKIT_CHECK_LT(lo, hi);
+  TRAJKIT_CHECK_GT(bins, 0u);
+}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  double frac = (x - lo_) / span;
+  frac = std::clamp(frac, 0.0, 1.0);
+  size_t bin = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::BinLowerEdge(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace trajkit::stats

@@ -1,0 +1,267 @@
+#include "synthgeo/mode_profiles.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace trajkit::synthgeo {
+
+namespace {
+
+using traj::Mode;
+
+constexpr int kProfileCount = traj::kNumModes;
+
+std::array<ModeProfile, kProfileCount> BuildProfiles() {
+  std::array<ModeProfile, kProfileCount> table;
+
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kWalk)];
+    p.mode = Mode::kWalk;
+    p.cruise_mean_mps = 1.35;
+    p.cruise_sd_mps = 0.2;
+    p.speed_jitter = 0.25;
+    p.max_accel = 0.6;
+    p.max_decel = 0.9;
+    p.stop_interval_s = 120.0;
+    p.stop_duration_min_s = 3.0;
+    p.stop_duration_max_s = 45.0;
+    p.heading_sigma_deg = 14.0;
+    p.turn_interval_s = 90.0;
+    p.trip_median_s = 840.0;
+    p.trip_log_sigma = 0.55;
+    p.sampling_interval_s = 2.0;
+    p.gps_sigma_m = 3.5;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kRun)];
+    p.mode = Mode::kRun;
+    p.cruise_mean_mps = 3.0;
+    p.cruise_sd_mps = 0.4;
+    p.speed_jitter = 0.35;
+    p.max_accel = 1.0;
+    p.max_decel = 1.5;
+    p.stop_interval_s = 400.0;
+    p.stop_duration_min_s = 5.0;
+    p.stop_duration_max_s = 30.0;
+    p.heading_sigma_deg = 9.0;
+    p.turn_interval_s = 120.0;
+    p.trip_median_s = 1500.0;
+    p.trip_log_sigma = 0.4;
+    p.sampling_interval_s = 2.0;
+    p.gps_sigma_m = 3.5;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kBike)];
+    p.mode = Mode::kBike;
+    p.cruise_mean_mps = 4.2;
+    p.cruise_sd_mps = 0.65;
+    p.speed_jitter = 0.4;
+    p.max_accel = 1.0;
+    p.max_decel = 1.8;
+    p.stop_interval_s = 180.0;  // Lights and crossings.
+    p.stop_duration_min_s = 5.0;
+    p.stop_duration_max_s = 60.0;
+    p.heading_sigma_deg = 6.0;
+    p.turn_interval_s = 110.0;
+    p.trip_median_s = 1020.0;
+    p.trip_log_sigma = 0.5;
+    p.sampling_interval_s = 2.0;
+    p.gps_sigma_m = 3.5;
+    // Bikes filter through congestion: not traffic sensitive.
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kBus)];
+    p.mode = Mode::kBus;
+    p.cruise_mean_mps = 6.6;
+    p.cruise_sd_mps = 1.5;
+    p.speed_jitter = 0.8;
+    p.max_accel = 1.1;
+    p.max_decel = 1.6;
+    p.stop_interval_s = 55.0;  // Bus stops plus traffic lights.
+    p.stop_duration_min_s = 20.0;
+    p.stop_duration_max_s = 80.0;
+    p.heading_sigma_deg = 2.5;
+    p.turn_interval_s = 170.0;
+    p.trip_median_s = 1380.0;
+    p.trip_log_sigma = 0.5;
+    p.sampling_interval_s = 2.5;
+    p.gps_sigma_m = 4.5;  // Urban canyon.
+    p.traffic_sensitive = true;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kCar)];
+    p.mode = Mode::kCar;
+    p.cruise_mean_mps = 12.6;
+    p.cruise_sd_mps = 2.8;
+    p.speed_jitter = 1.0;
+    p.max_accel = 2.2;
+    p.max_decel = 2.8;
+    p.stop_interval_s = 160.0;  // Traffic lights.
+    p.stop_duration_min_s = 5.0;
+    p.stop_duration_max_s = 55.0;
+    p.heading_sigma_deg = 2.0;
+    p.turn_interval_s = 150.0;
+    p.trip_median_s = 1140.0;
+    p.trip_log_sigma = 0.55;
+    p.sampling_interval_s = 2.5;
+    p.gps_sigma_m = 4.0;
+    p.traffic_sensitive = true;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kTaxi)];
+    p.mode = Mode::kTaxi;
+    // Deliberately near-identical to car: the classes are merged as
+    // "driving" in the Dabiri label set and are genuinely confusable.
+    p.cruise_mean_mps = 12.0;
+    p.cruise_sd_mps = 2.8;
+    p.speed_jitter = 1.05;
+    p.max_accel = 2.3;
+    p.max_decel = 3.0;
+    p.stop_interval_s = 140.0;
+    p.stop_duration_min_s = 5.0;
+    p.stop_duration_max_s = 60.0;
+    p.heading_sigma_deg = 2.2;
+    p.turn_interval_s = 140.0;
+    p.trip_median_s = 1080.0;
+    p.trip_log_sigma = 0.5;
+    p.sampling_interval_s = 2.5;
+    p.gps_sigma_m = 4.0;
+    p.traffic_sensitive = true;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kMotorcycle)];
+    p.mode = Mode::kMotorcycle;
+    p.cruise_mean_mps = 9.0;
+    p.cruise_sd_mps = 2.5;
+    p.speed_jitter = 1.1;
+    p.max_accel = 2.8;
+    p.max_decel = 3.4;
+    p.stop_interval_s = 120.0;
+    p.stop_duration_min_s = 5.0;
+    p.stop_duration_max_s = 60.0;
+    p.heading_sigma_deg = 3.0;
+    p.turn_interval_s = 130.0;
+    p.trip_median_s = 900.0;
+    p.trip_log_sigma = 0.5;
+    p.sampling_interval_s = 2.5;
+    p.gps_sigma_m = 4.0;
+    p.traffic_sensitive = true;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kSubway)];
+    p.mode = Mode::kSubway;
+    p.cruise_mean_mps = 14.5;
+    p.cruise_sd_mps = 3.0;
+    p.speed_jitter = 0.6;
+    p.max_accel = 1.0;
+    p.max_decel = 1.1;
+    p.stop_interval_s = 110.0;  // Stations.
+    p.stop_duration_min_s = 20.0;
+    p.stop_duration_max_s = 50.0;
+    p.heading_sigma_deg = 0.8;
+    p.turn_interval_s = 400.0;  // Line curves.
+    p.trip_median_s = 1320.0;
+    p.trip_log_sigma = 0.45;
+    p.sampling_interval_s = 3.0;
+    p.gps_sigma_m = 12.0;  // Poor fixes near/under ground.
+    p.dropout_interval_s = 180.0;
+    p.dropout_duration_min_s = 20.0;
+    p.dropout_duration_max_s = 120.0;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kTrain)];
+    p.mode = Mode::kTrain;
+    p.cruise_mean_mps = 19.0;
+    p.cruise_sd_mps = 5.0;
+    p.speed_jitter = 0.7;
+    p.max_accel = 0.8;
+    p.max_decel = 0.9;
+    p.stop_interval_s = 300.0;  // Stations far apart.
+    p.stop_duration_min_s = 25.0;
+    p.stop_duration_max_s = 100.0;
+    p.heading_sigma_deg = 0.5;
+    p.turn_interval_s = 600.0;
+    p.trip_median_s = 2100.0;
+    p.trip_log_sigma = 0.5;
+    p.sampling_interval_s = 3.0;
+    p.gps_sigma_m = 6.0;
+    p.dropout_interval_s = 420.0;
+    p.dropout_duration_min_s = 15.0;
+    p.dropout_duration_max_s = 90.0;
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kBoat)];
+    p.mode = Mode::kBoat;
+    p.cruise_mean_mps = 5.0;
+    p.cruise_sd_mps = 1.2;
+    p.speed_jitter = 0.3;
+    p.max_accel = 0.4;
+    p.max_decel = 0.5;
+    p.heading_sigma_deg = 1.2;
+    p.trip_median_s = 1800.0;
+    p.trip_log_sigma = 0.4;
+    p.sampling_interval_s = 4.0;
+    p.gps_sigma_m = 3.0;  // Open sky.
+  }
+  {
+    ModeProfile& p = table[static_cast<int>(Mode::kAirplane)];
+    p.mode = Mode::kAirplane;
+    p.cruise_mean_mps = 190.0;
+    p.cruise_sd_mps = 35.0;
+    p.speed_jitter = 2.0;
+    p.max_accel = 3.0;
+    p.max_decel = 2.0;
+    p.heading_sigma_deg = 0.2;
+    p.trip_median_s = 4200.0;
+    p.trip_log_sigma = 0.35;
+    p.sampling_interval_s = 5.0;
+    p.gps_sigma_m = 8.0;
+    p.dropout_interval_s = 600.0;
+    p.dropout_duration_min_s = 30.0;
+    p.dropout_duration_max_s = 240.0;
+  }
+  {
+    // kUnknown: inert defaults; the simulator never draws it.
+    table[static_cast<int>(Mode::kUnknown)].mode = Mode::kUnknown;
+  }
+  return table;
+}
+
+std::array<double, kProfileCount> BuildShares() {
+  std::array<double, kProfileCount> shares{};
+  shares[static_cast<int>(Mode::kWalk)] = 0.2935;
+  shares[static_cast<int>(Mode::kBus)] = 0.2333;
+  shares[static_cast<int>(Mode::kBike)] = 0.1734;
+  shares[static_cast<int>(Mode::kTrain)] = 0.1019;
+  shares[static_cast<int>(Mode::kCar)] = 0.0940;
+  shares[static_cast<int>(Mode::kSubway)] = 0.0568;
+  shares[static_cast<int>(Mode::kTaxi)] = 0.0441;
+  shares[static_cast<int>(Mode::kAirplane)] = 0.0016;
+  shares[static_cast<int>(Mode::kBoat)] = 0.0006;
+  shares[static_cast<int>(Mode::kRun)] = 0.0003;
+  shares[static_cast<int>(Mode::kMotorcycle)] = 0.00006;
+  return shares;
+}
+
+}  // namespace
+
+const ModeProfile& GetModeProfile(traj::Mode mode) {
+  static const std::array<ModeProfile, kProfileCount>* const kTable =
+      new std::array<ModeProfile, kProfileCount>(BuildProfiles());
+  const int index = static_cast<int>(mode);
+  TRAJKIT_CHECK_GE(index, 0);
+  TRAJKIT_CHECK_LT(index, kProfileCount);
+  return (*kTable)[static_cast<size_t>(index)];
+}
+
+double GeoLifePointShare(traj::Mode mode) {
+  static const std::array<double, kProfileCount>* const kShares =
+      new std::array<double, kProfileCount>(BuildShares());
+  const int index = static_cast<int>(mode);
+  TRAJKIT_CHECK_GE(index, 0);
+  TRAJKIT_CHECK_LT(index, kProfileCount);
+  return (*kShares)[static_cast<size_t>(index)];
+}
+
+}  // namespace trajkit::synthgeo

@@ -1,0 +1,69 @@
+#ifndef TRAJKIT_SYNTHGEO_MODE_PROFILES_H_
+#define TRAJKIT_SYNTHGEO_MODE_PROFILES_H_
+
+#include "traj/types.h"
+
+namespace trajkit::synthgeo {
+
+/// Kinematic and sensing profile of one transportation mode, the knobs the
+/// trip simulator integrates. Values are calibrated to the urban-movement
+/// literature (and GeoLife's documented speed distributions) so that the
+/// class-separability structure matches the real dataset: walk is easy,
+/// car/taxi are nearly indistinguishable, bus overlaps both, subway/train
+/// overlap at the slow end, and GPS noise affects jerk/bearing channels.
+struct ModeProfile {
+  traj::Mode mode = traj::Mode::kUnknown;
+
+  /// Mean cruise speed (m/s) and its between-trip standard deviation.
+  double cruise_mean_mps = 1.0;
+  double cruise_sd_mps = 0.2;
+  /// Within-trip speed fluctuation (OU noise, m/s per √s).
+  double speed_jitter = 0.15;
+  /// Acceleration / braking envelope (m/s²).
+  double max_accel = 0.8;
+  double max_decel = 1.2;
+
+  /// Stop process: expected seconds between stop events and stop-duration
+  /// range. Zero interval disables stops (airplane, boat cruise).
+  double stop_interval_s = 0.0;
+  double stop_duration_min_s = 10.0;
+  double stop_duration_max_s = 40.0;
+
+  /// Heading behaviour: per-√s standard deviation of the heading random
+  /// walk (degrees), plus the expected seconds between discrete grid turns
+  /// (0 disables; road modes turn at intersections).
+  double heading_sigma_deg = 2.0;
+  double turn_interval_s = 0.0;
+
+  /// Trip duration (log-normal): median seconds and sigma of log.
+  double trip_median_s = 900.0;
+  double trip_log_sigma = 0.5;
+
+  /// Nominal sampling interval of the recorder in this mode (seconds).
+  double sampling_interval_s = 2.0;
+
+  /// GPS error: per-fix jitter sigma (meters, multiplied by the user's
+  /// device factor) and the expected seconds between signal-loss episodes
+  /// (0 disables; subway/train tunnels lose signal often).
+  double gps_sigma_m = 3.0;
+  double dropout_interval_s = 0.0;
+  double dropout_duration_min_s = 10.0;
+  double dropout_duration_max_s = 90.0;
+
+  /// Whether per-user road-traffic conditions scale this mode's cruise
+  /// speed (road vehicles yes; trains/boats/planes no).
+  bool traffic_sensitive = false;
+};
+
+/// The calibrated profile of a mode.
+const ModeProfile& GetModeProfile(traj::Mode mode);
+
+/// GeoLife's published share of GPS records per mode (§4 of the paper:
+/// walk 29.35%, bus 23.33%, bike 17.34%, train 10.19%, car 9.40%, subway
+/// 5.68%, taxi 4.41%, airplane 0.16%, boat 0.06%, run 0.03%,
+/// motorcycle 0.006%). Indexable by mode; kUnknown maps to 0.
+double GeoLifePointShare(traj::Mode mode);
+
+}  // namespace trajkit::synthgeo
+
+#endif  // TRAJKIT_SYNTHGEO_MODE_PROFILES_H_

@@ -1,0 +1,170 @@
+#include "synthgeo/trip_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace trajkit::synthgeo {
+
+namespace {
+
+using geo::DegToRad;
+
+double DrawTripDuration(const ModeProfile& profile, Rng& rng) {
+  const double log_median = std::log(profile.trip_median_s);
+  const double duration =
+      std::exp(rng.Gaussian(log_median, profile.trip_log_sigma));
+  return std::clamp(duration, 120.0, 4.0 * profile.trip_median_s);
+}
+
+}  // namespace
+
+SimulatedTrip SimulateTrip(const TripRequest& request,
+                           const UserProfile& user, Rng& rng) {
+  TRAJKIT_CHECK(request.mode != traj::Mode::kUnknown);
+  const ModeProfile& profile = GetModeProfile(request.mode);
+  SimulatedTrip trip;
+
+  const double duration = request.duration_s > 0.0
+                              ? request.duration_s
+                              : DrawTripDuration(profile, rng);
+
+  // Per-trip cruise speed: mode × user pace (self-powered modes feel the
+  // full pace factor; vehicles a dampened one) × local traffic.
+  const bool self_powered = request.mode == traj::Mode::kWalk ||
+                            request.mode == traj::Mode::kRun ||
+                            request.mode == traj::Mode::kBike;
+  double pace = self_powered
+                    ? user.speed_multiplier
+                    : 1.0 + 0.6 * (user.speed_multiplier - 1.0);
+  double traffic = profile.traffic_sensitive ? user.traffic_factor : 1.0;
+  double cruise =
+      rng.Gaussian(profile.cruise_mean_mps * pace * traffic,
+                   profile.cruise_sd_mps);
+  cruise = std::max(cruise, 0.15 * profile.cruise_mean_mps);
+
+  // State.
+  const geo::EnuProjector projector(request.start);
+  double east = 0.0;
+  double north = 0.0;
+  double speed = 0.0;
+  double heading = rng.Uniform(0.0, 360.0);
+  double stop_remaining = 0.0;
+  double congestion_remaining = 0.0;
+  double congestion_factor = 1.0;
+  double dropout_remaining = 0.0;
+  // Systematic GPS bias: AR(1) random walk, meters.
+  double bias_e = 0.0;
+  double bias_n = 0.0;
+  const double bias_sigma =
+      0.35 * profile.gps_sigma_m * user.device_noise_factor;
+
+  const double sampling =
+      std::max(1.0, profile.sampling_interval_s * user.sampling_factor);
+  double next_sample_in = 0.0;  // Record the very first second.
+  double true_speed_sum = 0.0;
+
+  const int steps = static_cast<int>(std::lround(duration));
+  trip.points.reserve(static_cast<size_t>(
+      std::max(2.0, duration / sampling)));
+
+  for (int t = 0; t <= steps; ++t) {
+    // --- Kinematics (dt = 1 s) ---
+    double target = cruise;
+    if (stop_remaining > 0.0) {
+      target = 0.0;
+      stop_remaining -= 1.0;
+    } else if (profile.stop_interval_s > 0.0 &&
+               rng.NextBernoulli(1.0 / profile.stop_interval_s)) {
+      stop_remaining = rng.Uniform(profile.stop_duration_min_s,
+                                   profile.stop_duration_max_s);
+      target = 0.0;
+    }
+    // Congestion crawl episodes (road modes): the vehicle moves well below
+    // cruise for a while. These compress the lower speed quantiles of
+    // every road mode unpredictably, which is why the paper finds the
+    // robust upper percentile (speed_p90 ≈ free-flow speed) to be the
+    // most informative feature.
+    if (profile.traffic_sensitive && stop_remaining <= 0.0) {
+      if (congestion_remaining > 0.0) {
+        congestion_remaining -= 1.0;
+        target *= congestion_factor;
+      } else if (rng.NextBernoulli(1.0 / 300.0)) {
+        congestion_remaining = rng.Uniform(15.0, 70.0);
+        congestion_factor = rng.Uniform(0.25, 0.60);
+        target *= congestion_factor;
+      }
+    }
+    // OU-style noisy tracking of the target inside the accel envelope.
+    double desired_delta =
+        0.35 * (target - speed) + rng.Gaussian(0.0, profile.speed_jitter);
+    desired_delta =
+        std::clamp(desired_delta, -profile.max_decel, profile.max_accel);
+    speed = std::max(0.0, speed + desired_delta);
+
+    // Heading: random walk plus occasional grid turns (only while moving).
+    if (speed > 0.3) {
+      heading += rng.Gaussian(0.0, profile.heading_sigma_deg);
+      if (profile.turn_interval_s > 0.0 &&
+          rng.NextBernoulli(1.0 / profile.turn_interval_s)) {
+        const double turns[] = {-90.0, 90.0, -90.0, 90.0, 180.0};
+        heading += turns[rng.NextBounded(std::size(turns))];
+      }
+      heading = geo::NormalizeBearingDeg(heading);
+    }
+
+    east += speed * std::sin(DegToRad(heading));
+    north += speed * std::cos(DegToRad(heading));
+    true_speed_sum += speed;
+
+    // --- Recorder ---
+    if (dropout_remaining > 0.0) {
+      dropout_remaining -= 1.0;
+    } else if (profile.dropout_interval_s > 0.0 &&
+               rng.NextBernoulli(1.0 / profile.dropout_interval_s)) {
+      dropout_remaining = rng.Uniform(profile.dropout_duration_min_s,
+                                      profile.dropout_duration_max_s);
+    }
+    next_sample_in -= 1.0;
+    const bool record = next_sample_in <= 0.0 && dropout_remaining <= 0.0;
+    if (record) {
+      next_sample_in = sampling;
+      double fix_e = east;
+      double fix_n = north;
+      if (!request.clean_gps) {
+        // Systematic bias drifts slowly; random jitter is per fix.
+        bias_e = 0.995 * bias_e + rng.Gaussian(0.0, bias_sigma * 0.1);
+        bias_n = 0.995 * bias_n + rng.Gaussian(0.0, bias_sigma * 0.1);
+        const double jitter =
+            profile.gps_sigma_m * user.device_noise_factor;
+        fix_e += bias_e + rng.Gaussian(0.0, jitter);
+        fix_n += bias_n + rng.Gaussian(0.0, jitter);
+        // Impulse glitches: multipath/ionospheric outliers that throw a
+        // single fix tens to hundreds of meters off. These corrupt the
+        // extreme-value features (max speed, max distance, std) while
+        // leaving percentiles intact — the reason §5 gives for
+        // speed_p90's robustness.
+        if (rng.NextBernoulli(0.008)) {
+          const double glitch_bearing = rng.Uniform(0.0, 2.0 * M_PI);
+          const double glitch_m = rng.Uniform(40.0, 400.0);
+          fix_e += glitch_m * std::sin(glitch_bearing);
+          fix_n += glitch_m * std::cos(glitch_bearing);
+        }
+      }
+      traj::TrajectoryPoint point;
+      point.pos = projector.Backward(fix_e, fix_n);
+      point.timestamp = request.start_time + static_cast<double>(t);
+      point.mode = request.mode;
+      trip.points.push_back(point);
+    }
+  }
+
+  trip.end_position = projector.Backward(east, north);
+  trip.end_time = request.start_time + static_cast<double>(steps);
+  trip.mean_true_speed_mps =
+      true_speed_sum / static_cast<double>(steps + 1);
+  return trip;
+}
+
+}  // namespace trajkit::synthgeo

@@ -1,0 +1,55 @@
+#ifndef TRAJKIT_SYNTHGEO_TRIP_SIMULATOR_H_
+#define TRAJKIT_SYNTHGEO_TRIP_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geodesy.h"
+#include "synthgeo/mode_profiles.h"
+#include "synthgeo/user_profile.h"
+#include "traj/types.h"
+
+namespace trajkit::synthgeo {
+
+/// Inputs of one trip simulation.
+struct TripRequest {
+  traj::Mode mode = traj::Mode::kWalk;
+  geo::LatLon start;
+  /// Seconds since epoch of the first ground-truth state.
+  double start_time = 0.0;
+  /// <= 0 draws a log-normal duration from the mode profile.
+  double duration_s = 0.0;
+  /// Disable GPS error (used by tests asserting pure kinematics).
+  bool clean_gps = false;
+};
+
+/// Output of one trip simulation.
+struct SimulatedTrip {
+  /// Recorded (noisy, possibly gappy) fixes, labelled with the trip mode.
+  std::vector<traj::TrajectoryPoint> points;
+  /// Ground-truth final state, used to chain trips within a day.
+  geo::LatLon end_position;
+  double end_time = 0.0;
+  /// Ground-truth mean moving speed (diagnostics / calibration tests).
+  double mean_true_speed_mps = 0.0;
+};
+
+/// Simulates one trip of `user` in mode `request.mode`.
+///
+/// Model: 1 Hz kinematic integration on a local tangent plane. Cruise
+/// speed is drawn per trip (mode profile × user pace × traffic), tracked
+/// by an Ornstein–Uhlenbeck-like controller bounded by the mode's
+/// acceleration envelope, interrupted by a Poisson stop process (traffic
+/// lights / stations); heading follows a random walk plus discrete
+/// intersection turns. The recorder samples every
+/// sampling_interval × user.sampling_factor seconds, suffers Poisson
+/// signal-loss episodes, and adds per-fix Gaussian jitter plus a slowly
+/// drifting systematic bias (AR(1)), both scaled by the user's device
+/// factor — the "random" and "systematic" GPS error classes discussed in
+/// §4 of the paper.
+SimulatedTrip SimulateTrip(const TripRequest& request,
+                           const UserProfile& user, Rng& rng);
+
+}  // namespace trajkit::synthgeo
+
+#endif  // TRAJKIT_SYNTHGEO_TRIP_SIMULATOR_H_

@@ -1,0 +1,47 @@
+#include "synthgeo/user_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synthgeo/mode_profiles.h"
+
+namespace trajkit::synthgeo {
+
+UserProfile SampleUserProfile(int user_id, const geo::LatLon& city_center,
+                              Rng& rng) {
+  UserProfile profile;
+  profile.user_id = user_id;
+
+  // Home: within ~12 km of the center.
+  const double bearing = rng.Uniform(0.0, 360.0);
+  const double radius_m = rng.Uniform(500.0, 12000.0);
+  profile.home = geo::Destination(city_center, bearing, radius_m);
+
+  profile.speed_multiplier =
+      std::clamp(rng.Gaussian(1.0, 0.18), 0.60, 1.50);
+  profile.traffic_factor = rng.Uniform(0.55, 1.35);
+  profile.device_noise_factor =
+      std::clamp(std::exp(rng.Gaussian(0.0, 0.60)), 0.3, 4.5);
+  const double sampling_choices[] = {0.5, 1.0, 1.0, 1.5, 2.0, 3.0};
+  profile.sampling_factor =
+      sampling_choices[rng.NextBounded(std::size(sampling_choices))];
+
+  for (traj::Mode mode : traj::AllLabeledModes()) {
+    const size_t index = static_cast<size_t>(mode);
+    double weight = GeoLifePointShare(mode);
+    // Per-user taste: log-normal perturbation. The sizeable sigma gives
+    // users visibly different mode mixes, one of the drivers of the
+    // random-vs-user-CV gap (§4.4): under user-oriented CV the test fold's
+    // class distribution is shifted against the training fold's.
+    weight *= std::exp(rng.Gaussian(0.0, 1.1));
+    // Rare modes concentrate in a minority of users.
+    const bool rare = mode == traj::Mode::kAirplane ||
+                      mode == traj::Mode::kBoat || mode == traj::Mode::kRun ||
+                      mode == traj::Mode::kMotorcycle;
+    if (rare && !rng.NextBernoulli(0.15)) weight = 0.0;
+    profile.mode_weights[index] = weight;
+  }
+  return profile;
+}
+
+}  // namespace trajkit::synthgeo

@@ -1,0 +1,45 @@
+#ifndef TRAJKIT_SYNTHGEO_USER_PROFILE_H_
+#define TRAJKIT_SYNTHGEO_USER_PROFILE_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "geo/geodesy.h"
+#include "traj/types.h"
+
+namespace trajkit::synthgeo {
+
+/// Per-user idiosyncrasies. These are the source of the user-level
+/// autocorrelation that makes random cross-validation optimistic (§4.4):
+/// samples from one user share a speed multiplier, local traffic
+/// conditions, a GPS device quality, and mode preferences, so a classifier
+/// that has seen a user in training recognizes that user's quirks at test
+/// time.
+struct UserProfile {
+  int user_id = 0;
+  /// Home location (trips start near it).
+  geo::LatLon home;
+  /// Personal pace: multiplies cruise speeds of self-powered modes and,
+  /// dampened, driving style. ~N(1, 0.18), clamped to [0.60, 1.50].
+  double speed_multiplier = 1.0;
+  /// Local congestion: multiplies road-mode cruise speeds. ~U(0.55, 1.45).
+  double traffic_factor = 1.0;
+  /// GPS receiver quality: multiplies per-fix jitter sigma. Log-normal.
+  double device_noise_factor = 1.0;
+  /// Preferred logging interval multiplier (some users log at 1 s, some at
+  /// 5 s).
+  double sampling_factor = 1.0;
+  /// Unnormalized per-mode trip weights (index = Mode enum value).
+  std::array<double, traj::kNumModes> mode_weights{};
+};
+
+/// Draws a user profile. Mode weights start from the GeoLife point shares
+/// and get a per-user log-normal perturbation; rare modes (airplane, boat,
+/// run, motorcycle) are zeroed for most users so they concentrate in a few
+/// users, as in the real dataset.
+UserProfile SampleUserProfile(int user_id, const geo::LatLon& city_center,
+                              Rng& rng);
+
+}  // namespace trajkit::synthgeo
+
+#endif  // TRAJKIT_SYNTHGEO_USER_PROFILE_H_

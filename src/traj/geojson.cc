@@ -1,0 +1,86 @@
+#include "traj/geojson.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace trajkit::traj {
+
+namespace {
+
+void AppendCoordinates(const std::vector<TrajectoryPoint>& points,
+                       int decimation, std::string& out) {
+  out += '[';
+  bool first = true;
+  const int step = std::max(1, decimation);
+  for (size_t i = 0; i < points.size();
+       i += static_cast<size_t>(step)) {
+    if (!first) out += ',';
+    first = false;
+    out += StrPrintf("[%.6f,%.6f]", points[i].pos.lon_deg,
+                     points[i].pos.lat_deg);
+  }
+  // Always keep the final point so the line reaches its true end.
+  if (!points.empty() && (points.size() - 1) % static_cast<size_t>(step)) {
+    out += StrPrintf(",[%.6f,%.6f]", points.back().pos.lon_deg,
+                     points.back().pos.lat_deg);
+  }
+  out += ']';
+}
+
+void AppendSegmentFeature(const Segment& segment,
+                          const GeoJsonOptions& options, std::string& out) {
+  out += R"({"type":"Feature","geometry":{"type":"LineString","coordinates":)";
+  AppendCoordinates(segment.points, options.decimation, out);
+  out += "},\"properties\":";
+  if (options.include_properties && !segment.points.empty()) {
+    out += StrPrintf(
+        R"({"mode":"%s","user":%d,"day":%lld,"start":%.0f,"end":%.0f,"points":%zu})",
+        std::string(ModeToString(segment.mode)).c_str(), segment.user_id,
+        static_cast<long long>(segment.day),
+        segment.points.front().timestamp, segment.points.back().timestamp,
+        segment.points.size());
+  } else {
+    out += "{}";
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string SegmentsToGeoJson(const std::vector<Segment>& segments,
+                              const GeoJsonOptions& options) {
+  std::string out = R"({"type":"FeatureCollection","features":[)";
+  bool first = true;
+  for (const Segment& segment : segments) {
+    if (segment.points.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendSegmentFeature(segment, options, out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TrajectoryToGeoJson(const Trajectory& trajectory,
+                                const GeoJsonOptions& options) {
+  Segment whole;
+  whole.user_id = trajectory.user_id;
+  whole.points = trajectory.points;
+  whole.mode = Mode::kUnknown;
+  if (!trajectory.points.empty()) {
+    whole.day = DayIndex(trajectory.points.front().timestamp);
+  }
+  std::vector<Segment> segments;
+  segments.push_back(std::move(whole));
+  return SegmentsToGeoJson(segments, options);
+}
+
+Status WriteSegmentsGeoJson(const std::vector<Segment>& segments,
+                            const std::string& path,
+                            const GeoJsonOptions& options) {
+  return WriteStringToFile(path, SegmentsToGeoJson(segments, options));
+}
+
+}  // namespace trajkit::traj

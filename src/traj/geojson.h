@@ -1,0 +1,38 @@
+#ifndef TRAJKIT_TRAJ_GEOJSON_H_
+#define TRAJKIT_TRAJ_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// Options of the GeoJSON exporter.
+struct GeoJsonOptions {
+  /// Keep every Nth point (1 = all); GeoJSON viewers choke on 10⁶ points.
+  int decimation = 1;
+  /// Emit timestamps/mode properties per feature.
+  bool include_properties = true;
+};
+
+/// Serializes segments as a GeoJSON FeatureCollection — one LineString per
+/// segment with mode / user / timing properties — directly viewable on
+/// geojson.io or in QGIS. Handy for eyeballing synthetic corpora against
+/// real traces.
+std::string SegmentsToGeoJson(const std::vector<Segment>& segments,
+                              const GeoJsonOptions& options = {});
+
+/// Serializes one raw trajectory (single LineString feature).
+std::string TrajectoryToGeoJson(const Trajectory& trajectory,
+                                const GeoJsonOptions& options = {});
+
+/// Writes GeoJSON text for the segments to a file.
+Status WriteSegmentsGeoJson(const std::vector<Segment>& segments,
+                            const std::string& path,
+                            const GeoJsonOptions& options = {});
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_GEOJSON_H_

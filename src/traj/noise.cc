@@ -1,0 +1,109 @@
+#include "traj/noise.h"
+
+#include <algorithm>
+
+#include "geo/geodesy.h"
+
+namespace trajkit::traj {
+
+namespace {
+
+double MedianOfWindow(std::vector<double>& scratch) {
+  std::sort(scratch.begin(), scratch.end());
+  return scratch[scratch.size() / 2];
+}
+
+}  // namespace
+
+NoiseRemovalStats RemoveNoise(Segment& segment,
+                              const NoiseRemovalOptions& options) {
+  NoiseRemovalStats stats;
+  stats.points_in = segment.points.size();
+  if (segment.points.size() < 3) {
+    stats.points_out = segment.points.size();
+    return stats;
+  }
+
+  // Pass 1: drop speed-outlier points (GPS glitches). Each candidate is
+  // checked against the last *kept* point so runs of glitches all go.
+  if (options.max_speed_mps > 0.0 && segment.mode != Mode::kAirplane) {
+    std::vector<TrajectoryPoint> kept;
+    kept.reserve(segment.points.size());
+    for (const TrajectoryPoint& p : segment.points) {
+      if (kept.empty()) {
+        kept.push_back(p);
+        continue;
+      }
+      const TrajectoryPoint& prev = kept.back();
+      const double dt = std::max(p.timestamp - prev.timestamp, 0.1);
+      const double v = geo::HaversineMeters(prev.pos, p.pos) / dt;
+      if (v <= options.max_speed_mps) {
+        kept.push_back(p);
+      } else {
+        ++stats.outliers_removed;
+      }
+    }
+    const double removed_fraction =
+        static_cast<double>(stats.outliers_removed) /
+        static_cast<double>(segment.points.size());
+    if (removed_fraction <= options.max_outlier_fraction) {
+      segment.points = std::move(kept);
+    } else {
+      stats.outliers_removed = 0;  // Pass rejected; segment left unchanged.
+    }
+  }
+
+  // Pass 2: rolling median of latitude and longitude (window centered,
+  // shrunk at the edges).
+  if (options.median_window >= 3 && segment.points.size() >= 3) {
+    const int half = options.median_window / 2;
+    const int n = static_cast<int>(segment.points.size());
+    std::vector<double> lat_out(static_cast<size_t>(n));
+    std::vector<double> lon_out(static_cast<size_t>(n));
+    std::vector<double> scratch;
+    for (int i = 0; i < n; ++i) {
+      const int lo = std::max(0, i - half);
+      const int hi = std::min(n - 1, i + half);
+      scratch.clear();
+      for (int j = lo; j <= hi; ++j) {
+        scratch.push_back(segment.points[static_cast<size_t>(j)].pos.lat_deg);
+      }
+      lat_out[static_cast<size_t>(i)] = MedianOfWindow(scratch);
+      scratch.clear();
+      for (int j = lo; j <= hi; ++j) {
+        scratch.push_back(segment.points[static_cast<size_t>(j)].pos.lon_deg);
+      }
+      lon_out[static_cast<size_t>(i)] = MedianOfWindow(scratch);
+    }
+    for (int i = 0; i < n; ++i) {
+      segment.points[static_cast<size_t>(i)].pos.lat_deg =
+          lat_out[static_cast<size_t>(i)];
+      segment.points[static_cast<size_t>(i)].pos.lon_deg =
+          lon_out[static_cast<size_t>(i)];
+    }
+  }
+
+  stats.points_out = segment.points.size();
+  return stats;
+}
+
+NoiseRemovalStats RemoveNoiseFromCorpus(std::vector<Segment>& segments,
+                                        const NoiseRemovalOptions& options,
+                                        int min_points) {
+  NoiseRemovalStats total;
+  std::vector<Segment> kept;
+  kept.reserve(segments.size());
+  for (Segment& s : segments) {
+    const NoiseRemovalStats one = RemoveNoise(s, options);
+    total.points_in += one.points_in;
+    total.outliers_removed += one.outliers_removed;
+    if (static_cast<int>(s.points.size()) >= min_points) {
+      total.points_out += s.points.size();
+      kept.push_back(std::move(s));
+    }
+  }
+  segments = std::move(kept);
+  return total;
+}
+
+}  // namespace trajkit::traj

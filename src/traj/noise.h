@@ -1,0 +1,46 @@
+#ifndef TRAJKIT_TRAJ_NOISE_H_
+#define TRAJKIT_TRAJ_NOISE_H_
+
+#include <vector>
+
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// Controls the optional noise-removal step (step 6 of the framework; the
+/// procedure follows the authors' earlier paper [5]: outlier-point removal
+/// followed by positional median smoothing).
+struct NoiseRemovalOptions {
+  /// Points implying an instantaneous speed above this bound (m/s) are
+  /// treated as GPS glitches and dropped. 300 km/h ≈ faster than any
+  /// labelled ground mode; airplane segments are exempted.
+  double max_speed_mps = 83.0;
+  /// Odd window width of the positional rolling-median filter; 1 disables
+  /// smoothing.
+  int median_window = 3;
+  /// Maximum fraction of points the outlier pass may remove before the
+  /// segment is deemed unusable (returned unchanged).
+  double max_outlier_fraction = 0.5;
+};
+
+/// Result counters from a noise-removal pass.
+struct NoiseRemovalStats {
+  size_t points_in = 0;
+  size_t outliers_removed = 0;
+  size_t points_out = 0;
+};
+
+/// Removes speed outliers and median-smooths positions of one segment,
+/// in place. Timestamps and labels are preserved for the surviving points.
+NoiseRemovalStats RemoveNoise(Segment& segment,
+                              const NoiseRemovalOptions& options = {});
+
+/// Applies RemoveNoise to every segment; segments that fall below
+/// `min_points` afterwards are dropped.
+NoiseRemovalStats RemoveNoiseFromCorpus(
+    std::vector<Segment>& segments, const NoiseRemovalOptions& options = {},
+    int min_points = 10);
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_NOISE_H_

@@ -1,0 +1,94 @@
+#include "traj/point_features.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "geo/geodesy.h"
+
+namespace trajkit::traj {
+
+PointFeatures ComputePointFeatures(std::span<const TrajectoryPoint> points,
+                                   const PointFeatureOptions& options) {
+  TRAJKIT_CHECK_GE(points.size(), 2u);
+  const size_t n = points.size();
+  PointFeatures f;
+  f.duration.resize(n);
+  f.distance.resize(n);
+  f.speed.resize(n);
+  f.acceleration.resize(n);
+  f.jerk.resize(n);
+  f.bearing.resize(n);
+  f.bearing_rate.resize(n);
+  f.bearing_rate_rate.resize(n);
+
+  // First pass: duration, distance, speed, bearing (need one predecessor).
+  for (size_t i = 1; i < n; ++i) {
+    double dt = points[i].timestamp - points[i - 1].timestamp;
+    if (dt < options.min_duration_seconds) dt = options.min_duration_seconds;
+    f.duration[i] = dt;
+    f.distance[i] = geo::HaversineMeters(points[i - 1].pos, points[i].pos);
+    f.speed[i] = f.distance[i] / dt;
+    f.bearing[i] = geo::InitialBearingDeg(points[i - 1].pos, points[i].pos);
+  }
+  f.duration[0] = f.duration[1];
+  f.distance[0] = f.distance[1];
+  f.speed[0] = f.speed[1];
+  f.bearing[0] = f.bearing[1];
+
+  // Second pass: acceleration and bearing rate (need two predecessors).
+  for (size_t i = 1; i < n; ++i) {
+    const double dt = f.duration[i];
+    f.acceleration[i] = (f.speed[i] - f.speed[i - 1]) / dt;
+    const double db =
+        options.wrap_bearing_difference
+            ? geo::BearingDifferenceDeg(f.bearing[i - 1], f.bearing[i])
+            : f.bearing[i] - f.bearing[i - 1];
+    f.bearing_rate[i] = db / dt;
+  }
+  f.acceleration[0] = f.acceleration[1];
+  f.bearing_rate[0] = f.bearing_rate[1];
+
+  // Third pass: jerk and the rate of the bearing rate.
+  for (size_t i = 1; i < n; ++i) {
+    const double dt = f.duration[i];
+    f.jerk[i] = (f.acceleration[i] - f.acceleration[i - 1]) / dt;
+    f.bearing_rate_rate[i] = (f.bearing_rate[i] - f.bearing_rate[i - 1]) / dt;
+  }
+  f.jerk[0] = f.jerk[1];
+  f.bearing_rate_rate[0] = f.bearing_rate_rate[1];
+
+  return f;
+}
+
+std::span<const std::string_view> ChannelNames() {
+  static constexpr std::array<std::string_view, kNumFeatureChannels> kNames = {
+      "distance", "speed",        "acceleration",     "jerk",
+      "bearing",  "bearing_rate", "bearing_rate_rate"};
+  return kNames;
+}
+
+const std::vector<double>& ChannelValues(const PointFeatures& features,
+                                         int channel) {
+  switch (channel) {
+    case 0:
+      return features.distance;
+    case 1:
+      return features.speed;
+    case 2:
+      return features.acceleration;
+    case 3:
+      return features.jerk;
+    case 4:
+      return features.bearing;
+    case 5:
+      return features.bearing_rate;
+    case 6:
+      return features.bearing_rate_rate;
+    default:
+      break;
+  }
+  TRAJKIT_CHECK(false) << "channel index out of range:" << channel;
+  return features.speed;  // Unreachable.
+}
+
+}  // namespace trajkit::traj

@@ -1,0 +1,57 @@
+#include "traj/resample.h"
+
+#include <cmath>
+
+namespace trajkit::traj {
+
+Result<std::vector<TrajectoryPoint>> ResampleUniform(
+    std::span<const TrajectoryPoint> points,
+    const ResampleOptions& options) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points to resample");
+  }
+  if (options.interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  std::vector<TrajectoryPoint> out;
+  out.reserve(points.size());
+
+  double grid_time = points.front().timestamp;
+  out.push_back(points.front());
+  size_t segment = 0;  // Interval [segment, segment + 1).
+
+  while (true) {
+    const double next_time = grid_time + options.interval_seconds;
+    // Advance to the source interval containing next_time.
+    while (segment + 1 < points.size() &&
+           points[segment + 1].timestamp < next_time) {
+      ++segment;
+    }
+    if (segment + 1 >= points.size()) break;
+
+    const TrajectoryPoint& a = points[segment];
+    const TrajectoryPoint& b = points[segment + 1];
+    const double gap = b.timestamp - a.timestamp;
+    if (options.max_gap_seconds > 0.0 && gap > options.max_gap_seconds) {
+      // Do not interpolate across the gap: restart the grid at b.
+      out.push_back(b);
+      grid_time = b.timestamp;
+      ++segment;
+      if (segment + 1 >= points.size()) break;
+      continue;
+    }
+    const double t = gap > 0.0 ? (next_time - a.timestamp) / gap : 0.0;
+    TrajectoryPoint p;
+    p.timestamp = next_time;
+    p.pos.lat_deg = a.pos.lat_deg + t * (b.pos.lat_deg - a.pos.lat_deg);
+    p.pos.lon_deg = a.pos.lon_deg + t * (b.pos.lon_deg - a.pos.lon_deg);
+    // Mode of the earlier source point; a grid point landing exactly on
+    // the later fix takes that fix's mode.
+    p.mode = next_time >= b.timestamp ? b.mode : a.mode;
+    out.push_back(p);
+    grid_time = next_time;
+  }
+  return out;
+}
+
+}  // namespace trajkit::traj

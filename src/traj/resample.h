@@ -1,0 +1,34 @@
+#ifndef TRAJKIT_TRAJ_RESAMPLE_H_
+#define TRAJKIT_TRAJ_RESAMPLE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// Options of the uniform resampler.
+struct ResampleOptions {
+  /// Output sampling interval in seconds.
+  double interval_seconds = 2.0;
+  /// Gaps longer than this are not interpolated across; the output keeps
+  /// the discontinuity (a fresh sampling grid starts after the gap).
+  /// <= 0 interpolates across every gap.
+  double max_gap_seconds = 60.0;
+};
+
+/// Resamples a time-ordered fix sequence onto a uniform time grid with
+/// linear interpolation of latitude/longitude. Real GeoLife recorders log
+/// at irregular 1–5 s intervals; several compared methods (fixed-window
+/// segmentation, sequence models) want a uniform rate. A resampled point
+/// takes the mode of the earlier source point. Returns InvalidArgument
+/// for fewer than 2 points or a non-positive interval.
+Result<std::vector<TrajectoryPoint>> ResampleUniform(
+    std::span<const TrajectoryPoint> points,
+    const ResampleOptions& options = {});
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_RESAMPLE_H_

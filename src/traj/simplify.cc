@@ -1,0 +1,73 @@
+#include "traj/simplify.h"
+
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace trajkit::traj {
+
+namespace {
+
+// Perpendicular distance from p to the chord a→b, all in planar meters.
+double PerpendicularDistance(double px, double py, double ax, double ay,
+                             double bx, double by) {
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq <= 0.0) return std::hypot(px - ax, py - ay);
+  // Distance to the infinite line (Douglas–Peucker convention).
+  return std::fabs(dy * px - dx * py + bx * ay - by * ax) /
+         std::sqrt(len_sq);
+}
+
+void Recurse(const std::vector<double>& xs, const std::vector<double>& ys,
+             size_t begin, size_t end, double epsilon,
+             std::vector<bool>& keep) {
+  if (end <= begin + 1) return;
+  double worst = -1.0;
+  size_t worst_index = begin;
+  for (size_t i = begin + 1; i < end; ++i) {
+    const double d = PerpendicularDistance(xs[i], ys[i], xs[begin],
+                                           ys[begin], xs[end], ys[end]);
+    if (d > worst) {
+      worst = d;
+      worst_index = i;
+    }
+  }
+  if (worst > epsilon) {
+    keep[worst_index] = true;
+    Recurse(xs, ys, begin, worst_index, epsilon, keep);
+    Recurse(xs, ys, worst_index, end, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<TrajectoryPoint> SimplifyDouglasPeucker(
+    std::span<const TrajectoryPoint> points, double epsilon_m) {
+  if (points.size() <= 2 || epsilon_m <= 0.0) {
+    return std::vector<TrajectoryPoint>(points.begin(), points.end());
+  }
+  const geo::EnuProjector projector(points.front().pos);
+  std::vector<double> xs(points.size());
+  std::vector<double> ys(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    projector.Forward(points[i].pos, &xs[i], &ys[i]);
+  }
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  Recurse(xs, ys, 0, points.size() - 1, epsilon_m, keep);
+
+  std::vector<TrajectoryPoint> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+void SimplifySegment(Segment& segment, double epsilon_m) {
+  segment.points = SimplifyDouglasPeucker(segment.points, epsilon_m);
+}
+
+}  // namespace trajkit::traj

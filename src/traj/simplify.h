@@ -1,0 +1,26 @@
+#ifndef TRAJKIT_TRAJ_SIMPLIFY_H_
+#define TRAJKIT_TRAJ_SIMPLIFY_H_
+
+#include <span>
+#include <vector>
+
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// Douglas–Peucker polyline simplification with a metric tolerance:
+/// returns the subsequence of `points` whose piecewise-linear path stays
+/// within `epsilon_m` meters of the original everywhere. Endpoints are
+/// always kept; input order is preserved. Distances are computed on a
+/// local tangent plane anchored at the first point (city-scale accurate).
+/// Useful for storage/display; feature extraction should use the raw
+/// fixes.
+std::vector<TrajectoryPoint> SimplifyDouglasPeucker(
+    std::span<const TrajectoryPoint> points, double epsilon_m);
+
+/// In-place convenience over a Segment's points.
+void SimplifySegment(Segment& segment, double epsilon_m);
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_SIMPLIFY_H_

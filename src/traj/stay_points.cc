@@ -1,0 +1,86 @@
+#include "traj/stay_points.h"
+
+#include <array>
+
+namespace trajkit::traj {
+
+std::vector<StayPoint> DetectStayPoints(
+    std::span<const TrajectoryPoint> points,
+    const StayPointOptions& options) {
+  std::vector<StayPoint> stays;
+  const size_t n = points.size();
+  size_t i = 0;
+  while (i < n) {
+    // Grow the candidate run anchored at i while fixes stay within the
+    // distance threshold of the anchor.
+    size_t j = i + 1;
+    while (j < n && geo::HaversineMeters(points[i].pos, points[j].pos) <=
+                        options.distance_threshold_m) {
+      ++j;
+    }
+    // Run is [i, j); check the dwell time.
+    const double dwell =
+        points[j - 1].timestamp - points[i].timestamp;
+    if (j > i + 1 && dwell >= options.time_threshold_s) {
+      StayPoint stay;
+      double lat = 0.0;
+      double lon = 0.0;
+      for (size_t k = i; k < j; ++k) {
+        lat += points[k].pos.lat_deg;
+        lon += points[k].pos.lon_deg;
+      }
+      const double count = static_cast<double>(j - i);
+      stay.centroid = geo::LatLon{lat / count, lon / count};
+      stay.arrival_time = points[i].timestamp;
+      stay.departure_time = points[j - 1].timestamp;
+      stay.first_index = i;
+      stay.last_index = j - 1;
+      stays.push_back(stay);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+std::vector<Segment> SplitByStayPoints(const Trajectory& trajectory,
+                                       const StayPointOptions& options,
+                                       int min_points) {
+  const std::vector<StayPoint> stays =
+      DetectStayPoints(trajectory.points, options);
+  std::vector<Segment> episodes;
+
+  auto emit = [&](size_t begin, size_t end) {
+    // Movement episode [begin, end); label with the majority mode.
+    if (end <= begin ||
+        end - begin < static_cast<size_t>(min_points)) {
+      return;
+    }
+    Segment segment;
+    segment.user_id = trajectory.user_id;
+    segment.points.assign(trajectory.points.begin() + static_cast<long>(begin),
+                          trajectory.points.begin() + static_cast<long>(end));
+    segment.day = DayIndex(segment.points.front().timestamp);
+    std::array<size_t, kNumModes> counts{};
+    for (const TrajectoryPoint& p : segment.points) {
+      ++counts[static_cast<size_t>(p.mode)];
+    }
+    size_t best = 0;
+    for (size_t m = 1; m < counts.size(); ++m) {
+      if (counts[m] > counts[best]) best = m;
+    }
+    segment.mode = static_cast<Mode>(best);
+    episodes.push_back(std::move(segment));
+  };
+
+  size_t cursor = 0;
+  for (const StayPoint& stay : stays) {
+    emit(cursor, stay.first_index);
+    cursor = stay.last_index + 1;
+  }
+  emit(cursor, trajectory.points.size());
+  return episodes;
+}
+
+}  // namespace trajkit::traj

@@ -1,0 +1,51 @@
+#ifndef TRAJKIT_TRAJ_STAY_POINTS_H_
+#define TRAJKIT_TRAJ_STAY_POINTS_H_
+
+#include <span>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// Parameters of the classic stay-point detector (Li et al. / Zheng et
+/// al., the GeoLife companion papers [29, 30]): a stay point is a maximal
+/// run of fixes that remain within `distance_threshold_m` of the run's
+/// anchor for at least `time_threshold_s`.
+struct StayPointOptions {
+  double distance_threshold_m = 200.0;
+  double time_threshold_s = 20.0 * 60.0;
+};
+
+/// One detected stay.
+struct StayPoint {
+  /// Mean position of the contributing fixes.
+  geo::LatLon centroid;
+  double arrival_time = 0.0;
+  double departure_time = 0.0;
+  /// Index range [first_index, last_index] into the input sequence.
+  size_t first_index = 0;
+  size_t last_index = 0;
+
+  double DurationSeconds() const { return departure_time - arrival_time; }
+};
+
+/// Runs the stay-point detector over a time-ordered fix sequence. Useful
+/// both as a trip/activity splitter (stays separate trips) and as a
+/// semantic signal (home/work/station discovery).
+std::vector<StayPoint> DetectStayPoints(
+    std::span<const TrajectoryPoint> points,
+    const StayPointOptions& options = {});
+
+/// Splits a trajectory into the movement episodes between detected stays
+/// (each episode is returned as a Segment with mode = the majority mode of
+/// its points; episodes shorter than `min_points` are dropped). An
+/// annotation-free alternative to mode-boundary segmentation.
+std::vector<Segment> SplitByStayPoints(const Trajectory& trajectory,
+                                       const StayPointOptions& options = {},
+                                       int min_points = 10);
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_STAY_POINTS_H_

@@ -1,0 +1,69 @@
+#ifndef TRAJKIT_TRAJ_TRAJECTORY_FEATURES_H_
+#define TRAJKIT_TRAJ_TRAJECTORY_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/point_features.h"
+#include "traj/types.h"
+
+namespace trajkit::traj {
+
+/// The ten per-channel statistics of §3.2: five global trajectory features
+/// (min, max, mean, median, standard deviation) and five local trajectory
+/// features (percentiles 10, 25, 50, 75, 90).
+enum class Statistic : int {
+  kMin = 0,
+  kMax,
+  kMean,
+  kMedian,
+  kStdDev,
+  kP10,
+  kP25,
+  kP50,
+  kP75,
+  kP90,
+};
+
+/// Number of statistics per channel.
+inline constexpr int kNumStatistics = 10;
+
+/// 7 channels × 10 statistics = the paper's 70 trajectory features.
+inline constexpr int kNumTrajectoryFeatures =
+    kNumFeatureChannels * kNumStatistics;
+
+/// Short suffix of a statistic ("min", "p90", ...).
+std::string_view StatisticToString(Statistic stat);
+
+/// Extracts the 70-dimensional trajectory-feature vector of a segment.
+class TrajectoryFeatureExtractor {
+ public:
+  explicit TrajectoryFeatureExtractor(PointFeatureOptions options = {})
+      : options_(options) {}
+
+  /// All 70 feature names, index-aligned with Extract()'s output. Name
+  /// format: "<channel>_<stat>" (e.g. "speed_p90" — the paper's F^speed_p90).
+  static const std::vector<std::string>& FeatureNames();
+
+  /// Index of a named feature, or error if unknown.
+  static Result<int> FeatureIndex(std::string_view name);
+
+  /// Feature index of (channel, statistic).
+  static int IndexOf(int channel, Statistic stat);
+
+  /// Computes the 70 features for one segment.
+  /// Returns InvalidArgument when the segment has fewer than 2 points.
+  Result<std::vector<double>> Extract(const Segment& segment) const;
+
+  /// Computes features from already-computed point features.
+  std::vector<double> ExtractFromPointFeatures(
+      const PointFeatures& features) const;
+
+ private:
+  PointFeatureOptions options_;
+};
+
+}  // namespace trajkit::traj
+
+#endif  // TRAJKIT_TRAJ_TRAJECTORY_FEATURES_H_

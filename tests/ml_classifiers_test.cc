@@ -1,0 +1,581 @@
+// Unit and property tests for the six classifier families.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/factory.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_svm.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace trajkit::ml {
+namespace {
+
+// Gaussian blobs: `per_class` points around distinct centers.
+Dataset MakeBlobs(int num_classes, int per_class, double spread,
+                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int c = 0; c < num_classes; ++c) {
+    const double cx = 4.0 * c;
+    const double cy = 2.5 * ((c % 2 == 0) ? c : -c);
+    for (int i = 0; i < per_class; ++i) {
+      rows.push_back({rng.Gaussian(cx, spread), rng.Gaussian(cy, spread)});
+      labels.push_back(c);
+    }
+  }
+  std::vector<std::string> class_names;
+  for (int c = 0; c < num_classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  return std::move(Dataset::Create(Matrix::FromRows(rows), std::move(labels),
+                                   {}, {"x", "y"}, std::move(class_names)))
+      .value();
+}
+
+// XOR: not linearly separable; trees/MLP must get it, linear SVM cannot.
+Dataset MakeXor(int per_quadrant, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int q = 0; q < 4; ++q) {
+    const double sx = (q & 1) ? 1.0 : -1.0;
+    const double sy = (q & 2) ? 1.0 : -1.0;
+    for (int i = 0; i < per_quadrant; ++i) {
+      rows.push_back(
+          {sx * rng.Uniform(0.5, 2.0), sy * rng.Uniform(0.5, 2.0)});
+      labels.push_back(sx * sy > 0 ? 1 : 0);
+    }
+  }
+  return std::move(Dataset::Create(Matrix::FromRows(rows), std::move(labels),
+                                   {}, {"x", "y"}, {"neg", "pos"}))
+      .value();
+}
+
+double TrainAccuracy(Classifier& model, const Dataset& ds) {
+  EXPECT_TRUE(model.Fit(ds).ok());
+  return Accuracy(ds.labels(), model.Predict(ds.features()));
+}
+
+// ---------------------------------------------------------- DecisionTree --
+
+TEST(DecisionTreeTest, FitsSeparableBlobsPerfectly) {
+  const Dataset ds = MakeBlobs(3, 40, 0.3, 1);
+  DecisionTree tree;
+  EXPECT_DOUBLE_EQ(TrainAccuracy(tree, ds), 1.0);
+  EXPECT_TRUE(tree.fitted());
+  EXPECT_GT(tree.NodeCount(), 1u);
+}
+
+TEST(DecisionTreeTest, SolvesXor) {
+  const Dataset ds = MakeXor(50, 2);
+  DecisionTree tree;
+  EXPECT_DOUBLE_EQ(TrainAccuracy(tree, ds), 1.0);
+}
+
+TEST(DecisionTreeTest, SingleClassGivesSingleLeaf) {
+  auto ds = Dataset::Create(Matrix::FromRows({{1.0}, {2.0}, {3.0}}),
+                            {0, 0, 0}, {}, {}, {"only"});
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(ds.value()).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.Depth(), 0);
+  const auto pred = tree.Predict(ds->features());
+  EXPECT_EQ(pred, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  const Dataset ds = MakeBlobs(4, 50, 1.5, 3);
+  DecisionTreeParams params;
+  params.max_depth = 2;
+  DecisionTree tree(params);
+  ASSERT_TRUE(tree.Fit(ds).ok());
+  EXPECT_LE(tree.Depth(), 2);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  const Dataset ds = MakeBlobs(2, 50, 1.0, 4);
+  DecisionTreeParams params;
+  params.min_samples_leaf = 20;
+  DecisionTree tree(params);
+  ASSERT_TRUE(tree.Fit(ds).ok());
+  // With 100 samples and leaves >= 20, at most 5 leaves; tree stays small.
+  EXPECT_LE(tree.NodeCount(), 2 * 5 - 1 + 2u);
+}
+
+TEST(DecisionTreeTest, EntropyCriterionAlsoWorks) {
+  const Dataset ds = MakeBlobs(3, 30, 0.4, 5);
+  DecisionTreeParams params;
+  params.criterion = SplitCriterion::kEntropy;
+  DecisionTree tree(params);
+  EXPECT_DOUBLE_EQ(TrainAccuracy(tree, ds), 1.0);
+}
+
+TEST(DecisionTreeTest, RejectsEmptyDataset) {
+  Dataset empty;
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit(empty).ok());
+}
+
+TEST(DecisionTreeTest, WeightsShiftTheDecision) {
+  // Overlapping region where class 0 dominates by count; upweighting
+  // class 1 samples flips the prediction there.
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({0.5});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({0.5});
+    labels.push_back(1);
+  }
+  auto ds = Dataset::Create(Matrix::FromRows(rows), std::move(labels), {},
+                            {}, {"a", "b"});
+  DecisionTree unweighted;
+  ASSERT_TRUE(unweighted.Fit(ds.value()).ok());
+  EXPECT_EQ(unweighted.Predict(ds->features())[0], 0);
+
+  std::vector<double> weights(40, 1.0);
+  for (size_t i = 30; i < 40; ++i) weights[i] = 10.0;
+  DecisionTree weighted;
+  ASSERT_TRUE(weighted.FitWeighted(ds.value(), weights).ok());
+  EXPECT_EQ(weighted.Predict(ds->features())[0], 1);
+}
+
+TEST(DecisionTreeTest, RejectsBadWeights) {
+  const Dataset ds = MakeBlobs(2, 10, 0.3, 6);
+  DecisionTree tree;
+  EXPECT_FALSE(tree.FitWeighted(ds, std::vector<double>{1.0}).ok());
+  std::vector<double> negative(ds.num_samples(), 1.0);
+  negative[0] = -1.0;
+  EXPECT_FALSE(tree.FitWeighted(ds, negative).ok());
+  const std::vector<double> zeros(ds.num_samples(), 0.0);
+  EXPECT_FALSE(tree.FitWeighted(ds, zeros).ok());
+}
+
+TEST(DecisionTreeTest, ImportancesSumToOneAndFavorInformativeFeature) {
+  // Feature 0 decides the label; feature 1 is noise.
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int y = static_cast<int>(rng.NextBounded(2));
+    rows.push_back({static_cast<double>(y) + rng.Gaussian(0.0, 0.1),
+                    rng.Gaussian(0.0, 1.0)});
+    labels.push_back(y);
+  }
+  auto ds = Dataset::Create(Matrix::FromRows(rows), std::move(labels), {},
+                            {"signal", "noise"}, {"a", "b"});
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(ds.value()).ok());
+  const auto& imp = tree.FeatureImportances();
+  EXPECT_NEAR(std::accumulate(imp.begin(), imp.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.8);
+}
+
+TEST(DecisionTreeTest, DeterministicAcrossFits) {
+  const Dataset ds = MakeBlobs(3, 60, 1.2, 8);
+  DecisionTreeParams params;
+  params.max_features = 1;  // Random subsetting active.
+  params.seed = 99;
+  DecisionTree t1(params);
+  DecisionTree t2(params);
+  ASSERT_TRUE(t1.Fit(ds).ok());
+  ASSERT_TRUE(t2.Fit(ds).ok());
+  EXPECT_EQ(t1.Predict(ds.features()), t2.Predict(ds.features()));
+}
+
+TEST(DecisionTreeTest, PredictProbaRowsSumToOne) {
+  const Dataset ds = MakeBlobs(3, 30, 1.0, 9);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(ds).ok());
+  const auto probs = tree.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) sum += probs->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DecisionTreeTest, CloneIsUnfittedWithSameParams) {
+  const Dataset ds = MakeBlobs(2, 20, 0.3, 10);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(ds).ok());
+  auto clone = tree.Clone();
+  EXPECT_EQ(clone->name(), "decision_tree");
+  ASSERT_TRUE(clone->Fit(ds).ok());
+  EXPECT_EQ(clone->Predict(ds.features()), tree.Predict(ds.features()));
+}
+
+// ---------------------------------------------------------- RandomForest --
+
+TEST(RandomForestTest, FitsBlobs) {
+  const Dataset ds = MakeBlobs(3, 40, 0.5, 11);
+  RandomForestParams params;
+  params.n_estimators = 20;
+  RandomForest forest(params);
+  EXPECT_GE(TrainAccuracy(forest, ds), 0.99);
+  EXPECT_EQ(forest.NumTrees(), 20u);
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  // Noisy overlapping blobs; compare held-out accuracy.
+  const Dataset train = MakeBlobs(3, 80, 2.4, 12);
+  const Dataset test = MakeBlobs(3, 80, 2.4, 13);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  RandomForestParams params;
+  params.n_estimators = 40;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const double tree_acc =
+      Accuracy(test.labels(), tree.Predict(test.features()));
+  const double forest_acc =
+      Accuracy(test.labels(), forest.Predict(test.features()));
+  EXPECT_GE(forest_acc + 1e-9, tree_acc);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  const Dataset ds = MakeBlobs(3, 50, 1.5, 14);
+  RandomForestParams params;
+  params.n_estimators = 10;
+  params.seed = 123;
+  RandomForest f1(params);
+  RandomForest f2(params);
+  ASSERT_TRUE(f1.Fit(ds).ok());
+  ASSERT_TRUE(f2.Fit(ds).ok());
+  EXPECT_EQ(f1.Predict(ds.features()), f2.Predict(ds.features()));
+}
+
+TEST(RandomForestTest, ImportancesNormalizedAndRankInformative) {
+  Rng rng(15);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int y = static_cast<int>(rng.NextBounded(2));
+    rows.push_back({rng.Gaussian(0.0, 1.0),
+                    static_cast<double>(y) + rng.Gaussian(0.0, 0.15),
+                    rng.Gaussian(0.0, 1.0)});
+    labels.push_back(y);
+  }
+  auto ds = Dataset::Create(Matrix::FromRows(rows), std::move(labels), {},
+                            {"n1", "signal", "n2"}, {"a", "b"});
+  RandomForestParams params;
+  params.n_estimators = 25;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(ds.value()).ok());
+  const auto& imp = forest.FeatureImportances();
+  EXPECT_NEAR(std::accumulate(imp.begin(), imp.end(), 0.0), 1.0, 1e-9);
+  const auto ranking = forest.ImportanceRanking();
+  EXPECT_EQ(ranking[0], 1);  // "signal" first.
+}
+
+TEST(RandomForestTest, ProbaAveragesTrees) {
+  const Dataset ds = MakeBlobs(2, 40, 0.8, 16);
+  RandomForestParams params;
+  params.n_estimators = 15;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(ds).ok());
+  const auto probs = forest.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) {
+      sum += probs->At(r, c);
+      EXPECT_GE(probs->At(r, c), 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForestTest, InvalidParamsRejected) {
+  const Dataset ds = MakeBlobs(2, 10, 0.5, 17);
+  RandomForestParams params;
+  params.n_estimators = 0;
+  RandomForest forest(params);
+  EXPECT_FALSE(forest.Fit(ds).ok());
+}
+
+// -------------------------------------------------------------- AdaBoost --
+
+TEST(AdaBoostTest, BoostsStumpsBeyondSingleStump) {
+  const Dataset ds = MakeXor(60, 18);
+  DecisionTreeParams stump_params;
+  stump_params.max_depth = 1;
+  DecisionTree stump(stump_params);
+  ASSERT_TRUE(stump.Fit(ds).ok());
+  const double stump_acc =
+      Accuracy(ds.labels(), stump.Predict(ds.features()));
+
+  AdaBoostParams params;
+  params.n_estimators = 60;
+  params.base_max_depth = 2;
+  AdaBoost boost(params);
+  const double boost_acc = TrainAccuracy(boost, ds);
+  EXPECT_GT(boost_acc, stump_acc + 0.2);
+}
+
+TEST(AdaBoostTest, StopsEarlyOnPerfectLearner) {
+  const Dataset ds = MakeBlobs(2, 30, 0.2, 19);
+  AdaBoostParams params;
+  params.n_estimators = 50;
+  params.base_max_depth = 4;  // Deep enough to be perfect in one round.
+  AdaBoost boost(params);
+  ASSERT_TRUE(boost.Fit(ds).ok());
+  EXPECT_EQ(boost.NumRounds(), 1u);
+  EXPECT_DOUBLE_EQ(
+      Accuracy(ds.labels(), boost.Predict(ds.features())), 1.0);
+}
+
+TEST(AdaBoostTest, MultiClassSamme) {
+  const Dataset ds = MakeBlobs(4, 40, 0.8, 20);
+  AdaBoostParams params;
+  params.n_estimators = 40;
+  params.base_max_depth = 2;
+  AdaBoost boost(params);
+  EXPECT_GE(TrainAccuracy(boost, ds), 0.9);
+}
+
+TEST(AdaBoostTest, Deterministic) {
+  const Dataset ds = MakeBlobs(3, 40, 1.0, 21);
+  AdaBoostParams params;
+  params.seed = 5;
+  AdaBoost b1(params);
+  AdaBoost b2(params);
+  ASSERT_TRUE(b1.Fit(ds).ok());
+  ASSERT_TRUE(b2.Fit(ds).ok());
+  EXPECT_EQ(b1.Predict(ds.features()), b2.Predict(ds.features()));
+}
+
+// ------------------------------------------------------ GradientBoosting --
+
+TEST(GradientBoostingTest, FitsBlobs) {
+  const Dataset ds = MakeBlobs(3, 40, 0.6, 22);
+  GradientBoostingParams params;
+  params.n_rounds = 25;
+  GradientBoosting gbdt(params);
+  EXPECT_GE(TrainAccuracy(gbdt, ds), 0.98);
+  EXPECT_EQ(gbdt.NumTreesTotal(), 25 * 3);
+}
+
+TEST(GradientBoostingTest, SolvesXor) {
+  const Dataset ds = MakeXor(50, 23);
+  GradientBoostingParams params;
+  params.n_rounds = 30;
+  GradientBoosting gbdt(params);
+  EXPECT_GE(TrainAccuracy(gbdt, ds), 0.98);
+}
+
+TEST(GradientBoostingTest, ProbaRowsSumToOne) {
+  const Dataset ds = MakeBlobs(3, 30, 1.0, 24);
+  GradientBoostingParams params;
+  params.n_rounds = 10;
+  GradientBoosting gbdt(params);
+  ASSERT_TRUE(gbdt.Fit(ds).ok());
+  const auto probs = gbdt.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) sum += probs->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GradientBoostingTest, MoreRoundsReduceTrainError) {
+  const Dataset ds = MakeBlobs(3, 60, 2.2, 25);
+  GradientBoostingParams small;
+  small.n_rounds = 3;
+  GradientBoostingParams large = small;
+  large.n_rounds = 40;
+  GradientBoosting g_small(small);
+  GradientBoosting g_large(large);
+  const double acc_small = TrainAccuracy(g_small, ds);
+  const double acc_large = TrainAccuracy(g_large, ds);
+  EXPECT_GE(acc_large + 1e-9, acc_small);
+}
+
+TEST(GradientBoostingTest, DeterministicGivenSeed) {
+  const Dataset ds = MakeBlobs(3, 40, 1.4, 26);
+  GradientBoostingParams params;
+  params.seed = 77;
+  GradientBoosting g1(params);
+  GradientBoosting g2(params);
+  ASSERT_TRUE(g1.Fit(ds).ok());
+  ASSERT_TRUE(g2.Fit(ds).ok());
+  EXPECT_EQ(g1.Predict(ds.features()), g2.Predict(ds.features()));
+}
+
+TEST(GradientBoostingTest, ImportancesNormalized) {
+  const Dataset ds = MakeBlobs(2, 50, 0.8, 27);
+  GradientBoostingParams params;
+  params.n_rounds = 10;
+  GradientBoosting gbdt(params);
+  ASSERT_TRUE(gbdt.Fit(ds).ok());
+  const auto& imp = gbdt.FeatureImportances();
+  EXPECT_NEAR(std::accumulate(imp.begin(), imp.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(GradientBoostingTest, InvalidParamsRejected) {
+  const Dataset ds = MakeBlobs(2, 10, 0.5, 28);
+  GradientBoostingParams params;
+  params.subsample = 0.0;
+  GradientBoosting gbdt(params);
+  EXPECT_FALSE(gbdt.Fit(ds).ok());
+}
+
+// ------------------------------------------------------------- LinearSvm --
+
+TEST(LinearSvmTest, SeparatesLinearBlobs) {
+  const Dataset ds = MakeBlobs(2, 60, 0.4, 29);
+  LinearSvmParams params;
+  params.epochs = 40;
+  LinearSvm svm(params);
+  EXPECT_GE(TrainAccuracy(svm, ds), 0.97);
+}
+
+TEST(LinearSvmTest, MultiClassOneVsRest) {
+  const Dataset ds = MakeBlobs(4, 50, 0.4, 30);
+  LinearSvmParams params;
+  params.epochs = 60;
+  params.lambda = 1e-4;  // The default is tuned for the noisy mode task.
+  LinearSvm svm(params);
+  EXPECT_GE(TrainAccuracy(svm, ds), 0.9);
+}
+
+TEST(LinearSvmTest, CannotSolveXor) {
+  const Dataset ds = MakeXor(80, 31);
+  LinearSvm svm;
+  const double acc = TrainAccuracy(svm, ds);
+  EXPECT_LT(acc, 0.75);  // Linear model ~ chance on XOR.
+}
+
+TEST(LinearSvmTest, DecisionFunctionSizeMatchesClasses) {
+  const Dataset ds = MakeBlobs(3, 20, 0.5, 32);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(ds).ok());
+  EXPECT_EQ(svm.DecisionFunction(ds.features().Row(0)).size(), 3u);
+}
+
+TEST(LinearSvmTest, Deterministic) {
+  const Dataset ds = MakeBlobs(2, 40, 0.6, 33);
+  LinearSvmParams params;
+  params.seed = 3;
+  LinearSvm s1(params);
+  LinearSvm s2(params);
+  ASSERT_TRUE(s1.Fit(ds).ok());
+  ASSERT_TRUE(s2.Fit(ds).ok());
+  EXPECT_EQ(s1.Predict(ds.features()), s2.Predict(ds.features()));
+}
+
+// ------------------------------------------------------------------- MLP --
+
+TEST(MlpTest, SolvesXor) {
+  const Dataset ds = MakeXor(60, 34);
+  MlpParams params;
+  params.hidden_sizes = {16};
+  params.epochs = 200;
+  Mlp mlp(params);
+  EXPECT_GE(TrainAccuracy(mlp, ds), 0.95);
+}
+
+TEST(MlpTest, MultiClassBlobs) {
+  const Dataset ds = MakeBlobs(3, 50, 0.5, 35);
+  MlpParams params;
+  params.hidden_sizes = {32};
+  params.epochs = 120;
+  Mlp mlp(params);
+  EXPECT_GE(TrainAccuracy(mlp, ds), 0.95);
+}
+
+TEST(MlpTest, ProbaRowsSumToOne) {
+  const Dataset ds = MakeBlobs(3, 20, 0.8, 36);
+  MlpParams params;
+  params.epochs = 20;
+  Mlp mlp(params);
+  ASSERT_TRUE(mlp.Fit(ds).ok());
+  const auto probs = mlp.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) sum += probs->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MlpTest, Deterministic) {
+  const Dataset ds = MakeBlobs(2, 30, 0.7, 37);
+  MlpParams params;
+  params.epochs = 30;
+  params.seed = 11;
+  Mlp m1(params);
+  Mlp m2(params);
+  ASSERT_TRUE(m1.Fit(ds).ok());
+  ASSERT_TRUE(m2.Fit(ds).ok());
+  EXPECT_EQ(m1.Predict(ds.features()), m2.Predict(ds.features()));
+}
+
+TEST(MlpTest, InvalidParamsRejected) {
+  const Dataset ds = MakeBlobs(2, 10, 0.5, 38);
+  MlpParams params;
+  params.hidden_sizes = {0};
+  Mlp mlp(params);
+  EXPECT_FALSE(mlp.Fit(ds).ok());
+}
+
+// --------------------------------------------------------------- Factory --
+
+TEST(FactoryTest, BuildsAllSixFamilies) {
+  ASSERT_EQ(AllClassifierNames().size(), 6u);
+  const Dataset ds = MakeBlobs(2, 25, 0.4, 39);
+  for (const std::string& name : AllClassifierNames()) {
+    FactoryOptions options;
+    options.scale = 0.2;  // Fast variants for the test.
+    auto model = MakeClassifier(name, options);
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ(model.value()->name(), name);
+    ASSERT_TRUE(model.value()->Fit(ds).ok()) << name;
+    const double acc =
+        Accuracy(ds.labels(), model.value()->Predict(ds.features()));
+    EXPECT_GT(acc, 0.8) << name;
+  }
+}
+
+TEST(FactoryTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeClassifier("quantum_annealer").ok());
+}
+
+// Property suite: every family clones deterministically.
+class ClonePropertyTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(ClonePropertyTest, CloneRefitsIdentically) {
+  const Dataset ds = MakeBlobs(3, 30, 1.0, 40);
+  FactoryOptions options;
+  options.scale = 0.2;
+  options.seed = 17;
+  auto model = MakeClassifier(GetParam(), options);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value()->Fit(ds).ok());
+  auto clone = model.value()->Clone();
+  ASSERT_TRUE(clone->Fit(ds).ok());
+  EXPECT_EQ(clone->Predict(ds.features()),
+            model.value()->Predict(ds.features()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ClonePropertyTest,
+                         testing::Values("decision_tree", "random_forest",
+                                         "xgboost", "adaboost", "svm",
+                                         "neural_network"));
+
+}  // namespace
+}  // namespace trajkit::ml

@@ -1,0 +1,304 @@
+// Tests for the library extensions in ml/: filter-based feature selection,
+// k-NN, logistic regression, and dataset CSV persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "ml/dataset_io.h"
+#include "ml/factory.h"
+#include "ml/filter_selection.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace trajkit::ml {
+namespace {
+
+// Feature 0 is strongly informative, 2 moderately, the rest noise.
+Dataset MakeProblem(int n, uint64_t seed, int classes = 3) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    const int y = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(classes)));
+    std::vector<double> row(6);
+    for (auto& v : row) v = rng.Gaussian(0.0, 1.0);
+    row[0] += 2.5 * y;
+    row[2] += 1.0 * (y == 1);
+    rows.push_back(std::move(row));
+    labels.push_back(y);
+  }
+  std::vector<std::string> class_names;
+  for (int c = 0; c < classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  return std::move(Dataset::Create(Matrix::FromRows(rows),
+                                   std::move(labels), {}, {},
+                                   std::move(class_names)))
+      .value();
+}
+
+// -------------------------------------------------------------- Filters --
+
+TEST(FilterSelectionTest, MutualInformationRanksSignalFirst) {
+  const Dataset ds = MakeProblem(600, 1);
+  const auto scores = MutualInformationScores(ds, 8);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 6u);
+  EXPECT_EQ((*scores)[0].feature_index, 0);
+  EXPECT_GT((*scores)[0].score, (*scores)[5].score);
+  // Scores are sorted descending.
+  for (size_t i = 1; i < scores->size(); ++i) {
+    EXPECT_GE((*scores)[i - 1].score, (*scores)[i].score);
+  }
+}
+
+TEST(FilterSelectionTest, ChiSquareRanksSignalFirst) {
+  const Dataset ds = MakeProblem(600, 2);
+  const auto scores = ChiSquareScores(ds, 8);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ((*scores)[0].feature_index, 0);
+}
+
+TEST(FilterSelectionTest, AnovaFRanksSignalFirst) {
+  const Dataset ds = MakeProblem(600, 3);
+  const auto scores = AnovaFScores(ds);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ((*scores)[0].feature_index, 0);
+  EXPECT_GT((*scores)[0].score, 10.0);  // Strong class separation.
+}
+
+TEST(FilterSelectionTest, ConstantFeatureScoresZeroMi) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int y = static_cast<int>(rng.NextBounded(2));
+    rows.push_back({7.0, static_cast<double>(y)});
+    labels.push_back(y);
+  }
+  auto ds = Dataset::Create(Matrix::FromRows(rows), std::move(labels), {},
+                            {}, {"a", "b"});
+  const auto scores = MutualInformationScores(ds.value(), 4);
+  ASSERT_TRUE(scores.ok());
+  // The constant feature (index 0) must rank last with ~zero MI.
+  EXPECT_EQ((*scores)[1].feature_index, 0);
+  EXPECT_NEAR((*scores)[1].score, 0.0, 1e-9);
+  // The label-copy feature carries ~H(Y) = log 2 nats.
+  EXPECT_NEAR((*scores)[0].score, std::log(2.0), 0.05);
+}
+
+TEST(FilterSelectionTest, InvalidInputsRejected) {
+  Dataset empty;
+  EXPECT_FALSE(MutualInformationScores(empty, 8).ok());
+  const Dataset ds = MakeProblem(50, 5);
+  EXPECT_FALSE(MutualInformationScores(ds, 1).ok());
+  EXPECT_FALSE(ChiSquareScores(ds, 0).ok());
+}
+
+TEST(FilterSelectionTest, AnovaNeedsTwoClasses) {
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({rng.NextDouble()});
+    labels.push_back(0);
+  }
+  auto ds = Dataset::Create(Matrix::FromRows(rows), std::move(labels), {},
+                            {}, {"only", "ghost"});
+  EXPECT_FALSE(AnovaFScores(ds.value()).ok());
+}
+
+TEST(FilterSelectionTest, RankingFromScoresPreservesOrder) {
+  const std::vector<FeatureScore> scores = {{3, 0.9}, {1, 0.5}, {0, 0.1}};
+  EXPECT_EQ(RankingFromScores(scores), (std::vector<int>{3, 1, 0}));
+}
+
+TEST(FilterSelectionTest, FiltersAgreeOnStrongSignal) {
+  const Dataset ds = MakeProblem(800, 7);
+  const int mi = MutualInformationScores(ds, 8)->front().feature_index;
+  const int chi2 = ChiSquareScores(ds, 8)->front().feature_index;
+  const int anova = AnovaFScores(ds)->front().feature_index;
+  EXPECT_EQ(mi, 0);
+  EXPECT_EQ(chi2, 0);
+  EXPECT_EQ(anova, 0);
+}
+
+// ------------------------------------------------------------------ KNN --
+
+TEST(KnnTest, ClassifiesBlobs) {
+  const Dataset train = MakeProblem(300, 8);
+  const Dataset test = MakeProblem(100, 9);
+  Knn knn;
+  ASSERT_TRUE(knn.Fit(train).ok());
+  const double acc = Accuracy(test.labels(), knn.Predict(test.features()));
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(KnnTest, KOneMemorizesTraining) {
+  const Dataset ds = MakeProblem(150, 10);
+  KnnParams params;
+  params.k = 1;
+  Knn knn(params);
+  ASSERT_TRUE(knn.Fit(ds).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(ds.labels(), knn.Predict(ds.features())), 1.0);
+}
+
+TEST(KnnTest, DistanceWeightingWorks) {
+  const Dataset ds = MakeProblem(200, 11);
+  KnnParams params;
+  params.k = 15;
+  params.distance_weighted = true;
+  Knn knn(params);
+  ASSERT_TRUE(knn.Fit(ds).ok());
+  EXPECT_GT(Accuracy(ds.labels(), knn.Predict(ds.features())), 0.85);
+}
+
+TEST(KnnTest, ProbaSumsToOne) {
+  const Dataset ds = MakeProblem(120, 12);
+  Knn knn;
+  ASSERT_TRUE(knn.Fit(ds).ok());
+  const auto probs = knn.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) sum += probs->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(KnnTest, InvalidParamsRejected) {
+  const Dataset ds = MakeProblem(20, 13);
+  KnnParams params;
+  params.k = 0;
+  Knn knn(params);
+  EXPECT_FALSE(knn.Fit(ds).ok());
+  Dataset empty;
+  Knn knn2;
+  EXPECT_FALSE(knn2.Fit(empty).ok());
+}
+
+// ---------------------------------------------------- LogisticRegression --
+
+TEST(LogisticRegressionTest, SeparatesLinearProblem) {
+  const Dataset train = MakeProblem(400, 14);
+  const Dataset test = MakeProblem(150, 15);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(test.labels(), model.Predict(test.features())), 0.8);
+}
+
+TEST(LogisticRegressionTest, ProbaCalibratedOnSeparableData) {
+  const Dataset ds = MakeProblem(300, 16);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds).ok());
+  const auto probs = model.PredictProba(ds.features());
+  ASSERT_TRUE(probs.ok());
+  double mean_true_prob = 0.0;
+  for (size_t r = 0; r < probs->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < probs->cols(); ++c) sum += probs->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    mean_true_prob +=
+        probs->At(r, static_cast<size_t>(ds.labels()[r])) /
+        static_cast<double>(probs->rows());
+  }
+  EXPECT_GT(mean_true_prob, 0.6);
+}
+
+TEST(LogisticRegressionTest, Deterministic) {
+  const Dataset ds = MakeProblem(150, 17);
+  LogisticRegression a;
+  LogisticRegression b;
+  ASSERT_TRUE(a.Fit(ds).ok());
+  ASSERT_TRUE(b.Fit(ds).ok());
+  EXPECT_EQ(a.Predict(ds.features()), b.Predict(ds.features()));
+}
+
+TEST(LogisticRegressionTest, InvalidParamsRejected) {
+  const Dataset ds = MakeProblem(20, 18);
+  LogisticRegressionParams params;
+  params.epochs = 0;
+  LogisticRegression model(params);
+  EXPECT_FALSE(model.Fit(ds).ok());
+}
+
+// -------------------------------------------------------------- Factory --
+
+TEST(ExtendedFactoryTest, BuildsEightFamilies) {
+  EXPECT_EQ(ExtendedClassifierNames().size(), 8u);
+  const Dataset ds = MakeProblem(80, 19, 2);
+  for (const std::string& name : ExtendedClassifierNames()) {
+    auto model = MakeClassifier(name, {.seed = 1, .scale = 0.2});
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_TRUE(model.value()->Fit(ds).ok()) << name;
+  }
+}
+
+// ------------------------------------------------------------ DatasetIo --
+
+TEST(DatasetIoTest, CsvRoundTripPreservesEverything) {
+  Rng rng(20);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 3.0), rng.NextDouble(), -1.5e-7});
+    labels.push_back(static_cast<int>(rng.NextBounded(3)));
+    groups.push_back(static_cast<int>(rng.NextBounded(5)));
+  }
+  const Dataset original =
+      std::move(Dataset::Create(Matrix::FromRows(rows), labels, groups,
+                                {"alpha", "beta", "gamma"},
+                                {"x", "y", "z"}))
+          .value();
+  const std::string csv = DatasetToCsv(original);
+  const auto restored = DatasetFromCsv(csv, {"x", "y", "z"});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_samples(), original.num_samples());
+  EXPECT_EQ(restored->feature_names(), original.feature_names());
+  EXPECT_EQ(restored->labels(), original.labels());
+  EXPECT_EQ(restored->groups(), original.groups());
+  EXPECT_EQ(restored->class_names(), original.class_names());
+  for (size_t r = 0; r < original.num_samples(); ++r) {
+    for (size_t c = 0; c < original.num_features(); ++c) {
+      EXPECT_DOUBLE_EQ(restored->features()(r, c),
+                       original.features()(r, c));
+    }
+  }
+}
+
+TEST(DatasetIoTest, SynthesizesClassNamesWhenOmitted) {
+  auto ds = Dataset::Create(Matrix::FromRows({{1.0}, {2.0}}), {0, 2}, {},
+                            {"f"}, {"a", "b", "c"});
+  const auto restored = DatasetFromCsv(DatasetToCsv(ds.value()));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_classes(), 3);
+  EXPECT_EQ(restored->class_names()[2], "class2");
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const std::string path =
+      testing::TempDir() + "/trajkit_dataset_io/ds.csv";
+  auto ds = Dataset::Create(Matrix::FromRows({{1.5, 2.5}}), {0}, {7},
+                            {"a", "b"}, {"only"});
+  ASSERT_TRUE(SaveDatasetCsv(ds.value(), path).ok());
+  const auto restored = LoadDatasetCsv(path, {"only"});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->groups()[0], 7);
+  EXPECT_DOUBLE_EQ(restored->features()(0, 1), 2.5);
+}
+
+TEST(DatasetIoTest, RejectsMissingColumns) {
+  EXPECT_FALSE(DatasetFromCsv("a,b\n1,2\n").ok());
+  EXPECT_FALSE(DatasetFromCsv("a,__label,__group\n").ok());  // No rows.
+  EXPECT_FALSE(
+      DatasetFromCsv("a,__label,__group\nnot_a_number,0,0\n").ok());
+}
+
+}  // namespace
+}  // namespace trajkit::ml

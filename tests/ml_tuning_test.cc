@@ -1,0 +1,181 @@
+// Tests for grid search and the chance-corrected metrics.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/grid_search.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace trajkit::ml {
+namespace {
+
+Dataset NoisyBlobs(int per_class, double spread, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      rows.push_back({rng.Gaussian(2.0 * c, spread),
+                      rng.Gaussian(c == 1 ? 2.0 : 0.0, spread)});
+      labels.push_back(c);
+    }
+  }
+  return std::move(Dataset::Create(Matrix::FromRows(rows),
+                                   std::move(labels), {}, {},
+                                   {"a", "b", "c"}))
+      .value();
+}
+
+// ------------------------------------------------------------ ExpandGrid --
+
+TEST(ExpandGridTest, CartesianProduct) {
+  const ParamGrid grid = {{"a", {1.0, 2.0}}, {"b", {10.0, 20.0, 30.0}}};
+  const auto points = ExpandGrid(grid);
+  ASSERT_EQ(points.size(), 6u);
+  for (const ParamPoint& p : points) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_TRUE(p.count("a") && p.count("b"));
+  }
+  // All combinations distinct.
+  std::set<std::pair<double, double>> seen;
+  for (const ParamPoint& p : points) {
+    EXPECT_TRUE(seen.insert({p.at("a"), p.at("b")}).second);
+  }
+}
+
+TEST(ExpandGridTest, SingleAxis) {
+  const auto points = ExpandGrid({{"k", {1.0, 3.0, 5.0}}});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[1].at("k"), 3.0);
+}
+
+// ------------------------------------------------------------ GridSearch --
+
+ModelBuilder TreeBuilder() {
+  return [](const ParamPoint& point) -> std::unique_ptr<Classifier> {
+    DecisionTreeParams params;
+    params.max_depth = static_cast<int>(point.at("max_depth"));
+    if (point.count("min_samples_leaf")) {
+      params.min_samples_leaf =
+          static_cast<int>(point.at("min_samples_leaf"));
+    }
+    return std::make_unique<DecisionTree>(params);
+  };
+}
+
+TEST(GridSearchTest, FindsBetterDepthOnNoisyData) {
+  // Very noisy blobs: depth-1 underfits, unbounded depth overfits; an
+  // intermediate depth should win under CV.
+  const Dataset ds = NoisyBlobs(120, 1.8, 1);
+  Rng rng(2);
+  const auto folds = KFold(ds.num_samples(), 4, rng);
+  const ParamGrid grid = {{"max_depth", {1.0, 4.0, 64.0}}};
+  const auto result = GridSearch(TreeBuilder(), grid, ds, folds);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->entries.size(), 3u);
+  // Sorted descending.
+  EXPECT_GE(result->entries[0].mean_accuracy,
+            result->entries[2].mean_accuracy);
+  // Depth 1 cannot separate three classes on two features: never best.
+  EXPECT_NE(result->best().params.at("max_depth"), 1.0);
+}
+
+TEST(GridSearchTest, TwoAxesAllEvaluated) {
+  const Dataset ds = NoisyBlobs(40, 0.8, 3);
+  Rng rng(4);
+  const auto folds = KFold(ds.num_samples(), 3, rng);
+  const ParamGrid grid = {{"max_depth", {2.0, 6.0}},
+                          {"min_samples_leaf", {1.0, 8.0}}};
+  const auto result = GridSearch(TreeBuilder(), grid, ds, folds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries.size(), 4u);
+  for (const auto& entry : result->entries) {
+    EXPECT_GT(entry.mean_accuracy, 0.3);
+    EXPECT_GE(entry.std_accuracy, 0.0);
+  }
+}
+
+TEST(GridSearchTest, InvalidInputsRejected) {
+  const Dataset ds = NoisyBlobs(20, 0.5, 5);
+  Rng rng(6);
+  const auto folds = KFold(ds.num_samples(), 3, rng);
+  EXPECT_FALSE(GridSearch(TreeBuilder(), {}, ds, folds).ok());
+  EXPECT_FALSE(
+      GridSearch(TreeBuilder(), {{"max_depth", {}}}, ds, folds).ok());
+  EXPECT_FALSE(GridSearch(TreeBuilder(), {{"max_depth", {2.0}}}, ds, {})
+                   .ok());
+  const ModelBuilder null_builder = [](const ParamPoint&) {
+    return std::unique_ptr<Classifier>();
+  };
+  EXPECT_FALSE(
+      GridSearch(null_builder, {{"max_depth", {2.0}}}, ds, folds).ok());
+}
+
+TEST(GridSearchTest, DeterministicGivenFolds) {
+  const Dataset ds = NoisyBlobs(60, 1.0, 7);
+  Rng rng1(8);
+  Rng rng2(8);
+  const auto folds1 = KFold(ds.num_samples(), 3, rng1);
+  const auto folds2 = KFold(ds.num_samples(), 3, rng2);
+  const ParamGrid grid = {{"max_depth", {2.0, 5.0}}};
+  const auto r1 = GridSearch(TreeBuilder(), grid, ds, folds1);
+  const auto r2 = GridSearch(TreeBuilder(), grid, ds, folds2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 0; i < r1->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->entries[i].mean_accuracy,
+                     r2->entries[i].mean_accuracy);
+  }
+}
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  const std::vector<int> y = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(CohensKappa(y, y, 3), 1.0);
+}
+
+TEST(KappaTest, MajorityGuessingScoresZero) {
+  // Always predicting the majority class: kappa = 0 regardless of the
+  // class share.
+  std::vector<int> y_true;
+  for (int i = 0; i < 90; ++i) y_true.push_back(0);
+  for (int i = 0; i < 10; ++i) y_true.push_back(1);
+  const std::vector<int> y_pred(100, 0);
+  EXPECT_NEAR(CohensKappa(y_true, y_pred, 2), 0.0, 1e-12);
+  // Plain accuracy is fooled (0.9), balanced accuracy is not (0.5).
+  EXPECT_NEAR(Accuracy(y_true, y_pred), 0.9, 1e-12);
+  EXPECT_NEAR(BalancedAccuracy(y_true, y_pred, 2), 0.5, 1e-12);
+}
+
+TEST(KappaTest, KnownValue) {
+  // sklearn.metrics.cohen_kappa_score([0,0,1,1],[0,0,1,0]) = 0.5
+  const std::vector<int> y_true = {0, 0, 1, 1};
+  const std::vector<int> y_pred = {0, 0, 1, 0};
+  EXPECT_NEAR(CohensKappa(y_true, y_pred, 2), 0.5, 1e-12);
+}
+
+TEST(KappaTest, WorseThanChanceIsNegative) {
+  const std::vector<int> y_true = {0, 1, 0, 1};
+  const std::vector<int> y_pred = {1, 0, 1, 0};
+  EXPECT_LT(CohensKappa(y_true, y_pred, 2), 0.0);
+}
+
+TEST(BalancedAccuracyTest, MeanOfPerClassRecall) {
+  // Class 0: recall 1.0 (2/2); class 1: recall 0.5 (1/2).
+  const std::vector<int> y_true = {0, 0, 1, 1};
+  const std::vector<int> y_pred = {0, 0, 1, 0};
+  EXPECT_NEAR(BalancedAccuracy(y_true, y_pred, 2), 0.75, 1e-12);
+}
+
+TEST(BalancedAccuracyTest, IgnoresEmptyClasses) {
+  const std::vector<int> y_true = {0, 0, 1, 1};
+  const std::vector<int> y_pred = {0, 0, 1, 1};
+  // Class 2 never appears: balanced accuracy over populated classes = 1.
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(y_true, y_pred, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace trajkit::ml

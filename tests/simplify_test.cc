@@ -1,0 +1,138 @@
+// Tests for Douglas–Peucker trajectory simplification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/geodesy.h"
+#include "traj/simplify.h"
+#include "traj/types.h"
+
+namespace trajkit::traj {
+namespace {
+
+std::vector<TrajectoryPoint> Line(int n, double step_m,
+                                  double bearing = 0.0) {
+  std::vector<TrajectoryPoint> points;
+  geo::LatLon pos{39.9, 116.4};
+  for (int i = 0; i < n; ++i) {
+    points.push_back({pos, i * 2.0, Mode::kWalk});
+    pos = geo::Destination(pos, bearing, step_m);
+  }
+  return points;
+}
+
+TEST(SimplifyTest, CollinearPointsCollapseToEndpoints) {
+  const auto points = Line(100, 10.0);
+  const auto simplified = SimplifyDouglasPeucker(points, 5.0);
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_DOUBLE_EQ(simplified.front().timestamp,
+                   points.front().timestamp);
+  EXPECT_DOUBLE_EQ(simplified.back().timestamp, points.back().timestamp);
+}
+
+TEST(SimplifyTest, CornerIsKept) {
+  // L-shape: north 500 m, then east 500 m.
+  auto points = Line(50, 10.0, 0.0);
+  geo::LatLon corner = points.back().pos;
+  for (int i = 1; i <= 50; ++i) {
+    points.push_back({geo::Destination(corner, 90.0, i * 10.0),
+                      100.0 + i * 2.0, Mode::kWalk});
+  }
+  const auto simplified = SimplifyDouglasPeucker(points, 5.0);
+  ASSERT_EQ(simplified.size(), 3u);
+  // The middle kept point is the corner.
+  EXPECT_LT(geo::HaversineMeters(simplified[1].pos, corner), 15.0);
+}
+
+TEST(SimplifyTest, ErrorBoundRespected) {
+  // A noisy path: the simplified polyline must stay within epsilon of
+  // every original point.
+  Rng rng(3);
+  std::vector<TrajectoryPoint> points;
+  geo::LatLon pos{39.9, 116.4};
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(
+        {geo::Destination(pos, rng.Uniform(0.0, 360.0),
+                          rng.Uniform(0.0, 8.0)),
+         i * 2.0, Mode::kBike});
+    pos = geo::Destination(pos, 30.0, 12.0);
+  }
+  const double epsilon = 20.0;
+  const auto simplified = SimplifyDouglasPeucker(points, epsilon);
+  EXPECT_LT(simplified.size(), points.size());
+
+  // Check each original point against the nearest simplified chord using
+  // the planar frame of the simplifier.
+  const geo::EnuProjector projector(points.front().pos);
+  auto planar = [&](const geo::LatLon& p) {
+    double e;
+    double n;
+    projector.Forward(p, &e, &n);
+    return std::pair<double, double>(e, n);
+  };
+  for (const TrajectoryPoint& p : points) {
+    const auto [px, py] = planar(p.pos);
+    double best = 1e300;
+    for (size_t s = 0; s + 1 < simplified.size(); ++s) {
+      const auto [ax, ay] = planar(simplified[s].pos);
+      const auto [bx, by] = planar(simplified[s + 1].pos);
+      // Distance to segment (clamped projection).
+      const double dx = bx - ax;
+      const double dy = by - ay;
+      const double len_sq = dx * dx + dy * dy;
+      double t = len_sq > 0.0
+                     ? ((px - ax) * dx + (py - ay) * dy) / len_sq
+                     : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      best = std::min(best, std::hypot(px - (ax + t * dx),
+                                       py - (ay + t * dy)));
+    }
+    // Infinite-line DP guarantees epsilon to lines; segment distance adds
+    // a small slack at sharp turns.
+    EXPECT_LT(best, epsilon * 1.6);
+  }
+}
+
+TEST(SimplifyTest, SmallInputsReturnedVerbatim) {
+  const auto two = Line(2, 10.0);
+  EXPECT_EQ(SimplifyDouglasPeucker(two, 5.0).size(), 2u);
+  const auto one = Line(1, 10.0);
+  EXPECT_EQ(SimplifyDouglasPeucker(one, 5.0).size(), 1u);
+  EXPECT_TRUE(SimplifyDouglasPeucker({}, 5.0).empty());
+}
+
+TEST(SimplifyTest, NonPositiveEpsilonKeepsEverything) {
+  const auto points = Line(30, 10.0);
+  EXPECT_EQ(SimplifyDouglasPeucker(points, 0.0).size(), 30u);
+  EXPECT_EQ(SimplifyDouglasPeucker(points, -1.0).size(), 30u);
+}
+
+TEST(SimplifyTest, SmallerEpsilonKeepsMorePoints) {
+  Rng rng(5);
+  std::vector<TrajectoryPoint> points;
+  geo::LatLon pos{39.9, 116.4};
+  for (int i = 0; i < 150; ++i) {
+    points.push_back({pos, i * 2.0, Mode::kCar});
+    pos = geo::Destination(pos, rng.Gaussian(45.0, 25.0), 15.0);
+  }
+  const auto coarse = SimplifyDouglasPeucker(points, 100.0);
+  const auto fine = SimplifyDouglasPeucker(points, 5.0);
+  EXPECT_LT(coarse.size(), fine.size());
+  EXPECT_LE(fine.size(), points.size());
+}
+
+TEST(SimplifyTest, SegmentWrapperPreservesMetadata) {
+  Segment segment;
+  segment.user_id = 8;
+  segment.mode = Mode::kBus;
+  segment.points = Line(50, 10.0);
+  SimplifySegment(segment, 5.0);
+  EXPECT_EQ(segment.points.size(), 2u);
+  EXPECT_EQ(segment.user_id, 8);
+  EXPECT_EQ(segment.mode, Mode::kBus);
+}
+
+}  // namespace
+}  // namespace trajkit::traj

@@ -1,0 +1,190 @@
+// Unit and property tests for src/stats descriptive statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace trajkit::stats {
+namespace {
+
+TEST(DescriptiveTest, MinMaxMean) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.75);
+}
+
+TEST(DescriptiveTest, SingleElement) {
+  const std::vector<double> v = {5.0};
+  EXPECT_DOUBLE_EQ(Min(v), 5.0);
+  EXPECT_DOUBLE_EQ(Max(v), 5.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(Median(v), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 5.0);
+}
+
+TEST(DescriptiveTest, VarianceAndStdDevPopulation) {
+  // numpy: np.var([1,2,3,4]) = 1.25, np.std = 1.1180...
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_NEAR(StdDev(v), 1.118033988749895, 1e-12);
+}
+
+TEST(DescriptiveTest, SampleStdDev) {
+  // np.std([1,2,3,4], ddof=1) = 1.2909944...
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(SampleStdDev(v), 1.2909944487358056, 1e-12);
+}
+
+TEST(DescriptiveTest, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(DescriptiveTest, PercentileMatchesNumpyLinearInterpolation) {
+  // np.percentile([1,2,3,4], [10,25,50,75,90])
+  //   = [1.3, 1.75, 2.5, 3.25, 3.7]
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Percentile(v, 10.0), 1.3, 1e-12);
+  EXPECT_NEAR(Percentile(v, 25.0), 1.75, 1e-12);
+  EXPECT_NEAR(Percentile(v, 50.0), 2.5, 1e-12);
+  EXPECT_NEAR(Percentile(v, 75.0), 3.25, 1e-12);
+  EXPECT_NEAR(Percentile(v, 90.0), 3.7, 1e-12);
+}
+
+TEST(DescriptiveTest, PercentileEdges) {
+  const std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  const std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
+}
+
+TEST(DescriptiveTest, PercentilesBatchMatchesSingle) {
+  const std::vector<double> v = {2.0, 8.0, 4.0, 6.0, 0.0};
+  const std::vector<double> ps = {10.0, 50.0, 90.0};
+  const std::vector<double> batch = Percentiles(v, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(v, ps[i]));
+  }
+}
+
+TEST(RunningStatsTest, MatchesBatchOnKnownData) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.PopulationVariance(), 2.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePass) {
+  Rng rng(77);
+  std::vector<double> all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    all.push_back(x);
+    (i < 200 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.size());
+  EXPECT_NEAR(left.mean(), Mean(all), 1e-9);
+  EXPECT_NEAR(left.PopulationVariance(), Variance(all), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), Min(all));
+  EXPECT_DOUBLE_EQ(left.max(), Max(all));
+}
+
+TEST(RunningStatsTest, MergeWithEmptySide) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);  // Empty ← non-empty.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.Merge(c);  // Non-empty ← empty.
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // Bin 0.
+  h.Add(9.5);   // Bin 4.
+  h.Add(-3.0);  // Clamped to bin 0.
+  h.Add(50.0);  // Clamped to bin 4.
+  h.Add(10.0);  // Exactly hi → last bin.
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 3u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_DOUBLE_EQ(h.BinLowerEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLowerEdge(4), 8.0);
+}
+
+// Property suite: streaming equals batch on random data.
+class StatsPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPropertyTest, RunningMatchesBatch) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const int n = 1 + static_cast<int>(rng.NextBounded(500));
+  RunningStats rs;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(-100.0, 100.0);
+    v.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(rs.PopulationVariance(), Variance(v), 1e-7);
+  EXPECT_DOUBLE_EQ(rs.min(), Min(v));
+  EXPECT_DOUBLE_EQ(rs.max(), Max(v));
+}
+
+TEST_P(StatsPropertyTest, PercentileIsMonotoneInP) {
+  Rng rng(GetParam() + 99);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.Gaussian(0.0, 5.0));
+  double prev = Percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = Percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(StatsPropertyTest, PercentileBracketedByMinMax) {
+  Rng rng(GetParam() + 199);
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(rng.Uniform(-10.0, 10.0));
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+    const double value = Percentile(v, p);
+    EXPECT_GE(value, Min(v));
+    EXPECT_LE(value, Max(v));
+  }
+}
+
+TEST_P(StatsPropertyTest, MedianEqualsP50) {
+  Rng rng(GetParam() + 299);
+  std::vector<double> v;
+  for (int i = 0; i < 31; ++i) v.push_back(rng.Gaussian(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(Median(v), Percentile(v, 50.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         testing::Values(10u, 20u, 30u, 40u, 50u));
+
+}  // namespace
+}  // namespace trajkit::stats

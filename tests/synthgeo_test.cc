@@ -1,0 +1,371 @@
+// Tests for the synthetic GeoLife-like corpus generator — these pin down
+// the statistical properties the paper's experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "geo/geodesy.h"
+#include "stats/descriptive.h"
+#include "synthgeo/generator.h"
+#include "synthgeo/mode_profiles.h"
+#include "synthgeo/trip_simulator.h"
+#include "synthgeo/user_profile.h"
+#include "traj/point_features.h"
+#include "traj/types.h"
+
+namespace trajkit::synthgeo {
+namespace {
+
+using traj::Mode;
+
+constexpr geo::LatLon kCenter{39.9042, 116.4074};
+
+// ----------------------------------------------------------- ModeProfile --
+
+TEST(ModeProfilesTest, AllLabeledModesHaveProfiles) {
+  for (Mode mode : traj::AllLabeledModes()) {
+    const ModeProfile& p = GetModeProfile(mode);
+    EXPECT_EQ(p.mode, mode);
+    EXPECT_GT(p.cruise_mean_mps, 0.0);
+    EXPECT_GT(p.trip_median_s, 0.0);
+    EXPECT_GT(p.sampling_interval_s, 0.0);
+    EXPECT_GT(p.gps_sigma_m, 0.0);
+  }
+}
+
+TEST(ModeProfilesTest, SpeedOrderingMatchesReality) {
+  const auto cruise = [](Mode mode) {
+    return GetModeProfile(mode).cruise_mean_mps;
+  };
+  EXPECT_LT(cruise(Mode::kWalk), cruise(Mode::kRun));
+  EXPECT_LT(cruise(Mode::kRun), cruise(Mode::kBike));
+  EXPECT_LT(cruise(Mode::kBike), cruise(Mode::kBus));
+  EXPECT_LT(cruise(Mode::kBus), cruise(Mode::kCar));
+  EXPECT_LT(cruise(Mode::kCar), cruise(Mode::kTrain));
+  EXPECT_LT(cruise(Mode::kTrain), cruise(Mode::kAirplane));
+}
+
+TEST(ModeProfilesTest, CarAndTaxiNearlyIdentical) {
+  const ModeProfile& car = GetModeProfile(Mode::kCar);
+  const ModeProfile& taxi = GetModeProfile(Mode::kTaxi);
+  EXPECT_NEAR(car.cruise_mean_mps, taxi.cruise_mean_mps,
+              0.15 * car.cruise_mean_mps);
+}
+
+TEST(ModeProfilesTest, SharesSumToRoughlyOne) {
+  double total = 0.0;
+  for (Mode mode : traj::AllLabeledModes()) {
+    total += GeoLifePointShare(mode);
+  }
+  EXPECT_NEAR(total, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(GeoLifePointShare(Mode::kUnknown), 0.0);
+}
+
+TEST(ModeProfilesTest, WalkIsLargestShare) {
+  for (Mode mode : traj::AllLabeledModes()) {
+    EXPECT_LE(GeoLifePointShare(mode), GeoLifePointShare(Mode::kWalk));
+  }
+}
+
+// ----------------------------------------------------------- UserProfile --
+
+TEST(UserProfileTest, TraitsWithinDocumentedRanges) {
+  Rng rng(1);
+  for (int uid = 0; uid < 50; ++uid) {
+    const UserProfile user = SampleUserProfile(uid, kCenter, rng);
+    EXPECT_EQ(user.user_id, uid);
+    EXPECT_GE(user.speed_multiplier, 0.60);
+    EXPECT_LE(user.speed_multiplier, 1.50);
+    EXPECT_GE(user.traffic_factor, 0.55);
+    EXPECT_LE(user.traffic_factor, 1.45);
+    EXPECT_GE(user.device_noise_factor, 0.3);
+    EXPECT_LE(user.device_noise_factor, 4.5);
+    EXPECT_LE(geo::HaversineMeters(user.home, kCenter), 12500.0);
+  }
+}
+
+TEST(UserProfileTest, CommonModesAlwaysAvailable) {
+  Rng rng(2);
+  for (int uid = 0; uid < 30; ++uid) {
+    const UserProfile user = SampleUserProfile(uid, kCenter, rng);
+    EXPECT_GT(user.mode_weights[static_cast<int>(Mode::kWalk)], 0.0);
+    EXPECT_GT(user.mode_weights[static_cast<int>(Mode::kBus)], 0.0);
+  }
+}
+
+TEST(UserProfileTest, RareModesConcentrateInFewUsers) {
+  Rng rng(3);
+  int users_with_airplane = 0;
+  const int n = 200;
+  for (int uid = 0; uid < n; ++uid) {
+    const UserProfile user = SampleUserProfile(uid, kCenter, rng);
+    if (user.mode_weights[static_cast<int>(Mode::kAirplane)] > 0.0) {
+      ++users_with_airplane;
+    }
+  }
+  EXPECT_GT(users_with_airplane, 5);
+  EXPECT_LT(users_with_airplane, n / 2);
+}
+
+// --------------------------------------------------------- TripSimulator --
+
+UserProfile NeutralUser(uint64_t seed = 4) {
+  Rng rng(seed);
+  UserProfile user = SampleUserProfile(0, kCenter, rng);
+  user.speed_multiplier = 1.0;
+  user.traffic_factor = 1.0;
+  user.device_noise_factor = 1.0;
+  user.sampling_factor = 1.0;
+  return user;
+}
+
+TEST(TripSimulatorTest, ProducesTimeOrderedLabelledFixes) {
+  Rng rng(5);
+  TripRequest request;
+  request.mode = Mode::kBus;
+  request.start = kCenter;
+  request.start_time = 1000.0;
+  request.duration_s = 600.0;
+  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(), rng);
+  ASSERT_GT(trip.points.size(), 50u);
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    EXPECT_EQ(trip.points[i].mode, Mode::kBus);
+    EXPECT_TRUE(geo::IsValid(trip.points[i].pos));
+    if (i > 0) {
+      EXPECT_GT(trip.points[i].timestamp, trip.points[i - 1].timestamp);
+    }
+  }
+  EXPECT_GE(trip.points.front().timestamp, request.start_time);
+  EXPECT_EQ(trip.end_time, request.start_time + 600.0);
+}
+
+TEST(TripSimulatorTest, MeanSpeedTracksModeProfile) {
+  // Averaged over trips, observed mean speeds should order like profiles.
+  const auto mean_speed = [](Mode mode, uint64_t seed) {
+    Rng rng(seed);
+    const UserProfile user = NeutralUser(seed + 100);
+    double total = 0.0;
+    const int trips = 8;
+    for (int i = 0; i < trips; ++i) {
+      TripRequest request;
+      request.mode = mode;
+      request.start = kCenter;
+      request.start_time = 0.0;
+      request.duration_s = 900.0;
+      request.clean_gps = true;
+      total += SimulateTrip(request, user, rng).mean_true_speed_mps;
+    }
+    return total / trips;
+  };
+  const double walk = mean_speed(Mode::kWalk, 6);
+  const double bike = mean_speed(Mode::kBike, 7);
+  const double car = mean_speed(Mode::kCar, 8);
+  const double train = mean_speed(Mode::kTrain, 9);
+  EXPECT_LT(walk, bike);
+  EXPECT_LT(bike, car);
+  EXPECT_LT(car, train);
+  EXPECT_NEAR(walk, GetModeProfile(Mode::kWalk).cruise_mean_mps, 0.7);
+}
+
+TEST(TripSimulatorTest, CleanGpsIsSmootherThanNoisy) {
+  // Compare observed speed standard deviation for a walk with and without
+  // GPS error: noise inflates it substantially at walking speed.
+  const auto speed_std = [](bool clean, uint64_t seed) {
+    Rng rng(seed);
+    TripRequest request;
+    request.mode = Mode::kWalk;
+    request.start = kCenter;
+    request.start_time = 0.0;
+    request.duration_s = 900.0;
+    request.clean_gps = clean;
+    UserProfile user = NeutralUser(seed + 50);
+    user.device_noise_factor = 2.0;
+    const SimulatedTrip trip = SimulateTrip(request, user, rng);
+    const traj::PointFeatures f =
+        traj::ComputePointFeatures(trip.points);
+    return stats::StdDev(f.speed);
+  };
+  EXPECT_LT(speed_std(true, 10), speed_std(false, 10));
+}
+
+TEST(TripSimulatorTest, SubwayHasSignalLossGaps) {
+  Rng rng(11);
+  TripRequest request;
+  request.mode = Mode::kSubway;
+  request.start = kCenter;
+  request.start_time = 0.0;
+  request.duration_s = 1800.0;
+  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(12), rng);
+  double max_gap = 0.0;
+  for (size_t i = 1; i < trip.points.size(); ++i) {
+    max_gap = std::max(
+        max_gap, trip.points[i].timestamp - trip.points[i - 1].timestamp);
+  }
+  // Nominal sampling is 3 s; dropouts create gaps ≥ 20 s.
+  EXPECT_GT(max_gap, 15.0);
+}
+
+TEST(TripSimulatorTest, DeterministicGivenRng) {
+  TripRequest request;
+  request.mode = Mode::kBike;
+  request.start = kCenter;
+  request.start_time = 0.0;
+  request.duration_s = 300.0;
+  const UserProfile user = NeutralUser(13);
+  Rng rng1(14);
+  Rng rng2(14);
+  const SimulatedTrip t1 = SimulateTrip(request, user, rng1);
+  const SimulatedTrip t2 = SimulateTrip(request, user, rng2);
+  ASSERT_EQ(t1.points.size(), t2.points.size());
+  for (size_t i = 0; i < t1.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.points[i].pos.lat_deg, t2.points[i].pos.lat_deg);
+    EXPECT_DOUBLE_EQ(t1.points[i].timestamp, t2.points[i].timestamp);
+  }
+}
+
+TEST(TripSimulatorTest, StopsProduceLowSpeedFixes) {
+  Rng rng(15);
+  TripRequest request;
+  request.mode = Mode::kBus;
+  request.start = kCenter;
+  request.start_time = 0.0;
+  request.duration_s = 1500.0;
+  request.clean_gps = true;
+  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(16), rng);
+  const traj::PointFeatures f = traj::ComputePointFeatures(trip.points);
+  // The bus stop process leaves a visible share of near-zero speeds.
+  int slow = 0;
+  for (double v : f.speed) {
+    if (v < 0.5) ++slow;
+  }
+  EXPECT_GT(static_cast<double>(slow) / static_cast<double>(f.size()),
+            0.05);
+}
+
+// ------------------------------------------------------------- Generator --
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_users = 4;
+  options.days_per_user = 2;
+  options.seed = 99;
+  GeoLifeLikeGenerator g1(options);
+  GeoLifeLikeGenerator g2(options);
+  const auto c1 = g1.Generate();
+  const auto c2 = g2.Generate();
+  ASSERT_EQ(c1.size(), c2.size());
+  ASSERT_EQ(g1.summary().total_points, g2.summary().total_points);
+  for (size_t u = 0; u < c1.size(); ++u) {
+    ASSERT_EQ(c1[u].points.size(), c2[u].points.size());
+    for (size_t i = 0; i < c1[u].points.size(); i += 97) {
+      EXPECT_DOUBLE_EQ(c1[u].points[i].pos.lat_deg,
+                       c2[u].points[i].pos.lat_deg);
+    }
+  }
+}
+
+TEST(GeneratorTest, OneTrajectoryPerUserTimeOrdered) {
+  GeneratorOptions options;
+  options.num_users = 5;
+  options.days_per_user = 2;
+  options.seed = 17;
+  GeoLifeLikeGenerator generator(options);
+  const auto corpus = generator.Generate();
+  ASSERT_EQ(corpus.size(), 5u);
+  for (const traj::Trajectory& trajectory : corpus) {
+    ASSERT_GT(trajectory.points.size(), 100u);
+    for (size_t i = 1; i < trajectory.points.size(); ++i) {
+      EXPECT_GE(trajectory.points[i].timestamp,
+                trajectory.points[i - 1].timestamp);
+    }
+  }
+}
+
+TEST(GeneratorTest, SharesApproximateGeoLife) {
+  GeneratorOptions options;
+  options.num_users = 40;
+  options.days_per_user = 4;
+  options.seed = 23;
+  GeoLifeLikeGenerator generator(options);
+  generator.Generate();
+  const CorpusSummary& summary = generator.summary();
+  EXPECT_GT(summary.total_points, 100000u);
+  // The four dominant modes land within a few points of the target share.
+  EXPECT_NEAR(summary.PointShare(Mode::kWalk), 0.2935, 0.10);
+  EXPECT_NEAR(summary.PointShare(Mode::kBus), 0.2333, 0.10);
+  EXPECT_NEAR(summary.PointShare(Mode::kBike), 0.1734, 0.09);
+  // Rare modes stay rare.
+  EXPECT_LT(summary.PointShare(Mode::kAirplane), 0.05);
+  EXPECT_LT(summary.PointShare(Mode::kBoat), 0.02);
+}
+
+TEST(GeneratorTest, LabelNoiseCreatesBoundaryMislabels) {
+  GeneratorOptions noisy;
+  noisy.num_users = 10;
+  noisy.days_per_user = 3;
+  noisy.seed = 31;
+  noisy.label_noise_prob = 1.0;  // Every boundary shifted.
+  GeneratorOptions clean = noisy;
+  clean.label_noise_prob = 0.0;
+  GeoLifeLikeGenerator g_noisy(noisy);
+  GeoLifeLikeGenerator g_clean(clean);
+  const auto corpus_noisy = g_noisy.Generate();
+  const auto corpus_clean = g_clean.Generate();
+  // Same seed → same trips; labels differ at boundaries.
+  size_t diff = 0;
+  size_t total = 0;
+  for (size_t u = 0; u < corpus_noisy.size(); ++u) {
+    ASSERT_EQ(corpus_noisy[u].points.size(), corpus_clean[u].points.size());
+    for (size_t i = 0; i < corpus_noisy[u].points.size(); ++i) {
+      total += 1;
+      if (corpus_noisy[u].points[i].mode != corpus_clean[u].points[i].mode) {
+        ++diff;
+      }
+    }
+  }
+  EXPECT_GT(diff, 0u);
+  EXPECT_LT(static_cast<double>(diff) / static_cast<double>(total), 0.25);
+}
+
+TEST(GeneratorTest, SummaryToStringRenders) {
+  GeneratorOptions options;
+  options.num_users = 3;
+  options.days_per_user = 1;
+  GeoLifeLikeGenerator generator(options);
+  generator.Generate();
+  const std::string text = generator.summary().ToString();
+  EXPECT_NE(text.find("walk"), std::string::npos);
+  EXPECT_NE(text.find("total trips"), std::string::npos);
+}
+
+TEST(GeneratorTest, UserProfilesExposed) {
+  GeneratorOptions options;
+  options.num_users = 6;
+  options.days_per_user = 1;
+  GeoLifeLikeGenerator generator(options);
+  generator.Generate();
+  EXPECT_EQ(generator.user_profiles().size(), 6u);
+}
+
+TEST(GeneratorTest, PointsStayWithinPlausibleRegion) {
+  GeneratorOptions options;
+  options.num_users = 6;
+  options.days_per_user = 2;
+  options.seed = 37;
+  GeoLifeLikeGenerator generator(options);
+  const auto corpus = generator.Generate();
+  for (const traj::Trajectory& trajectory : corpus) {
+    for (size_t i = 0; i < trajectory.points.size(); i += 53) {
+      // Everything within ~400 km of Beijing (airplane trips roam the
+      // farthest).
+      EXPECT_LT(geo::HaversineMeters(trajectory.points[i].pos, kCenter),
+                1.5e6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trajkit::synthgeo

@@ -1,0 +1,249 @@
+// Tests for the traj/core extensions: Zheng-style extended features,
+// fixed-window segmentation, and the pipeline options that enable them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/label_sets.h"
+#include "core/pipeline.h"
+#include "geo/geodesy.h"
+#include "synthgeo/generator.h"
+#include "traj/extended_features.h"
+#include "traj/segmentation.h"
+
+namespace trajkit::traj {
+namespace {
+
+std::vector<TrajectoryPoint> StraightRun(int n, double dt, double step_m,
+                                         Mode mode = Mode::kWalk,
+                                         double t0 = 1000.0,
+                                         double bearing = 0.0) {
+  std::vector<TrajectoryPoint> points;
+  geo::LatLon pos{39.9, 116.4};
+  for (int i = 0; i < n; ++i) {
+    points.push_back({pos, t0 + i * dt, mode});
+    pos = geo::Destination(pos, bearing, step_m);
+  }
+  return points;
+}
+
+double ExtendedValue(const std::vector<double>& features,
+                     std::string_view name) {
+  const auto& names = ExtendedFeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return features[i];
+  }
+  ADD_FAILURE() << "unknown extended feature " << name;
+  return 0.0;
+}
+
+// ---------------------------------------------------- Extended features --
+
+TEST(ExtendedFeaturesTest, EightDistinctNames) {
+  const auto& names = ExtendedFeatureNames();
+  ASSERT_EQ(names.size(), static_cast<size_t>(kNumExtendedFeatures));
+  std::set<std::string> distinct(names.begin(), names.end());
+  EXPECT_EQ(distinct.size(), names.size());
+}
+
+TEST(ExtendedFeaturesTest, StraightConstantRun) {
+  Segment segment;
+  segment.mode = Mode::kWalk;
+  segment.points = StraightRun(40, 2.0, 3.0);
+  const ExtendedFeatureExtractor extractor;
+  const auto features = extractor.Extract(segment);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(ExtendedValue(*features, "heading_change_rate"), 0.0);
+  EXPECT_DOUBLE_EQ(ExtendedValue(*features, "stop_rate"), 0.0);
+  EXPECT_DOUBLE_EQ(ExtendedValue(*features, "velocity_change_rate"), 0.0);
+  EXPECT_NEAR(ExtendedValue(*features, "trip_length_m"), 39 * 3.0, 0.1);
+  EXPECT_NEAR(ExtendedValue(*features, "trip_duration_s"), 39 * 2.0, 1e-9);
+  EXPECT_NEAR(ExtendedValue(*features, "moving_speed_mean"), 1.5, 1e-6);
+  EXPECT_DOUBLE_EQ(ExtendedValue(*features, "stop_fraction"), 0.0);
+  EXPECT_NEAR(ExtendedValue(*features, "straightness"), 1.0, 1e-6);
+}
+
+TEST(ExtendedFeaturesTest, ZigzagRaisesHeadingChangeRate) {
+  // Alternate bearings 0 and 90 every point.
+  Segment segment;
+  segment.mode = Mode::kBike;
+  geo::LatLon pos{39.9, 116.4};
+  for (int i = 0; i < 40; ++i) {
+    segment.points.push_back({pos, i * 2.0, Mode::kBike});
+    pos = geo::Destination(pos, (i % 2 == 0) ? 0.0 : 90.0, 5.0);
+  }
+  const ExtendedFeatureExtractor extractor;
+  const auto features = extractor.Extract(segment);
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(ExtendedValue(*features, "heading_change_rate"), 50.0);
+  EXPECT_LT(ExtendedValue(*features, "straightness"), 0.9);
+}
+
+TEST(ExtendedFeaturesTest, StopsRaiseStopRateAndFraction) {
+  // Moving run with a stationary stretch in the middle.
+  Segment segment;
+  segment.mode = Mode::kBus;
+  geo::LatLon pos{39.9, 116.4};
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    segment.points.push_back({pos, t, Mode::kBus});
+    pos = geo::Destination(pos, 0.0, 20.0);
+    t += 2.0;
+  }
+  for (int i = 0; i < 10; ++i) {  // Stopped.
+    segment.points.push_back({pos, t, Mode::kBus});
+    t += 2.0;
+  }
+  const ExtendedFeatureExtractor extractor;
+  const auto features = extractor.Extract(segment);
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(ExtendedValue(*features, "stop_rate"), 0.0);
+  EXPECT_NEAR(ExtendedValue(*features, "stop_fraction"), 10.0 / 29.0,
+              0.05);
+  // Moving mean ignores the stop: ~10 m/s.
+  EXPECT_NEAR(ExtendedValue(*features, "moving_speed_mean"), 10.0, 0.5);
+}
+
+TEST(ExtendedFeaturesTest, RejectsTinySegments) {
+  Segment segment;
+  segment.points = StraightRun(1, 2.0, 3.0);
+  const ExtendedFeatureExtractor extractor;
+  EXPECT_FALSE(extractor.Extract(segment).ok());
+}
+
+// ------------------------------------------------- Window segmentation --
+
+TEST(WindowSegmentationTest, CutsFixedWindows) {
+  Trajectory trajectory;
+  trajectory.user_id = 4;
+  trajectory.points = StraightRun(300, 2.0, 3.0);  // 600 s total.
+  WindowSegmentationOptions options;
+  options.window_seconds = 120.0;
+  const auto segments = SegmentTrajectoryByWindows(trajectory, options);
+  ASSERT_EQ(segments.size(), 5u);
+  for (const Segment& s : segments) {
+    EXPECT_EQ(s.user_id, 4);
+    EXPECT_EQ(s.mode, Mode::kWalk);
+    EXPECT_LE(s.points.back().timestamp - s.points.front().timestamp,
+              120.0 + 1e-9);
+  }
+}
+
+TEST(WindowSegmentationTest, MajorityLabelWins) {
+  Trajectory trajectory;
+  auto walk = StraightRun(50, 2.0, 3.0, Mode::kWalk, 0.0);
+  auto bus = StraightRun(10, 2.0, 15.0, Mode::kBus, 100.0);
+  trajectory.points = walk;
+  trajectory.points.insert(trajectory.points.end(), bus.begin(), bus.end());
+  WindowSegmentationOptions options;
+  options.window_seconds = 200.0;
+  options.max_minority_fraction = 0.3;
+  const auto segments = SegmentTrajectoryByWindows(trajectory, options);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].mode, Mode::kWalk);  // 50 walk vs 10 bus.
+}
+
+TEST(WindowSegmentationTest, MixedWindowsDropped) {
+  Trajectory trajectory;
+  auto walk = StraightRun(30, 2.0, 3.0, Mode::kWalk, 0.0);
+  auto bus = StraightRun(30, 2.0, 15.0, Mode::kBus, 60.0);
+  trajectory.points = walk;
+  trajectory.points.insert(trajectory.points.end(), bus.begin(), bus.end());
+  WindowSegmentationOptions options;
+  options.window_seconds = 500.0;  // Everything in one window.
+  options.max_minority_fraction = 0.2;  // 50/50 split exceeds it.
+  EXPECT_TRUE(SegmentTrajectoryByWindows(trajectory, options).empty());
+}
+
+TEST(WindowSegmentationTest, MinPointsRespected) {
+  Trajectory trajectory;
+  trajectory.points = StraightRun(30, 10.0, 3.0);  // Sparse: 3 pts/30 s.
+  WindowSegmentationOptions options;
+  options.window_seconds = 60.0;
+  options.min_points = 10;  // 60 s window holds only 6 points.
+  EXPECT_TRUE(SegmentTrajectoryByWindows(trajectory, options).empty());
+  options.min_points = 5;
+  EXPECT_FALSE(SegmentTrajectoryByWindows(trajectory, options).empty());
+}
+
+TEST(WindowSegmentationTest, UnlabeledWindowsDroppedByDefault) {
+  Trajectory trajectory;
+  trajectory.points = StraightRun(100, 2.0, 3.0, Mode::kUnknown);
+  WindowSegmentationOptions options;
+  EXPECT_TRUE(SegmentTrajectoryByWindows(trajectory, options).empty());
+  options.drop_unlabeled = false;
+  EXPECT_FALSE(SegmentTrajectoryByWindows(trajectory, options).empty());
+}
+
+TEST(WindowSegmentationTest, CorpusAggregation) {
+  Trajectory a;
+  a.user_id = 1;
+  a.points = StraightRun(100, 2.0, 3.0);
+  Trajectory b;
+  b.user_id = 2;
+  b.points = StraightRun(100, 2.0, 3.0);
+  WindowSegmentationOptions options;
+  options.window_seconds = 100.0;
+  const auto segments = SegmentCorpusByWindows({a, b}, options);
+  EXPECT_EQ(segments.size(), 4u);
+}
+
+}  // namespace
+}  // namespace trajkit::traj
+
+namespace trajkit::core {
+namespace {
+
+std::vector<traj::Trajectory> SmallCorpus(uint64_t seed = 21) {
+  synthgeo::GeneratorOptions options;
+  options.num_users = 6;
+  options.days_per_user = 2;
+  options.seed = seed;
+  synthgeo::GeoLifeLikeGenerator generator(options);
+  return generator.Generate();
+}
+
+TEST(PipelineExtensionsTest, ExtendedFeaturesAppendEightColumns) {
+  PipelineOptions options;
+  options.include_extended_features = true;
+  const Pipeline pipeline(options);
+  const auto dataset =
+      pipeline.BuildDataset(SmallCorpus(), LabelSet::Dabiri());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_features(), 78u);
+  EXPECT_EQ(dataset->feature_names().back(), "straightness");
+  EXPECT_EQ(dataset->feature_names()[69], "bearing_rate_rate_p90");
+}
+
+TEST(PipelineExtensionsTest, WindowStrategyProducesMoreSegments) {
+  const auto corpus = SmallCorpus(23);
+  PipelineOptions day_mode;
+  PipelineOptions windows;
+  windows.strategy = SegmentationStrategy::kFixedWindows;
+  windows.windows.window_seconds = 120.0;
+  const Pipeline day_pipeline(day_mode);
+  const Pipeline window_pipeline(windows);
+  const auto day_ds = day_pipeline.BuildDataset(corpus, LabelSet::Dabiri());
+  const auto win_ds =
+      window_pipeline.BuildDataset(corpus, LabelSet::Dabiri());
+  ASSERT_TRUE(day_ds.ok());
+  ASSERT_TRUE(win_ds.ok());
+  EXPECT_GT(win_ds->num_samples(), day_ds->num_samples());
+  EXPECT_EQ(win_ds->num_features(), 70u);
+}
+
+TEST(PipelineExtensionsTest, FeatureNamesMatchEmittedColumns) {
+  PipelineOptions options;
+  options.include_extended_features = true;
+  const Pipeline pipeline(options);
+  EXPECT_EQ(pipeline.FeatureNames().size(), 78u);
+  const auto dataset =
+      pipeline.BuildDataset(SmallCorpus(27), LabelSet::Dabiri());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->feature_names(), pipeline.FeatureNames());
+}
+
+}  // namespace
+}  // namespace trajkit::core

@@ -1,0 +1,261 @@
+// trajkit — command-line front end for the library's end-to-end workflow:
+//
+//   trajkit generate  --out=DIR [--users=N] [--days=D] [--seed=S]
+//       Synthesize a GeoLife-like corpus and write it in the real GeoLife
+//       directory layout (<out>/<user>/Trajectory/*.plt + labels.txt).
+//
+//   trajkit features  (--data=DIR | --synthetic) --out=FILE.csv
+//                     [--labels=dabiri|endo|all] [--extended]
+//                     [--windows=SECONDS] [--denoise]
+//       Run the paper's pipeline (steps 1-3, optionally 6) and write the
+//       feature matrix as CSV (with __label/__group columns).
+//
+//   trajkit train     --dataset=FILE.csv --model=FILE.model
+//                     [--trees=50] [--balanced] [--seed=S]
+//       Train a random forest on a feature CSV and save it.
+//
+//   trajkit evaluate  --dataset=FILE.csv [--classifier=random_forest]
+//                     [--scheme=random|stratified|user|temporal]
+//                     [--folds=5]
+//                     [--scale=1.0] [--seed=S]
+//       Cross-validated evaluation with a full classification report.
+//
+//   trajkit predict   --dataset=FILE.csv --model=FILE.model
+//       Load a saved forest, predict, and (when labels are present)
+//       report accuracy and a confusion matrix.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/experiments.h"
+#include "core/label_sets.h"
+#include "core/pipeline.h"
+#include "geolife/geolife_reader.h"
+#include "ml/crossval.h"
+#include "ml/dataset_io.h"
+#include "ml/factory.h"
+#include "ml/metrics.h"
+#include "ml/model_io.h"
+#include "ml/random_forest.h"
+#include "synthgeo/generator.h"
+
+namespace trajkit {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: trajkit <generate|features|train|evaluate|predict> [--flags]\n"
+    "run `trajkit <command> --help` or see the file header for details\n";
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+synthgeo::GeneratorOptions GeneratorOptionsFromFlags(const Flags& flags) {
+  synthgeo::GeneratorOptions options;
+  options.num_users = flags.GetInt("users", 20);
+  options.days_per_user = flags.GetInt("days", 4);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  return options;
+}
+
+Result<core::LabelSet> LabelSetFromFlags(const Flags& flags) {
+  const std::string name = flags.GetString("labels", "dabiri");
+  if (name == "dabiri") return core::LabelSet::Dabiri();
+  if (name == "endo") return core::LabelSet::Endo();
+  if (name == "all") return core::LabelSet::AllModes();
+  return Status::InvalidArgument("unknown label set: '" + name +
+                                 "' (want dabiri|endo|all)");
+}
+
+int RunGenerate(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=DIR is required\n");
+    return 2;
+  }
+  synthgeo::GeoLifeLikeGenerator generator(GeneratorOptionsFromFlags(flags));
+  Stopwatch timer;
+  const std::vector<traj::Trajectory> corpus = generator.Generate();
+  const Status status = geolife::ExportGeoLifeCorpus(corpus, out);
+  if (!status.ok()) return Fail(status, "export");
+  std::printf("%s", generator.summary().ToString().c_str());
+  std::printf("wrote %zu users to %s (%.1fs)\n", corpus.size(), out.c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunFeatures(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "features: --out=FILE.csv is required\n");
+    return 2;
+  }
+  // Corpus: real directory or synthetic.
+  std::vector<traj::Trajectory> corpus;
+  const std::string data = flags.GetString("data", "");
+  if (!data.empty()) {
+    auto loaded = geolife::LoadGeoLifeCorpus(data);
+    if (!loaded.ok()) return Fail(loaded.status(), "GeoLife load");
+    corpus = std::move(loaded).value();
+  } else {
+    synthgeo::GeoLifeLikeGenerator generator(
+        GeneratorOptionsFromFlags(flags));
+    corpus = generator.Generate();
+    std::printf("(no --data; generated a synthetic corpus: %zu points)\n",
+                generator.summary().total_points);
+  }
+
+  auto labels = LabelSetFromFlags(flags);
+  if (!labels.ok()) return Fail(labels.status(), "label set");
+
+  core::PipelineOptions options;
+  options.remove_noise = flags.GetBool("denoise", false);
+  options.include_extended_features = flags.GetBool("extended", false);
+  if (flags.Has("windows")) {
+    options.strategy = core::SegmentationStrategy::kFixedWindows;
+    options.windows.window_seconds = flags.GetDouble("windows", 180.0);
+  }
+  const core::Pipeline pipeline(options);
+  auto dataset = pipeline.BuildDataset(corpus, labels.value());
+  if (!dataset.ok()) return Fail(dataset.status(), "pipeline");
+
+  const Status status = ml::SaveDatasetCsv(dataset.value(), out);
+  if (!status.ok()) return Fail(status, "CSV write");
+  std::printf("wrote %zu segments x %zu features to %s\n",
+              dataset->num_samples(), dataset->num_features(), out.c_str());
+  return 0;
+}
+
+int RunTrain(const Flags& flags) {
+  const std::string dataset_path = flags.GetString("dataset", "");
+  const std::string model_path = flags.GetString("model", "");
+  if (dataset_path.empty() || model_path.empty()) {
+    std::fprintf(stderr,
+                 "train: --dataset=FILE.csv and --model=FILE are required\n");
+    return 2;
+  }
+  auto dataset = ml::LoadDatasetCsv(dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status(), "dataset load");
+
+  ml::RandomForestParams params;
+  params.n_estimators = flags.GetInt("trees", 50);
+  params.balanced_class_weights = flags.GetBool("balanced", false);
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  ml::RandomForest forest(params);
+  Stopwatch timer;
+  const Status fit = forest.Fit(dataset.value());
+  if (!fit.ok()) return Fail(fit, "training");
+  const Status save = ml::SaveRandomForest(forest, model_path);
+  if (!save.ok()) return Fail(save, "model save");
+  std::printf(
+      "trained random forest (%d trees) on %zu samples in %.1fs -> %s\n",
+      params.n_estimators, dataset->num_samples(), timer.ElapsedSeconds(),
+      model_path.c_str());
+  return 0;
+}
+
+int RunEvaluate(const Flags& flags) {
+  const std::string dataset_path = flags.GetString("dataset", "");
+  if (dataset_path.empty()) {
+    std::fprintf(stderr, "evaluate: --dataset=FILE.csv is required\n");
+    return 2;
+  }
+  auto dataset = ml::LoadDatasetCsv(dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status(), "dataset load");
+
+  const std::string classifier_name =
+      flags.GetString("classifier", "random_forest");
+  auto model = ml::MakeClassifier(
+      classifier_name,
+      {.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)),
+       .scale = flags.GetDouble("scale", 1.0)});
+  if (!model.ok()) return Fail(model.status(), "classifier");
+
+  auto scheme = core::CvSchemeFromString(
+      flags.GetString("scheme", "random"));
+  if (!scheme.ok()) return Fail(scheme.status(), "scheme");
+  const int folds = flags.GetInt("folds", 5);
+  const auto cv_folds = core::MakeFolds(
+      scheme.value(), dataset.value(), folds,
+      static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  Stopwatch timer;
+  const auto cv = ml::CrossValidate(*model.value(), dataset.value(),
+                                    cv_folds);
+  if (!cv.ok()) return Fail(cv.status(), "cross-validation");
+
+  std::printf("%s, %s %d-fold CV on %zu samples (%.1fs)\n",
+              classifier_name.c_str(),
+              std::string(core::CvSchemeToString(scheme.value())).c_str(),
+              folds, dataset->num_samples(), timer.ElapsedSeconds());
+  std::printf("accuracy: %.4f ± %.4f   weighted F1: %.4f\n",
+              cv->MeanAccuracy(), cv->StdAccuracy(), cv->MeanWeightedF1());
+  std::printf("cohen's kappa: %.4f   balanced accuracy: %.4f\n",
+              ml::CohensKappa(cv->pooled_true, cv->pooled_pred,
+                              dataset->num_classes()),
+              ml::BalancedAccuracy(cv->pooled_true, cv->pooled_pred,
+                                   dataset->num_classes()));
+  const ml::ClassificationReport report = ml::Evaluate(
+      cv->pooled_true, cv->pooled_pred, dataset->num_classes());
+  std::printf("%s", report.ToString(dataset->class_names()).c_str());
+  return 0;
+}
+
+int RunPredict(const Flags& flags) {
+  const std::string dataset_path = flags.GetString("dataset", "");
+  const std::string model_path = flags.GetString("model", "");
+  if (dataset_path.empty() || model_path.empty()) {
+    std::fprintf(stderr,
+                 "predict: --dataset=FILE.csv and --model=FILE are "
+                 "required\n");
+    return 2;
+  }
+  auto dataset = ml::LoadDatasetCsv(dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status(), "dataset load");
+  auto forest = ml::LoadRandomForest(model_path);
+  if (!forest.ok()) return Fail(forest.status(), "model load");
+
+  const std::vector<int> predictions =
+      forest->Predict(dataset->features());
+  size_t shown = 0;
+  for (size_t i = 0; i < predictions.size() && shown < 20; ++i, ++shown) {
+    std::printf("sample %zu -> class %d\n", i, predictions[i]);
+  }
+  if (predictions.size() > 20) {
+    std::printf("... (%zu predictions total)\n", predictions.size());
+  }
+  // When the CSV carries labels, report quality.
+  const ml::ClassificationReport report = ml::Evaluate(
+      dataset->labels(), predictions, dataset->num_classes());
+  std::printf("\naccuracy vs. CSV labels: %.4f\n%s", report.accuracy,
+              ml::ConfusionMatrix(dataset->labels(), predictions,
+                                  dataset->num_classes())
+                  .ToString(dataset->class_names())
+                  .c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string& command = flags.positional().front();
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "features") return RunFeatures(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  if (command == "predict") return RunPredict(flags);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+}  // namespace trajkit
+
+int main(int argc, char** argv) { return trajkit::Run(argc, argv); }
