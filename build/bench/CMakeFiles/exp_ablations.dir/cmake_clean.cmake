@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablations.dir/exp_ablations.cc.o"
+  "CMakeFiles/exp_ablations.dir/exp_ablations.cc.o.d"
+  "exp_ablations"
+  "exp_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_extensions.dir/exp_extensions.cc.o"
+  "CMakeFiles/exp_extensions.dir/exp_extensions.cc.o.d"
+  "exp_extensions"
+  "exp_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

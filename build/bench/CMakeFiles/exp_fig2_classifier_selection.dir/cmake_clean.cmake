@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_classifier_selection.dir/exp_fig2_classifier_selection.cc.o"
+  "CMakeFiles/exp_fig2_classifier_selection.dir/exp_fig2_classifier_selection.cc.o.d"
+  "exp_fig2_classifier_selection"
+  "exp_fig2_classifier_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_classifier_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig2_classifier_selection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_feature_selection.dir/exp_fig3_feature_selection.cc.o"
+  "CMakeFiles/exp_fig3_feature_selection.dir/exp_fig3_feature_selection.cc.o.d"
+  "exp_fig3_feature_selection"
+  "exp_fig3_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

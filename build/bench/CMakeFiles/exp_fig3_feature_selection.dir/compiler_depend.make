@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig3_feature_selection.
+# This may be replaced when dependencies are built.

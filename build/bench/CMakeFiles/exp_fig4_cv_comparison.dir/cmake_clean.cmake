@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_cv_comparison.dir/exp_fig4_cv_comparison.cc.o"
+  "CMakeFiles/exp_fig4_cv_comparison.dir/exp_fig4_cv_comparison.cc.o.d"
+  "exp_fig4_cv_comparison"
+  "exp_fig4_cv_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_cv_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig4_cv_comparison.
+# This may be replaced when dependencies are built.

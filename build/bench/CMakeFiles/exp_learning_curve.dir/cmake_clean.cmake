@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_learning_curve.dir/exp_learning_curve.cc.o"
+  "CMakeFiles/exp_learning_curve.dir/exp_learning_curve.cc.o.d"
+  "exp_learning_curve"
+  "exp_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec43_dabiri.dir/exp_sec43_dabiri.cc.o"
+  "CMakeFiles/exp_sec43_dabiri.dir/exp_sec43_dabiri.cc.o.d"
+  "exp_sec43_dabiri"
+  "exp_sec43_dabiri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec43_dabiri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

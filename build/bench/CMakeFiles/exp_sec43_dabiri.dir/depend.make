@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_sec43_dabiri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec43_endo.dir/exp_sec43_endo.cc.o"
+  "CMakeFiles/exp_sec43_endo.dir/exp_sec43_endo.cc.o.d"
+  "exp_sec43_endo"
+  "exp_sec43_endo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec43_endo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_features.dir/micro_features.cc.o"
+  "CMakeFiles/micro_features.dir/micro_features.cc.o.d"
+  "micro_features"
+  "micro_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

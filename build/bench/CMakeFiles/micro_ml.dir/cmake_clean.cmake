@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ml.dir/micro_ml.cc.o"
+  "CMakeFiles/micro_ml.dir/micro_ml.cc.o.d"
+  "micro_ml"
+  "micro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_study.dir/feature_study.cpp.o"
+  "CMakeFiles/feature_study.dir/feature_study.cpp.o.d"
+  "feature_study"
+  "feature_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

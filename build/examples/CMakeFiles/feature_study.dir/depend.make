@@ -1,0 +1,2 @@
+# Empty dependencies file for feature_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolife_roundtrip.dir/geolife_roundtrip.cpp.o"
+  "CMakeFiles/geolife_roundtrip.dir/geolife_roundtrip.cpp.o.d"
+  "geolife_roundtrip"
+  "geolife_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolife_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_diary.dir/travel_diary.cpp.o"
+  "CMakeFiles/travel_diary.dir/travel_diary.cpp.o.d"
+  "travel_diary"
+  "travel_diary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_diary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_common.dir/csv.cc.o"
+  "CMakeFiles/trajkit_common.dir/csv.cc.o.d"
+  "CMakeFiles/trajkit_common.dir/flags.cc.o"
+  "CMakeFiles/trajkit_common.dir/flags.cc.o.d"
+  "CMakeFiles/trajkit_common.dir/rng.cc.o"
+  "CMakeFiles/trajkit_common.dir/rng.cc.o.d"
+  "CMakeFiles/trajkit_common.dir/status.cc.o"
+  "CMakeFiles/trajkit_common.dir/status.cc.o.d"
+  "CMakeFiles/trajkit_common.dir/strings.cc.o"
+  "CMakeFiles/trajkit_common.dir/strings.cc.o.d"
+  "CMakeFiles/trajkit_common.dir/table_printer.cc.o"
+  "CMakeFiles/trajkit_common.dir/table_printer.cc.o.d"
+  "libtrajkit_common.a"
+  "libtrajkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_core.dir/experiments.cc.o"
+  "CMakeFiles/trajkit_core.dir/experiments.cc.o.d"
+  "CMakeFiles/trajkit_core.dir/label_sets.cc.o"
+  "CMakeFiles/trajkit_core.dir/label_sets.cc.o.d"
+  "CMakeFiles/trajkit_core.dir/pipeline.cc.o"
+  "CMakeFiles/trajkit_core.dir/pipeline.cc.o.d"
+  "libtrajkit_core.a"
+  "libtrajkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_geo.dir/geodesy.cc.o"
+  "CMakeFiles/trajkit_geo.dir/geodesy.cc.o.d"
+  "libtrajkit_geo.a"
+  "libtrajkit_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_geolife.dir/geolife_reader.cc.o"
+  "CMakeFiles/trajkit_geolife.dir/geolife_reader.cc.o.d"
+  "libtrajkit_geolife.a"
+  "libtrajkit_geolife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_geolife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

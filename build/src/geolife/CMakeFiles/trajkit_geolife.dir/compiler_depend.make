@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trajkit_geolife.
+# This may be replaced when dependencies are built.

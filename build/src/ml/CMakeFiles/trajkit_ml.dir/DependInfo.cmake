@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cc" "src/ml/CMakeFiles/trajkit_ml.dir/adaboost.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/adaboost.cc.o.d"
+  "/root/repo/src/ml/crossval.cc" "src/ml/CMakeFiles/trajkit_ml.dir/crossval.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/crossval.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/trajkit_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/dataset_io.cc" "src/ml/CMakeFiles/trajkit_ml.dir/dataset_io.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/dataset_io.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/trajkit_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/factory.cc" "src/ml/CMakeFiles/trajkit_ml.dir/factory.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/factory.cc.o.d"
+  "/root/repo/src/ml/feature_selection.cc" "src/ml/CMakeFiles/trajkit_ml.dir/feature_selection.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/feature_selection.cc.o.d"
+  "/root/repo/src/ml/filter_selection.cc" "src/ml/CMakeFiles/trajkit_ml.dir/filter_selection.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/filter_selection.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/trajkit_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/ml/CMakeFiles/trajkit_ml.dir/grid_search.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/grid_search.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/trajkit_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/trajkit_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/trajkit_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/trajkit_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/trajkit_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/trajkit_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_io.cc" "src/ml/CMakeFiles/trajkit_ml.dir/model_io.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/model_io.cc.o.d"
+  "/root/repo/src/ml/normalize.cc" "src/ml/CMakeFiles/trajkit_ml.dir/normalize.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/normalize.cc.o.d"
+  "/root/repo/src/ml/permutation_importance.cc" "src/ml/CMakeFiles/trajkit_ml.dir/permutation_importance.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/permutation_importance.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/trajkit_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/splits.cc" "src/ml/CMakeFiles/trajkit_ml.dir/splits.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/splits.cc.o.d"
+  "/root/repo/src/ml/stats_tests.cc" "src/ml/CMakeFiles/trajkit_ml.dir/stats_tests.cc.o" "gcc" "src/ml/CMakeFiles/trajkit_ml.dir/stats_tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trajkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrajkit_ml.a"
+)

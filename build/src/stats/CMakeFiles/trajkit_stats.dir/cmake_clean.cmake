@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_stats.dir/correlation.cc.o"
+  "CMakeFiles/trajkit_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/trajkit_stats.dir/descriptive.cc.o"
+  "CMakeFiles/trajkit_stats.dir/descriptive.cc.o.d"
+  "libtrajkit_stats.a"
+  "libtrajkit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

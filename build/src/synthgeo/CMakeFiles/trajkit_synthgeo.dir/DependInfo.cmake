@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthgeo/generator.cc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/generator.cc.o" "gcc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/generator.cc.o.d"
+  "/root/repo/src/synthgeo/mode_profiles.cc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/mode_profiles.cc.o" "gcc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/mode_profiles.cc.o.d"
+  "/root/repo/src/synthgeo/trip_simulator.cc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/trip_simulator.cc.o" "gcc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/trip_simulator.cc.o.d"
+  "/root/repo/src/synthgeo/user_profile.cc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/user_profile.cc.o" "gcc" "src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/user_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trajkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/trajkit_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/trajkit_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/trajkit_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

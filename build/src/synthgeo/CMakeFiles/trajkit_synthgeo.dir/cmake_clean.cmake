@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_synthgeo.dir/generator.cc.o"
+  "CMakeFiles/trajkit_synthgeo.dir/generator.cc.o.d"
+  "CMakeFiles/trajkit_synthgeo.dir/mode_profiles.cc.o"
+  "CMakeFiles/trajkit_synthgeo.dir/mode_profiles.cc.o.d"
+  "CMakeFiles/trajkit_synthgeo.dir/trip_simulator.cc.o"
+  "CMakeFiles/trajkit_synthgeo.dir/trip_simulator.cc.o.d"
+  "CMakeFiles/trajkit_synthgeo.dir/user_profile.cc.o"
+  "CMakeFiles/trajkit_synthgeo.dir/user_profile.cc.o.d"
+  "libtrajkit_synthgeo.a"
+  "libtrajkit_synthgeo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_synthgeo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trajkit_synthgeo.
+# This may be replaced when dependencies are built.

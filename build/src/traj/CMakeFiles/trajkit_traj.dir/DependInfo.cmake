@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/extended_features.cc" "src/traj/CMakeFiles/trajkit_traj.dir/extended_features.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/extended_features.cc.o.d"
+  "/root/repo/src/traj/geojson.cc" "src/traj/CMakeFiles/trajkit_traj.dir/geojson.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/geojson.cc.o.d"
+  "/root/repo/src/traj/noise.cc" "src/traj/CMakeFiles/trajkit_traj.dir/noise.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/noise.cc.o.d"
+  "/root/repo/src/traj/point_features.cc" "src/traj/CMakeFiles/trajkit_traj.dir/point_features.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/point_features.cc.o.d"
+  "/root/repo/src/traj/resample.cc" "src/traj/CMakeFiles/trajkit_traj.dir/resample.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/resample.cc.o.d"
+  "/root/repo/src/traj/segmentation.cc" "src/traj/CMakeFiles/trajkit_traj.dir/segmentation.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/segmentation.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/trajkit_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/stay_points.cc" "src/traj/CMakeFiles/trajkit_traj.dir/stay_points.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/stay_points.cc.o.d"
+  "/root/repo/src/traj/trajectory_features.cc" "src/traj/CMakeFiles/trajkit_traj.dir/trajectory_features.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/trajectory_features.cc.o.d"
+  "/root/repo/src/traj/types.cc" "src/traj/CMakeFiles/trajkit_traj.dir/types.cc.o" "gcc" "src/traj/CMakeFiles/trajkit_traj.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trajkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/trajkit_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/trajkit_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

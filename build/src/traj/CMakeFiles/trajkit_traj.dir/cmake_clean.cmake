@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_traj.dir/extended_features.cc.o"
+  "CMakeFiles/trajkit_traj.dir/extended_features.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/geojson.cc.o"
+  "CMakeFiles/trajkit_traj.dir/geojson.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/noise.cc.o"
+  "CMakeFiles/trajkit_traj.dir/noise.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/point_features.cc.o"
+  "CMakeFiles/trajkit_traj.dir/point_features.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/resample.cc.o"
+  "CMakeFiles/trajkit_traj.dir/resample.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/segmentation.cc.o"
+  "CMakeFiles/trajkit_traj.dir/segmentation.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/simplify.cc.o"
+  "CMakeFiles/trajkit_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/stay_points.cc.o"
+  "CMakeFiles/trajkit_traj.dir/stay_points.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/trajectory_features.cc.o"
+  "CMakeFiles/trajkit_traj.dir/trajectory_features.cc.o.d"
+  "CMakeFiles/trajkit_traj.dir/types.cc.o"
+  "CMakeFiles/trajkit_traj.dir/types.cc.o.d"
+  "libtrajkit_traj.a"
+  "libtrajkit_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_extensions_test.dir/analysis_extensions_test.cc.o"
+  "CMakeFiles/analysis_extensions_test.dir/analysis_extensions_test.cc.o.d"
+  "analysis_extensions_test"
+  "analysis_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

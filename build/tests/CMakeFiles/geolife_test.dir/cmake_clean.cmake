@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolife_test.dir/geolife_test.cc.o"
+  "CMakeFiles/geolife_test.dir/geolife_test.cc.o.d"
+  "geolife_test"
+  "geolife_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolife_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mining_extensions_test.cc" "tests/CMakeFiles/mining_extensions_test.dir/mining_extensions_test.cc.o" "gcc" "tests/CMakeFiles/mining_extensions_test.dir/mining_extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trajkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geolife/CMakeFiles/trajkit_geolife.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthgeo/CMakeFiles/trajkit_synthgeo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/trajkit_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/trajkit_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/trajkit_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/trajkit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trajkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

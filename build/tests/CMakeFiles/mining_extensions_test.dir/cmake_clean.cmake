@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_extensions_test.dir/mining_extensions_test.cc.o"
+  "CMakeFiles/mining_extensions_test.dir/mining_extensions_test.cc.o.d"
+  "mining_extensions_test"
+  "mining_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_classifiers_test.dir/ml_classifiers_test.cc.o"
+  "CMakeFiles/ml_classifiers_test.dir/ml_classifiers_test.cc.o.d"
+  "ml_classifiers_test"
+  "ml_classifiers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_core_test.dir/ml_core_test.cc.o"
+  "CMakeFiles/ml_core_test.dir/ml_core_test.cc.o.d"
+  "ml_core_test"
+  "ml_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

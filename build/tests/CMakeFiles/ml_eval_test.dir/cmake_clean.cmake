@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_eval_test.dir/ml_eval_test.cc.o"
+  "CMakeFiles/ml_eval_test.dir/ml_eval_test.cc.o.d"
+  "ml_eval_test"
+  "ml_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

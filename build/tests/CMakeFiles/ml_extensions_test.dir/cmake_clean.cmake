@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_extensions_test.dir/ml_extensions_test.cc.o"
+  "CMakeFiles/ml_extensions_test.dir/ml_extensions_test.cc.o.d"
+  "ml_extensions_test"
+  "ml_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

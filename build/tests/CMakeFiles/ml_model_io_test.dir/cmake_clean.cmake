@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_model_io_test.dir/ml_model_io_test.cc.o"
+  "CMakeFiles/ml_model_io_test.dir/ml_model_io_test.cc.o.d"
+  "ml_model_io_test"
+  "ml_model_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_model_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

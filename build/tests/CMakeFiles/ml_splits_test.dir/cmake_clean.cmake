@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_splits_test.dir/ml_splits_test.cc.o"
+  "CMakeFiles/ml_splits_test.dir/ml_splits_test.cc.o.d"
+  "ml_splits_test"
+  "ml_splits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_splits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

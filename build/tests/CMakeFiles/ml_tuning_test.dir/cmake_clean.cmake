@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tuning_test.dir/ml_tuning_test.cc.o"
+  "CMakeFiles/ml_tuning_test.dir/ml_tuning_test.cc.o.d"
+  "ml_tuning_test"
+  "ml_tuning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

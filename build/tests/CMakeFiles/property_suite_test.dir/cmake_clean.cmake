@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_suite_test.dir/property_suite_test.cc.o"
+  "CMakeFiles/property_suite_test.dir/property_suite_test.cc.o.d"
+  "property_suite_test"
+  "property_suite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplify_test.dir/simplify_test.cc.o"
+  "CMakeFiles/simplify_test.dir/simplify_test.cc.o.d"
+  "simplify_test"
+  "simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

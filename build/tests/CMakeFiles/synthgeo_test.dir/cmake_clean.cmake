@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthgeo_test.dir/synthgeo_test.cc.o"
+  "CMakeFiles/synthgeo_test.dir/synthgeo_test.cc.o.d"
+  "synthgeo_test"
+  "synthgeo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthgeo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_test.dir/temporal_test.cc.o"
+  "CMakeFiles/temporal_test.dir/temporal_test.cc.o.d"
+  "temporal_test"
+  "temporal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

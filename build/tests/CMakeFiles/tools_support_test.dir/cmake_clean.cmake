@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_support_test.dir/tools_support_test.cc.o"
+  "CMakeFiles/tools_support_test.dir/tools_support_test.cc.o.d"
+  "tools_support_test"
+  "tools_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_extensions_test.dir/traj_extensions_test.cc.o"
+  "CMakeFiles/traj_extensions_test.dir/traj_extensions_test.cc.o.d"
+  "traj_extensions_test"
+  "traj_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

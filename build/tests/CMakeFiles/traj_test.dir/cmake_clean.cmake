@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_test.dir/traj_test.cc.o"
+  "CMakeFiles/traj_test.dir/traj_test.cc.o.d"
+  "traj_test"
+  "traj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

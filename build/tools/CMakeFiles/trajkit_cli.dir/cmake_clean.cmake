@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_cli.dir/trajkit_cli.cc.o"
+  "CMakeFiles/trajkit_cli.dir/trajkit_cli.cc.o.d"
+  "trajkit"
+  "trajkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
