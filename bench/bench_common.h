@@ -1,16 +1,21 @@
 #ifndef TRAJKIT_BENCH_BENCH_COMMON_H_
 #define TRAJKIT_BENCH_BENCH_COMMON_H_
 
-// Shared plumbing of the experiment harnesses: a tiny --flag=value parser
-// and the corpus knobs every experiment accepts. Harnesses are plain
-// executables that print the paper's rows; microbenchmarks (micro_*.cc) use
-// google-benchmark instead.
+// Shared plumbing of the experiment harnesses: a tiny --flag=value parser,
+// the corpus knobs every experiment accepts, the --threads knob of the
+// parallel execution layer, and the --timing_json machine-readable timing
+// emitter. Harnesses are plain executables that print the paper's rows;
+// microbenchmarks (micro_*.cc) use google-benchmark instead.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/experiments.h"
 
 namespace trajkit::bench {
@@ -18,17 +23,76 @@ namespace trajkit::bench {
 /// The harnesses use the library's --key=value parser.
 using ::trajkit::Flags;
 
+/// Applies --threads=N (0/absent keeps the TRAJKIT_THREADS-or-hardware
+/// default) and returns the effective budget. Call once, right after flag
+/// parsing, before any dataset/model work.
+inline int InitThreadsFromFlags(const Flags& flags) {
+  const int threads = flags.GetInt("threads", 0);
+  if (threads > 0) SetMaxThreads(threads);
+  return MaxThreads();
+}
+
 /// Corpus knobs shared by all experiments. --users/--days/--seed shrink or
 /// grow the synthetic corpus; the defaults below reproduce the numbers in
-/// EXPERIMENTS.md.
+/// EXPERIMENTS.md. --seed accepts the full uint64 range.
 inline synthgeo::GeneratorOptions CorpusOptionsFromFlags(
     const Flags& flags, int default_users = 60, int default_days = 6) {
   synthgeo::GeneratorOptions options;
   options.num_users = flags.GetInt("users", default_users);
   options.days_per_user = flags.GetInt("days", default_days);
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.seed = flags.GetUint64("seed", 7);
   return options;
 }
+
+/// Collects named wall-clock phase timings and, when --timing_json=<path>
+/// was given, writes them as one JSON object — the machine-readable perf
+/// trajectory consumed by BENCH_*.json tooling:
+///   {"harness": "...", "threads": N, "timings_s": {"phase": 1.23, ...}}
+/// Record() keeps insertion order; duplicate names are emitted as given.
+class TimingJson {
+ public:
+  TimingJson(const char* harness, const Flags& flags)
+      : harness_(harness), path_(flags.GetString("timing_json", "")) {}
+
+  /// Records one phase's wall-clock seconds.
+  void Record(const std::string& name, double seconds) {
+    entries_.emplace_back(name, seconds);
+  }
+
+  /// Convenience: records the stopwatch's elapsed seconds and restarts it,
+  /// so consecutive phases chain naturally.
+  void RecordLap(const std::string& name, Stopwatch& watch) {
+    Record(name, watch.ElapsedSeconds());
+    watch.Reset();
+  }
+
+  /// Writes the JSON file if --timing_json was given; a no-op otherwise.
+  /// Returns false (with a stderr note) when the file cannot be written.
+  bool Write() const {
+    if (path_.empty()) return true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "timing_json: cannot open '%s'\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"harness\": \"%s\",\n  \"threads\": %d,\n",
+                 harness_, MaxThreads());
+    std::fprintf(out, "  \"timings_s\": {");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                   entries_[i].first.c_str(), entries_[i].second);
+    }
+    std::fprintf(out, "\n  }\n}\n");
+    std::fclose(out);
+    std::printf("timings written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  const char* harness_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 /// Dies with a message when a Status/Result is not OK.
 template <typename T>

@@ -7,7 +7,7 @@
 //   * the min-10-points segmentation filter (§3.2) swept over thresholds,
 //   * the random-forest estimator count (50 in §4.3) swept.
 //
-// Flags: --users --days --seed --folds
+// Flags: --users --days --seed --folds --threads=N --timing_json=<path>
 
 #include <cstdio>
 #include <vector>
@@ -46,11 +46,15 @@ int Run(int argc, char** argv) {
 
   std::printf("=== Ablations (Dabiri labels, random %d-fold CV) ===\n\n",
               folds);
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_ablations", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   // Generate the corpus once; rebuild datasets under different pipelines.
   synthgeo::GeoLifeLikeGenerator generator(generator_options);
   const std::vector<traj::Trajectory> corpus = generator.Generate();
+  timing.RecordLap("corpus_generate", phase_timer);
   const core::LabelSet labels = core::LabelSet::Dabiri();
 
   // ---- Ablation 1: noise removal (step 6) ----------------------------
@@ -190,6 +194,9 @@ int Run(int argc, char** argv) {
                 "within noise of the grid optimum)\n");
   }
 
+  timing.RecordLap("ablations", phase_timer);
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("\ntotal time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

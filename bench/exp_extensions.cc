@@ -9,7 +9,8 @@
 //   3. the extended classifier roster (six paper families + k-NN +
 //      logistic regression) under random and user-oriented CV.
 //
-// Flags: --users --days --seed --folds --scale
+// Flags: --users --days --seed --folds --scale --threads=N
+//        --timing_json=<path>
 
 #include <cstdio>
 #include <string>
@@ -40,11 +41,15 @@ int Run(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.5);
 
   std::printf("=== Extensions: segmentation, features, classifiers ===\n\n");
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_extensions", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   synthgeo::GeoLifeLikeGenerator generator(
       bench::CorpusOptionsFromFlags(flags));
   const std::vector<traj::Trajectory> corpus = generator.Generate();
+  timing.RecordLap("corpus_generate", phase_timer);
   const core::LabelSet labels = core::LabelSet::Dabiri();
 
   // ---- 1. Segmentation strategy ---------------------------------------
@@ -159,6 +164,9 @@ int Run(int argc, char** argv) {
     table.Print();
   }
 
+  timing.RecordLap("extensions", phase_timer);
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("\ntotal time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

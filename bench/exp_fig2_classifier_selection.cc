@@ -9,6 +9,7 @@
 // §4.1.
 //
 // Flags: --users --days --seed --folds --repeats --scale
+//        --threads=N --timing_json=<path>
 //   --scale < 1 shrinks ensemble sizes / epochs for a faster smoke run.
 
 #include <cmath>
@@ -36,13 +37,17 @@ int Run(int argc, char** argv) {
 
   std::printf(
       "=== Figure 2: classifier selection (random CV, Dabiri labels) ===\n");
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_fig2_classifier_selection", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   const auto built = bench::DieOnError(
       core::BuildSyntheticDataset(bench::CorpusOptionsFromFlags(flags),
                                   core::PipelineOptions{},
                                   core::LabelSet::Dabiri()),
       "dataset build");
+  timing.RecordLap("dataset_build", phase_timer);
   std::printf("corpus: %zu points, dataset: %zu segments x %zu features\n\n",
               built.corpus_summary.total_points, built.dataset.num_samples(),
               built.dataset.num_features());
@@ -83,6 +88,7 @@ int Run(int argc, char** argv) {
                   StrPrintf("%.4f", std::sqrt(var)),
                   StrPrintf("%.4f", wf1_sum / wf1_count),
                   StrPrintf("%.1f", timer.ElapsedSeconds())});
+    timing.Record("cv_" + name, timer.ElapsedSeconds());
     fold_scores[name] = std::move(scores);
   }
   table.Print();
@@ -118,6 +124,8 @@ int Run(int argc, char** argv) {
   std::printf(
       "\npaper reference: RF mu=90.4%%, XGBoost mu=90.0%%; RF vs XGB and "
       "RF vs DT not significant; RF vs {SVM, NN, AdaBoost} significant.\n");
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

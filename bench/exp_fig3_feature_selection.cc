@@ -15,7 +15,7 @@
 //
 // Flags: --users --days --seed --folds --trees --max_features
 //        --method=importance|wrapper|mi|chi2|anova|both|all
-//        --out=<csv path>
+//        --out=<csv path> --threads=N --timing_json=<path>
 
 #include <algorithm>
 #include <cstdio>
@@ -90,7 +90,10 @@ int Run(int argc, char** argv) {
   std::printf(
       "=== Figure 3: feature selection (user-oriented CV, Endo labels) "
       "===\n");
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_fig3_feature_selection", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   const auto built = bench::DieOnError(
       core::BuildSyntheticDataset(
@@ -100,6 +103,7 @@ int Run(int argc, char** argv) {
       "dataset build");
   std::printf("dataset: %zu segments x %zu features\n",
               built.dataset.num_samples(), built.dataset.num_features());
+  timing.RecordLap("dataset_build", phase_timer);
 
   const auto& names = traj::TrajectoryFeatureExtractor::FeatureNames();
   const ml::SubsetEvaluator evaluator = MakeEvaluator(trees, folds, 17);
@@ -134,6 +138,7 @@ int Run(int argc, char** argv) {
         "importance curve");
     PrintCurve("Fig 3(a): incremental by RF importance", steps, names, &csv,
                "importance");
+    timing.RecordLap("importance_curve", phase_timer);
   }
 
   // Filter methods (extension): rank by a classifier-independent score,
@@ -172,9 +177,11 @@ int Run(int argc, char** argv) {
 
   if (method == "wrapper" || method == "both" || method == "all") {
     // (b) Greedy forward wrapper search.
+    phase_timer.Reset();
     const auto steps = bench::DieOnError(
         ml::ForwardWrapperSelection(built.dataset, evaluator, max_features),
         "wrapper search");
+    timing.RecordLap("wrapper_search", phase_timer);
     PrintCurve("Fig 3(b): forward wrapper search", steps, names, &csv,
                "wrapper");
     std::printf("\ntop-20 wrapper subset (the paper's selected subset):\n");
@@ -200,6 +207,8 @@ int Run(int argc, char** argv) {
       "\npaper reference: accuracy rises then plateaus; top-20 subset "
       "is best; speed_p90 is the most essential feature under both "
       "methods.\n");
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

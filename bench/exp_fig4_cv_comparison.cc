@@ -7,6 +7,7 @@
 // yields optimistic accuracy and F-score for every classifier.
 //
 // Flags: --users --days --seed --folds --scale --classifiers=a,b,c
+//        --threads=N --timing_json=<path>
 
 #include <cstdio>
 #include <string>
@@ -34,13 +35,17 @@ int Run(int argc, char** argv) {
 
   std::printf(
       "=== Figure 4: random vs user-oriented cross-validation ===\n\n");
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_fig4_cv_comparison", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   const auto built = bench::DieOnError(
       core::BuildSyntheticDataset(bench::CorpusOptionsFromFlags(flags),
                                   core::PipelineOptions{},
                                   core::LabelSet::Dabiri()),
       "dataset build");
+  timing.RecordLap("dataset_build", phase_timer);
   std::printf("dataset: %zu segments, %zu users\n\n",
               built.dataset.num_samples(),
               built.dataset.DistinctGroups().size());
@@ -140,6 +145,9 @@ int Run(int argc, char** argv) {
       "paper reference: random CV is optimistic for every classifier on "
       "accuracy and F-score; user-oriented results are less stable "
       "fold-to-fold.\n");
+  timing.RecordLap("cv_comparison", phase_timer);
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

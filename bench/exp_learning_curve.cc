@@ -4,7 +4,8 @@
 // Sweeps the number of users (the unit that matters for user-oriented CV)
 // at a fixed number of days.
 //
-// Flags: --days --seed --folds --scale --max_users
+// Flags: --days --seed --folds --scale --max_users --threads=N
+//        --timing_json=<path>
 
 #include <cstdio>
 #include <vector>
@@ -30,6 +31,8 @@ int Run(int argc, char** argv) {
   std::printf(
       "=== Learning curve: corpus size vs accuracy (RF, Dabiri labels) "
       "===\n\n");
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_learning_curve", flags);
   Stopwatch total_timer;
 
   TablePrinter table({"users", "segments", "points", "random_acc",
@@ -39,7 +42,7 @@ int Run(int argc, char** argv) {
     synthgeo::GeneratorOptions generator_options;
     generator_options.num_users = users;
     generator_options.days_per_user = days;
-    generator_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+    generator_options.seed = flags.GetUint64("seed", 7);
     Stopwatch timer;
     const auto built = bench::DieOnError(
         core::BuildSyntheticDataset(generator_options,
@@ -66,11 +69,14 @@ int Run(int argc, char** argv) {
          StrPrintf("%+.4f",
                    random_cv.MeanAccuracy() - user_cv.MeanAccuracy()),
          StrPrintf("%.1f", timer.ElapsedSeconds())});
+    timing.Record(StrPrintf("users_%d", users), timer.ElapsedSeconds());
   }
   table.Print();
   std::printf(
       "\nexpected shape: both curves rise with more users; the optimism "
       "gap persists at every size.\n");
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

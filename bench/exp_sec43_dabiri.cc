@@ -10,6 +10,7 @@
 // mean accuracy of 88.5% vs. Dabiri's 84.8% (p = 0.0796).
 //
 // Flags: --users --days --seed --folds --trees --reference
+//        --threads=N --timing_json=<path>
 
 #include <cstdio>
 #include <vector>
@@ -38,13 +39,17 @@ int Run(int argc, char** argv) {
       "=== Section 4.3 (ii): comparison with Dabiri & Heaslip [2] ===\n"
       "random %d-fold CV, top-20 features, RF(%d), no noise removal\n\n",
       folds, trees);
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_sec43_dabiri", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   const auto built = bench::DieOnError(
       core::BuildSyntheticDataset(bench::CorpusOptionsFromFlags(flags),
                                   core::PipelineOptions{},
                                   core::LabelSet::Dabiri()),
       "dataset build");
+  timing.RecordLap("dataset_build", phase_timer);
   std::printf("dataset: %zu segments, %d classes\n",
               built.dataset.num_samples(), built.dataset.num_classes());
 
@@ -100,6 +105,9 @@ int Run(int argc, char** argv) {
   std::printf(
       "\npaper reference: 88.5%% vs Dabiri's 84.8%%, p=0.0796 — ours should "
       "likewise exceed the reference.\n");
+  timing.RecordLap("evaluation", phase_timer);
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

@@ -10,6 +10,7 @@
 // one-sample Wilcoxon signed-rank test (p = 0.0431).
 //
 // Flags: --users --days --seed --repeats --trees --reference
+//        --threads=N --timing_json=<path>
 
 #include <cstdio>
 #include <set>
@@ -40,13 +41,17 @@ int Run(int argc, char** argv) {
       "=== Section 4.3 (i): comparison with Endo et al. [4] ===\n"
       "disjoint-user 80/20 split, top-20 features, RF(%d)\n\n",
       trees);
+  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
+  bench::TimingJson timing("exp_sec43_endo", flags);
   Stopwatch total_timer;
+  Stopwatch phase_timer;
 
   const auto built = bench::DieOnError(
       core::BuildSyntheticDataset(bench::CorpusOptionsFromFlags(flags),
                                   core::PipelineOptions{},
                                   core::LabelSet::Endo()),
       "dataset build");
+  timing.RecordLap("dataset_build", phase_timer);
   std::printf("dataset: %zu segments, %d classes, %zu users\n",
               built.dataset.num_samples(), built.dataset.num_classes(),
               built.dataset.DistinctGroups().size());
@@ -115,6 +120,9 @@ int Run(int argc, char** argv) {
   std::printf(
       "\npaper reference: 69.50%% vs Endo's 67.9%%, p=0.0431 — ours should "
       "likewise exceed the reference.\n");
+  timing.RecordLap("evaluation", phase_timer);
+  timing.Record("total", total_timer.ElapsedSeconds());
+  timing.Write();
   std::printf("total time: %.1fs\n", total_timer.ElapsedSeconds());
   return 0;
 }

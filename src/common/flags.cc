@@ -28,6 +28,12 @@ int Flags::GetInt(const std::string& key, int fallback) const {
   return static_cast<int>(ParseInt64(it->second).value_or(fallback));
 }
 
+uint64_t Flags::GetUint64(const std::string& key, uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return static_cast<uint64_t>(ParseUint64(it->second).value_or(fallback));
+}
+
 double Flags::GetDouble(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

@@ -1,6 +1,7 @@
 #ifndef TRAJKIT_COMMON_FLAGS_H_
 #define TRAJKIT_COMMON_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -17,6 +18,9 @@ class Flags {
 
   /// Typed lookups with fallbacks (malformed values fall back too).
   int GetInt(const std::string& key, int fallback) const;
+  /// Full-width unsigned lookup for 64-bit seeds: GetInt would narrow
+  /// through int and mangle seeds above 2^31-1.
+  uint64_t GetUint64(const std::string& key, uint64_t fallback) const;
   double GetDouble(const std::string& key, double fallback) const;
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;

@@ -1,0 +1,204 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace trajkit {
+
+namespace {
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("TRAJKIT_THREADS")) {
+    const Result<long long> parsed = ParseInt64(env);
+    if (parsed.ok() && parsed.value() > 0) {
+      return static_cast<int>(parsed.value());
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// One ParallelFor invocation. Chunks are claimed with an atomic cursor by
+/// whichever thread (pool worker or the caller itself) gets there first;
+/// callers block only on chunks that were actually claimed, which always
+/// finish, so nested invocations cannot deadlock.
+struct ParallelWork {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t chunks_total = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;  // Guarded by mu.
+  std::string error;       // Guarded by mu; first failure wins.
+
+  void RunChunks() {
+    while (true) {
+      const size_t offset = cursor.fetch_add(grain, std::memory_order_relaxed);
+      const size_t chunk_begin = begin + offset;
+      if (chunk_begin >= end) return;
+      const size_t chunk_end = std::min(chunk_begin + grain, end);
+      // After a failure the remaining chunks are claimed but not executed,
+      // so the completion count still converges and waiters wake up.
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          for (size_t i = chunk_begin; i < chunk_end; ++i) (*fn)(i);
+        } catch (const std::exception& e) {
+          RecordFailure(e.what());
+        } catch (...) {
+          RecordFailure("unknown exception in parallel region");
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++chunks_done == chunks_total) done_cv.notify_all();
+    }
+  }
+
+  void RecordFailure(const char* what) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!failed.load(std::memory_order_relaxed)) {
+      error = what;
+      failed.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void AwaitCompletion() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] { return chunks_done == chunks_total; });
+  }
+};
+
+/// Shared lazily-started fixed pool. Spawns MaxThreads()-1 workers on first
+/// use (the submitting thread is the Nth lane); SetMaxThreads joins and
+/// respawns. Workers only ever run ParallelWork claim loops, never block on
+/// other tasks.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool();  // Leaked: workers may
+    return *pool;  // outlive static destruction order; they are detached
+  }                // from process teardown concerns (no I/O at exit).
+
+  int target_threads() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return target_;
+  }
+
+  void set_target_threads(int n) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const int target = n > 0 ? n : DefaultThreads();
+      if (target == target_) return;
+      target_ = target;
+      stop_epoch_++;
+      queue_.clear();
+      to_join.swap(workers_);
+      cv_.notify_all();
+    }
+    for (std::thread& worker : to_join) worker.join();
+  }
+
+  void Submit(std::shared_ptr<ParallelWork> work) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty() && target_ > 1) {
+      workers_.reserve(static_cast<size_t>(target_ - 1));
+      for (int i = 0; i < target_ - 1; ++i) {
+        workers_.emplace_back(&ThreadPool::WorkerLoop, this, stop_epoch_);
+      }
+    }
+    queue_.push_back(std::move(work));
+    cv_.notify_one();
+  }
+
+ private:
+  ThreadPool() : target_(DefaultThreads()) {}
+
+  void WorkerLoop(uint64_t epoch) {
+    while (true) {
+      std::shared_ptr<ParallelWork> work;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return stop_epoch_ != epoch || !queue_.empty();
+        });
+        if (stop_epoch_ != epoch) return;
+        work = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      work->RunChunks();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<ParallelWork>> queue_;
+  std::vector<std::thread> workers_;
+  int target_;
+  uint64_t stop_epoch_ = 0;
+};
+
+}  // namespace
+
+int MaxThreads() { return ThreadPool::Global().target_threads(); }
+
+void SetMaxThreads(int n) { ThreadPool::Global().set_target_threads(n); }
+
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn) {
+  if (end <= begin) return Status::Ok();
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t chunks = (n + grain - 1) / grain;
+  const int threads = MaxThreads();
+  if (threads <= 1 || chunks <= 1) {
+    // Serial fast path: same exception contract, no pool involvement.
+    try {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    } catch (...) {
+      return Status::Internal("unknown exception in parallel region");
+    }
+    return Status::Ok();
+  }
+
+  auto work = std::make_shared<ParallelWork>();
+  work->begin = begin;
+  work->end = end;
+  work->grain = grain;
+  work->chunks_total = chunks;
+  work->fn = &fn;
+
+  // One helper per chunk beyond the one the caller will run itself, capped
+  // by the worker budget. Helpers that wake up after all chunks are claimed
+  // exit immediately, so over-submission is harmless.
+  const size_t helpers = std::min<size_t>(
+      static_cast<size_t>(threads - 1), chunks - 1);
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t h = 0; h < helpers; ++h) pool.Submit(work);
+  work->RunChunks();
+  work->AwaitCompletion();
+
+  if (work->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(work->mu);
+    return Status::Internal(work->error);
+  }
+  return Status::Ok();
+}
+
+}  // namespace trajkit

@@ -1,0 +1,63 @@
+#ifndef TRAJKIT_COMMON_PARALLEL_H_
+#define TRAJKIT_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace trajkit {
+
+/// Process-wide thread budget used by ParallelFor/ParallelMap. Resolution
+/// order: the last SetMaxThreads value, else the TRAJKIT_THREADS environment
+/// variable, else std::thread::hardware_concurrency(). Always >= 1.
+int MaxThreads();
+
+/// Sets the process-wide thread budget; n <= 0 restores the default
+/// (TRAJKIT_THREADS env or hardware concurrency). The shared pool is resized
+/// lazily. Precondition: no ParallelFor is in flight on any thread — call it
+/// from setup code (flag parsing, test fixtures), not from workers.
+void SetMaxThreads(int n);
+
+/// Runs fn(i) for every i in [begin, end) on the shared thread pool, in
+/// chunks of `grain` consecutive indices (grain 0 is treated as 1). The
+/// calling thread participates, so the function also works — and cannot
+/// deadlock — when invoked from inside another parallel region (e.g. a
+/// cross-validation fold fitting a forest).
+///
+/// Determinism contract: chunk *scheduling* is nondeterministic, so fn must
+/// only write to per-index state (slot i of a pre-sized output) and derive
+/// any randomness from a per-index seed. Under that discipline results are
+/// bit-identical at every thread count; every parallel call site in TrajKit
+/// follows it (see DESIGN.md "Parallelism & determinism").
+///
+/// fn must not throw across this boundary as a matter of API style; if it
+/// does, the first exception is captured and returned as an Internal status
+/// (remaining chunks are skipped) instead of terminating the process.
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+/// Maps fn over [0, n) and returns the results in index order (slot i holds
+/// fn(i), regardless of which thread computed it). T only needs to be
+/// movable, not default-constructible, so Result<U> values work; fallible
+/// per-item work should return Result<U> and be unwrapped by the caller in
+/// index order. Exceptions surface as an Internal status like ParallelFor.
+template <typename T, typename Fn>
+Result<std::vector<T>> ParallelMap(size_t n, size_t grain, Fn&& fn) {
+  std::vector<std::optional<T>> slots(n);
+  Status status = ParallelFor(
+      0, n, grain, [&](size_t i) { slots[i].emplace(fn(i)); });
+  if (!status.ok()) return status;
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace trajkit
+
+#endif  // TRAJKIT_COMMON_PARALLEL_H_

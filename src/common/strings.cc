@@ -86,6 +86,25 @@ Result<long long> ParseInt64(std::string_view text) {
   return value;
 }
 
+Result<unsigned long long> ParseUint64(std::string_view text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return Status::ParseError("empty string is not an unsigned integer");
+  }
+  if (stripped.front() == '-') {
+    return Status::ParseError("negative value is not an unsigned integer: '" +
+                              std::string(stripped) + "'");
+  }
+  std::string buf(stripped);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::ParseError("not an unsigned integer: '" + buf + "'");
+  }
+  return value;
+}
+
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep) {
   std::string out;

@@ -32,6 +32,10 @@ Result<double> ParseDouble(std::string_view text);
 /// Parses a base-10 64-bit signed integer; whole string must be consumed.
 Result<long long> ParseInt64(std::string_view text);
 
+/// Parses a base-10 64-bit unsigned integer; whole string must be consumed
+/// and no leading '-' is accepted (strtoull would silently wrap it).
+Result<unsigned long long> ParseUint64(std::string_view text);
+
 /// Joins `parts` with `sep` between consecutive elements.
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "common/parallel.h"
 #include "traj/point_features.h"
 
 namespace trajkit::core {
@@ -46,16 +47,25 @@ Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
   extended_options.point_features = options_.point_features;
   const traj::ExtendedFeatureExtractor extended_extractor(extended_options);
 
-  std::vector<std::vector<double>> rows;
-  std::vector<int> y;
-  std::vector<int> groups;
-  std::vector<double> times;
-  rows.reserve(segments.size());
-
+  // Cheap serial pass to pick the eligible segments, then the per-segment
+  // 70(+)-dim extraction — the expensive part — runs in parallel, each
+  // segment writing only its own row (bit-identical at any thread count).
+  struct Eligible {
+    const traj::Segment* segment;
+    int cls;
+  };
+  std::vector<Eligible> eligible;
+  eligible.reserve(segments.size());
   for (const traj::Segment& segment : segments) {
     const int cls = labels.ClassOf(segment.mode);
     if (cls < 0) continue;
     if (segment.points.size() < 2) continue;
+    eligible.push_back({&segment, cls});
+  }
+
+  std::vector<std::vector<double>> rows(eligible.size());
+  TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, eligible.size(), 4, [&](size_t i) {
+    const traj::Segment& segment = *eligible[i].segment;
     // Point features are computed once and shared by both extractors.
     const traj::PointFeatures point_features =
         traj::ComputePointFeatures(segment.points, options_.point_features);
@@ -67,11 +77,20 @@ Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
                                                       segment.points);
       features.insert(features.end(), extended.begin(), extended.end());
     }
-    rows.push_back(std::move(features));
-    y.push_back(cls);
-    groups.push_back(segment.user_id);
-    times.push_back(segment.points.front().timestamp);
-    stats_.points_total += segment.points.size();
+    rows[i] = std::move(features);
+  }));
+
+  std::vector<int> y;
+  std::vector<int> groups;
+  std::vector<double> times;
+  y.reserve(eligible.size());
+  groups.reserve(eligible.size());
+  times.reserve(eligible.size());
+  for (const Eligible& item : eligible) {
+    y.push_back(item.cls);
+    groups.push_back(item.segment->user_id);
+    times.push_back(item.segment->points.front().timestamp);
+    stats_.points_total += item.segment->points.size();
   }
   stats_.segments_in_label_set = rows.size();
   if (rows.empty()) {

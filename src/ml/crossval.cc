@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "ml/metrics.h"
 #include "ml/normalize.h"
 
@@ -45,11 +46,19 @@ Result<CrossValidationResult> CrossValidate(
   if (folds.empty()) {
     return Status::InvalidArgument("no folds supplied");
   }
+  // Folds are independent (each fits its own clone on its own train/test
+  // copies); run them concurrently and merge in fold order so the result —
+  // including the pooled prediction vectors — is identical at any thread
+  // count.
+  TRAJKIT_ASSIGN_OR_RETURN(
+      std::vector<Result<HoldoutResult>> holdouts,
+      (ParallelMap<Result<HoldoutResult>>(folds.size(), 1, [&](size_t i) {
+        return EvaluateHoldout(prototype, dataset, folds[i], options);
+      })));
   CrossValidationResult result;
-  for (const FoldSplit& fold : folds) {
-    TRAJKIT_ASSIGN_OR_RETURN(HoldoutResult holdout,
-                             EvaluateHoldout(prototype, dataset, fold,
-                                             options));
+  for (Result<HoldoutResult>& fold_result : holdouts) {
+    if (!fold_result.ok()) return fold_result.status();
+    HoldoutResult& holdout = fold_result.value();
     result.fold_accuracy.push_back(holdout.accuracy);
     result.fold_macro_f1.push_back(holdout.macro_f1);
     result.fold_weighted_f1.push_back(holdout.weighted_f1);

@@ -84,8 +84,13 @@ Status DecisionTree::FitWeighted(const Dataset& train,
   std::vector<size_t> indices(train.num_samples());
   std::iota(indices.begin(), indices.end(), 0u);
   Rng rng(params_.seed);
+  BuildScratch scratch;
+  scratch.samples.reserve(train.num_samples());
+  scratch.counts.reserve(static_cast<size_t>(num_classes_));
+  scratch.left_counts.reserve(static_cast<size_t>(num_classes_));
+  scratch.candidates.reserve(train.num_features());
   BuildNode(train.features(), train.labels(), w, indices, 0, indices.size(),
-            0, rng);
+            0, rng, scratch);
 
   // Normalize importances to sum 1 (when any split happened).
   const double total_importance =
@@ -99,13 +104,15 @@ Status DecisionTree::FitWeighted(const Dataset& train,
 int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
                             const std::vector<double>& w,
                             std::vector<size_t>& indices, size_t begin,
-                            size_t end, int depth, Rng& rng) {
+                            size_t end, int depth, Rng& rng,
+                            BuildScratch& scratch) {
   TRAJKIT_CHECK_LT(begin, end);
   depth_ = std::max(depth_, depth);
   const size_t n = end - begin;
   const size_t k = static_cast<size_t>(num_classes_);
 
-  std::vector<double> counts(k, 0.0);
+  std::vector<double>& counts = scratch.counts;
+  counts.assign(k, 0.0);
   double total_weight = 0.0;
   for (size_t i = begin; i < end; ++i) {
     counts[static_cast<size_t>(y[indices[i]])] += w[indices[i]];
@@ -136,7 +143,8 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
 
   // Candidate features: all, or a random subset of max_features.
   const int num_features = static_cast<int>(x.cols());
-  std::vector<int> candidates(static_cast<size_t>(num_features));
+  std::vector<int>& candidates = scratch.candidates;
+  candidates.resize(static_cast<size_t>(num_features));
   std::iota(candidates.begin(), candidates.end(), 0);
   int num_candidates = num_features;
   if (params_.max_features > 0 && params_.max_features < num_features) {
@@ -159,13 +167,11 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
   SplitChoice best;
 
   // Scratch: (value, weight, label) triplets sorted per candidate feature.
-  struct Sample {
-    double value;
-    double weight;
-    int label;
-  };
-  std::vector<Sample> samples(n);
-  std::vector<double> left_counts(k);
+  using Sample = BuildScratch::Sample;
+  std::vector<Sample>& samples = scratch.samples;
+  samples.resize(n);
+  std::vector<double>& left_counts = scratch.left_counts;
+  left_counts.resize(k);
 
   for (int ci = 0; ci < num_candidates; ++ci) {
     const int f = candidates[static_cast<size_t>(ci)];
@@ -256,9 +262,11 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
   nodes_.emplace_back();
   nodes_[static_cast<size_t>(node_index)].feature = best.feature;
   nodes_[static_cast<size_t>(node_index)].threshold = best.threshold;
-  const int left = BuildNode(x, y, w, indices, begin, mid, depth + 1, rng);
+  const int left =
+      BuildNode(x, y, w, indices, begin, mid, depth + 1, rng, scratch);
   nodes_[static_cast<size_t>(node_index)].left = left;
-  const int right = BuildNode(x, y, w, indices, mid, end, depth + 1, rng);
+  const int right =
+      BuildNode(x, y, w, indices, mid, end, depth + 1, rng, scratch);
   nodes_[static_cast<size_t>(node_index)].right = right;
   return node_index;
 }

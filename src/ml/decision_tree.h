@@ -86,9 +86,26 @@ class DecisionTree final : public Classifier {
     int distribution = -1;
   };
 
+  /// Per-fit scratch buffers shared by every BuildNode call: a node fully
+  /// re-fills each buffer it uses before recursing, so reusing them across
+  /// nodes (and letting children overwrite them) is safe and removes the
+  /// per-node allocation churn.
+  struct BuildScratch {
+    struct Sample {
+      double value;
+      double weight;
+      int label;
+    };
+    std::vector<Sample> samples;
+    std::vector<double> counts;
+    std::vector<double> left_counts;
+    std::vector<int> candidates;
+  };
+
   int BuildNode(const Matrix& x, const std::vector<int>& y,
                 const std::vector<double>& w, std::vector<size_t>& indices,
-                size_t begin, size_t end, int depth, Rng& rng);
+                size_t begin, size_t end, int depth, Rng& rng,
+                BuildScratch& scratch);
   size_t FindLeaf(std::span<const double> row) const;
 
   DecisionTreeParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace trajkit::ml {
 
@@ -20,16 +21,27 @@ Result<std::vector<SelectionStep>> ForwardWrapperSelection(
   std::vector<bool> used(static_cast<size_t>(total), false);
 
   for (int step = 0; step < budget; ++step) {
+    // All candidates of a round are independent evaluator calls; score them
+    // concurrently (this turns the O(F^2) sequential fit count into O(F)
+    // rounds of parallel fits), then reduce in ascending feature order so
+    // the argmax tie-break matches the serial scan exactly.
+    std::vector<int> open;
+    open.reserve(static_cast<size_t>(total));
+    for (int f = 0; f < total; ++f) {
+      if (!used[static_cast<size_t>(f)]) open.push_back(f);
+    }
+    std::vector<double> scores(open.size(), 0.0);
+    TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, open.size(), 1, [&](size_t i) {
+      std::vector<int> candidate = selected;
+      candidate.push_back(open[i]);
+      scores[i] = evaluator(dataset.SelectFeatures(candidate));
+    }));
     int best_feature = -1;
     double best_score = -1.0;
-    for (int f = 0; f < total; ++f) {
-      if (used[static_cast<size_t>(f)]) continue;
-      std::vector<int> candidate = selected;
-      candidate.push_back(f);
-      const double score = evaluator(dataset.SelectFeatures(candidate));
-      if (score > best_score) {
-        best_score = score;
-        best_feature = f;
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (scores[i] > best_score) {
+        best_score = scores[i];
+        best_feature = open[i];
       }
     }
     TRAJKIT_CHECK_GE(best_feature, 0);

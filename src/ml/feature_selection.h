@@ -11,7 +11,10 @@
 namespace trajkit::ml {
 
 /// Scores a dataset restricted to a candidate feature subset; typically a
-/// cross-validated accuracy. Higher is better.
+/// cross-validated accuracy. Higher is better. ForwardWrapperSelection
+/// invokes the evaluator concurrently from several threads, so it must be
+/// thread-safe: capture configuration by value and keep all mutable state
+/// local to the call (the CV-accuracy evaluators in bench/ already do).
 using SubsetEvaluator = std::function<double(const Dataset& subset)>;
 
 /// One step of an incremental selection curve: after adding

@@ -1,7 +1,9 @@
 #include "ml/permutation_importance.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "common/parallel.h"
 #include "ml/metrics.h"
 
 namespace trajkit::ml {
@@ -19,33 +21,41 @@ Result<std::vector<FeatureScore>> PermutationImportance(
 
   const double baseline =
       Accuracy(holdout.labels(), model.Predict(holdout.features()));
-  Rng rng(options.seed);
   const size_t n = holdout.num_samples();
+  const size_t num_features = holdout.num_features();
+  const size_t repeats = static_cast<size_t>(options.repeats);
 
-  std::vector<FeatureScore> scores;
-  scores.reserve(holdout.num_features());
-  Matrix scratch = holdout.features();
-  std::vector<double> column(n);
-  std::vector<size_t> order(n);
+  // Pre-derive every shuffle order serially, consuming the RNG in the exact
+  // (feature, repeat) order the serial implementation did — a Fisher–Yates
+  // shuffle draws a data-dependent number of words (rejection sampling), so
+  // the stream cannot be split by counting. The predict-heavy scoring below
+  // then runs per-feature in parallel with bit-identical results.
+  Rng rng(options.seed);
+  std::vector<std::vector<size_t>> orders(num_features * repeats);
+  for (std::vector<size_t>& order : orders) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(order);
+  }
 
-  for (size_t f = 0; f < holdout.num_features(); ++f) {
-    // Save the column, then shuffle it `repeats` times.
+  std::vector<FeatureScore> scores(num_features);
+  TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, num_features, 1, [&](size_t f) {
+    // Per-feature scratch copy: only column f is perturbed, and the model
+    // is shared read-only across threads.
+    Matrix scratch = holdout.features();
+    std::vector<double> column(n);
     for (size_t r = 0; r < n; ++r) column[r] = scratch(r, f);
     double drop_total = 0.0;
-    for (int repeat = 0; repeat < options.repeats; ++repeat) {
-      for (size_t r = 0; r < n; ++r) order[r] = r;
-      rng.Shuffle(order);
+    for (size_t repeat = 0; repeat < repeats; ++repeat) {
+      const std::vector<size_t>& order = orders[f * repeats + repeat];
       for (size_t r = 0; r < n; ++r) scratch(r, f) = column[order[r]];
       const double shuffled =
           Accuracy(holdout.labels(), model.Predict(scratch));
       drop_total += baseline - shuffled;
     }
-    // Restore.
-    for (size_t r = 0; r < n; ++r) scratch(r, f) = column[r];
-    scores.push_back(
-        {static_cast<int>(f),
-         drop_total / static_cast<double>(options.repeats)});
-  }
+    scores[f] = {static_cast<int>(f),
+                 drop_total / static_cast<double>(options.repeats)};
+  }));
   std::stable_sort(scores.begin(), scores.end(),
                    [](const FeatureScore& a, const FeatureScore& b) {
                      return a.score > b.score;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace trajkit::ml {
@@ -20,7 +21,6 @@ Status RandomForest::Fit(const Dataset& train) {
   }
   num_classes_ = train.num_classes();
   trees_.clear();
-  trees_.reserve(static_cast<size_t>(params_.n_estimators));
   importances_.assign(train.num_features(), 0.0);
 
   int max_features = params_.max_features;
@@ -30,9 +30,18 @@ Status RandomForest::Fit(const Dataset& train) {
                std::sqrt(static_cast<double>(train.num_features())))));
   }
 
+  // Derive every tree's seed and bootstrap weights up front, consuming the
+  // forest RNG in the exact order a serial fit would. Tree builds then only
+  // touch per-tree state, so they can run on any number of threads while
+  // producing bit-identical forests (the determinism contract of
+  // common/parallel.h).
   Rng rng(params_.seed);
   const size_t n = train.num_samples();
-  for (int t = 0; t < params_.n_estimators; ++t) {
+  const size_t num_trees = static_cast<size_t>(params_.n_estimators);
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  std::vector<std::vector<double>> bootstrap_weights(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
     DecisionTreeParams tree_params;
     tree_params.criterion = params_.criterion;
     tree_params.max_depth = params_.max_depth;
@@ -41,25 +50,36 @@ Status RandomForest::Fit(const Dataset& train) {
     tree_params.max_features = max_features;
     tree_params.balanced_class_weights = params_.balanced_class_weights;
     tree_params.seed = rng.NextUint64();
-
-    DecisionTree tree(tree_params);
+    trees.emplace_back(tree_params);
     if (params_.bootstrap) {
       // Bootstrap as integer sample weights: equivalent to resampling and
       // avoids materializing a copied dataset per tree.
-      std::vector<double> weights(n, 0.0);
+      bootstrap_weights[t].assign(n, 0.0);
       for (size_t i = 0; i < n; ++i) {
-        weights[rng.NextBounded(n)] += 1.0;
+        bootstrap_weights[t][rng.NextBounded(n)] += 1.0;
       }
-      TRAJKIT_RETURN_IF_ERROR(tree.FitWeighted(train, weights));
-    } else {
-      TRAJKIT_RETURN_IF_ERROR(tree.Fit(train));
     }
+  }
+
+  std::vector<Status> tree_status(num_trees);
+  TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, num_trees, 1, [&](size_t t) {
+    tree_status[t] = params_.bootstrap
+                         ? trees[t].FitWeighted(train, bootstrap_weights[t])
+                         : trees[t].Fit(train);
+  }));
+  for (const Status& status : tree_status) {
+    TRAJKIT_RETURN_IF_ERROR(status);
+  }
+
+  // Merge importances in tree-index order so the floating-point summation
+  // order is independent of scheduling.
+  for (const DecisionTree& tree : trees) {
     const std::vector<double>& tree_importances = tree.FeatureImportances();
     for (size_t f = 0; f < importances_.size(); ++f) {
       importances_[f] += tree_importances[f];
     }
-    trees_.push_back(std::move(tree));
   }
+  trees_ = std::move(trees);
   const double total =
       std::accumulate(importances_.begin(), importances_.end(), 0.0);
   if (total > 0.0) {
@@ -71,9 +91,9 @@ Status RandomForest::Fit(const Dataset& train) {
 std::vector<int> RandomForest::Predict(const Matrix& features) const {
   TRAJKIT_CHECK(fitted());
   std::vector<int> out(features.rows());
-  std::vector<double> acc(static_cast<size_t>(num_classes_));
-  for (size_t r = 0; r < features.rows(); ++r) {
-    std::fill(acc.begin(), acc.end(), 0.0);
+  // Rows are independent; each writes only its own output slot.
+  const Status status = ParallelFor(0, features.rows(), 16, [&](size_t r) {
+    std::vector<double> acc(static_cast<size_t>(num_classes_), 0.0);
     const std::span<const double> row = features.Row(r);
     for (const DecisionTree& tree : trees_) {
       const std::span<const double> dist = tree.LeafDistribution(row);
@@ -81,7 +101,8 @@ std::vector<int> RandomForest::Predict(const Matrix& features) const {
     }
     out[r] = static_cast<int>(std::max_element(acc.begin(), acc.end()) -
                               acc.begin());
-  }
+  });
+  TRAJKIT_CHECK(status.ok()) << status.ToString();
   return out;
 }
 
@@ -91,13 +112,13 @@ Result<Matrix> RandomForest::PredictProba(const Matrix& features) const {
   }
   Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
   const double inv = 1.0 / static_cast<double>(trees_.size());
-  for (size_t r = 0; r < features.rows(); ++r) {
+  TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, features.rows(), 16, [&](size_t r) {
     const std::span<const double> row = features.Row(r);
     for (const DecisionTree& tree : trees_) {
       const std::span<const double> dist = tree.LeafDistribution(row);
       for (size_t c = 0; c < dist.size(); ++c) probs(r, c) += dist[c] * inv;
     }
-  }
+  }));
   return probs;
 }
 

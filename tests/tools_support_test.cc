@@ -45,6 +45,28 @@ TEST(FlagsTest, FallbacksWhenAbsentOrMalformed) {
   EXPECT_EQ(flags.GetString("absent", "d"), "d");
 }
 
+TEST(FlagsTest, GetUint64AcceptsFullWidthSeeds) {
+  // 2^63 + 42: far beyond what GetInt's narrowing through int can carry.
+  const Flags flags = MakeFlags({"--seed=9223372036854775850"});
+  EXPECT_EQ(flags.GetUint64("seed", 0), 9223372036854775850ULL);
+  EXPECT_EQ(flags.GetUint64("absent", 17), 17u);
+}
+
+TEST(FlagsTest, GetUint64FallsBackOnMalformedOrNegative) {
+  const Flags flags = MakeFlags({"--a=notanumber", "--b=-5"});
+  EXPECT_EQ(flags.GetUint64("a", 3), 3u);
+  EXPECT_EQ(flags.GetUint64("b", 3), 3u);
+}
+
+TEST(StringsTest, ParseUint64RoundTrips) {
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(),
+            18446744073709551615ULL);
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").ok());
+}
+
 TEST(FlagsTest, PositionalArgumentsCollected) {
   const Flags flags = MakeFlags({"generate", "--out=x", "extra"});
   ASSERT_EQ(flags.positional().size(), 2u);

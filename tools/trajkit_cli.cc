@@ -23,12 +23,17 @@
 //   trajkit predict   --dataset=FILE.csv --model=FILE.model
 //       Load a saved forest, predict, and (when labels are present)
 //       report accuracy and a confusion matrix.
+//
+// Every command also accepts --threads=N to bound the shared worker pool
+// (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
+// are bit-identical at any thread count.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/experiments.h"
@@ -59,7 +64,7 @@ synthgeo::GeneratorOptions GeneratorOptionsFromFlags(const Flags& flags) {
   synthgeo::GeneratorOptions options;
   options.num_users = flags.GetInt("users", 20);
   options.days_per_user = flags.GetInt("days", 4);
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.seed = flags.GetUint64("seed", 7);
   return options;
 }
 
@@ -145,7 +150,7 @@ int RunTrain(const Flags& flags) {
   ml::RandomForestParams params;
   params.n_estimators = flags.GetInt("trees", 50);
   params.balanced_class_weights = flags.GetBool("balanced", false);
-  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  params.seed = flags.GetUint64("seed", 42);
   ml::RandomForest forest(params);
   Stopwatch timer;
   const Status fit = forest.Fit(dataset.value());
@@ -172,7 +177,7 @@ int RunEvaluate(const Flags& flags) {
       flags.GetString("classifier", "random_forest");
   auto model = ml::MakeClassifier(
       classifier_name,
-      {.seed = static_cast<uint64_t>(flags.GetInt("seed", 42)),
+      {.seed = flags.GetUint64("seed", 42),
        .scale = flags.GetDouble("scale", 1.0)});
   if (!model.ok()) return Fail(model.status(), "classifier");
 
@@ -182,7 +187,7 @@ int RunEvaluate(const Flags& flags) {
   const int folds = flags.GetInt("folds", 5);
   const auto cv_folds = core::MakeFolds(
       scheme.value(), dataset.value(), folds,
-      static_cast<uint64_t>(flags.GetInt("seed", 42)));
+      flags.GetUint64("seed", 42));
   Stopwatch timer;
   const auto cv = ml::CrossValidate(*model.value(), dataset.value(),
                                     cv_folds);
@@ -241,6 +246,10 @@ int RunPredict(const Flags& flags) {
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  // Every command honors --threads=N (0/absent keeps the process default,
+  // which itself honors the TRAJKIT_THREADS environment variable).
+  const int threads = flags.GetInt("threads", 0);
+  if (threads > 0) SetMaxThreads(threads);
   if (flags.positional().empty()) {
     std::fputs(kUsage, stderr);
     return 2;
