@@ -1,0 +1,223 @@
+// micro_serve — throughput and latency of the online serving stack.
+//
+// Sweeps the shared pool over --threads_list (default 1,2,4,8) and, per
+// thread count, measures:
+//   A. ingest:      SessionManager + StreamingFeatureExtractor points/s
+//                   (single-writer by contract — thread-invariant).
+//   B. batched:     micro-batched prediction via BatchPredictor — request
+//                   throughput and enqueue-to-completion latency
+//                   p50/p90/p99.
+//   C. per-request: the same async dispatch path with max_batch_size=1 —
+//                   every request pays its own worker wakeup and forest
+//                   pass. This is the baseline micro-batching must beat.
+//   D. direct:      synchronous ServingModel::PredictOne loop (no
+//                   dispatch at all) — the lower bound on serving
+//                   overhead, printed as a reference.
+//
+// Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
+// --threads_list=1,2,4,8, --timing_json=FILE.
+//
+//   ./micro_serve --users=30 --days=4 --timing_json=BENCH_serve.json
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "core/label_sets.h"
+#include "core/pipeline.h"
+#include "ml/random_forest.h"
+#include "serve/batch_predictor.h"
+#include "serve/model_registry.h"
+#include "serve/session_manager.h"
+#include "stats/descriptive.h"
+#include "synthgeo/generator.h"
+#include "traj/trajectory_features.h"
+
+namespace trajkit::bench {
+namespace {
+
+std::vector<int> ParseThreadsList(const Flags& flags) {
+  std::vector<int> threads;
+  const std::string list = flags.GetString("threads_list", "1,2,4,8");
+  for (const std::string_view token : SplitString(list, ',')) {
+    threads.push_back(
+        static_cast<int>(DieOnError(ParseInt64(token), "threads_list")));
+  }
+  return threads;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  InitThreadsFromFlags(flags);
+  TimingJson timings("micro_serve", flags);
+
+  // Corpus + a forest trained offline on the same features.
+  synthgeo::GeoLifeLikeGenerator generator(
+      CorpusOptionsFromFlags(flags, /*default_users=*/30,
+                             /*default_days=*/4));
+  const std::vector<traj::Trajectory> corpus = generator.Generate();
+  const core::LabelSet labels = core::LabelSet::Dabiri();
+  const core::Pipeline pipeline;
+  const ml::Dataset dataset =
+      DieOnError(pipeline.BuildDataset(corpus, labels), "pipeline");
+  ml::RandomForestParams params;
+  params.n_estimators = flags.GetInt("trees", 50);
+  ml::RandomForest forest(params);
+  if (const Status status = forest.Fit(dataset); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  serve::ModelRegistry registry;
+  if (const Status status = registry.RegisterAndActivate(DieOnError(
+          serve::MakeServingModel("bench-v1", std::move(forest),
+                                  traj::kNumTrajectoryFeatures),
+          "serving model"));
+      !status.ok()) {
+    std::fprintf(stderr, "registry failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // The point stream, in per-user order (what the session layer consumes),
+  // and the closed-segment feature vectors (phase B/C input) computed once
+  // up front so prediction phases measure prediction only.
+  size_t total_points = 0;
+  for (const traj::Trajectory& trajectory : corpus) {
+    total_points += trajectory.points.size();
+  }
+  std::vector<std::vector<double>> segment_features;
+  {
+    serve::SessionManager sessions;
+    std::vector<serve::ClosedSegment> closed;
+    for (const traj::Trajectory& trajectory : corpus) {
+      for (const traj::TrajectoryPoint& point : trajectory.points) {
+        sessions.Ingest(trajectory.user_id, point, &closed);
+      }
+    }
+    sessions.FlushAll(&closed);
+    for (serve::ClosedSegment& segment : closed) {
+      segment_features.push_back(std::move(segment.features));
+    }
+  }
+  serve::BatchPredictorOptions batching;
+  batching.max_batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
+  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 2.0) * 1e-3;
+  // Prediction phases cycle the segment features into a longer request
+  // stream so steady-state batching (not the one trailing deadline stall)
+  // is what gets measured.
+  const size_t num_requests = static_cast<size_t>(
+      flags.GetInt("requests", 8192));
+  // Closed loop with a bounded in-flight window: keeps the predictor
+  // saturated while latency percentiles reflect batching delay, not the
+  // depth of a pre-filled queue.
+  const size_t window = 4 * batching.max_batch_size;
+
+  std::printf("corpus: %zu points -> %zu segments; forest: %d trees; "
+              "%zu requests/phase\n",
+              total_points, segment_features.size(), params.n_estimators,
+              num_requests);
+  std::printf("%8s %12s %12s %12s %12s %9s %9s %9s\n", "threads",
+              "ingest/s", "batched/s", "per-req/s", "direct/s", "p50_ms",
+              "p90_ms", "p99_ms");
+
+  const std::shared_ptr<const serve::ServingModel> model =
+      registry.Current();
+  for (const int threads : ParseThreadsList(flags)) {
+    SetMaxThreads(threads);
+
+    // Phase A: ingest-only throughput.
+    Stopwatch watch;
+    {
+      serve::SessionManager sessions;
+      std::vector<serve::ClosedSegment> closed;
+      for (const traj::Trajectory& trajectory : corpus) {
+        for (const traj::TrajectoryPoint& point : trajectory.points) {
+          sessions.Ingest(trajectory.user_id, point, &closed);
+        }
+      }
+      sessions.FlushAll(&closed);
+    }
+    const double ingest_seconds = watch.ElapsedSeconds();
+    const double ingest_rate =
+        static_cast<double>(total_points) / ingest_seconds;
+
+    // Closed loop through a BatchPredictor: up to `window` requests in
+    // flight, harvesting the oldest before each new submit. Returns
+    // enqueue-to-completion latencies.
+    const auto run_closed_loop =
+        [&](const serve::BatchPredictorOptions& options) {
+          std::vector<double> latencies;
+          latencies.reserve(num_requests);
+          serve::BatchPredictor predictor(&registry, options);
+          std::vector<std::future<Result<serve::Prediction>>> futures;
+          futures.reserve(num_requests);
+          for (size_t i = 0; i < num_requests; ++i) {
+            if (i >= window) {
+              latencies.push_back(
+                  DieOnError(futures[i - window].get(), "predict")
+                      .latency_seconds);
+            }
+            futures.push_back(predictor.Submit(
+                segment_features[i % segment_features.size()]));
+          }
+          for (size_t i = num_requests >= window ? num_requests - window : 0;
+               i < num_requests; ++i) {
+            latencies.push_back(
+                DieOnError(futures[i].get(), "predict").latency_seconds);
+          }
+          return latencies;
+        };
+
+    // Phase B: micro-batched dispatch.
+    watch.Reset();
+    const std::vector<double> latencies = run_closed_loop(batching);
+    const double batched_seconds = watch.ElapsedSeconds();
+    const double batched_rate =
+        static_cast<double>(num_requests) / batched_seconds;
+    const double p50 = stats::Percentile(latencies, 50.0);
+    const double p90 = stats::Percentile(latencies, 90.0);
+    const double p99 = stats::Percentile(latencies, 99.0);
+
+    // Phase C: per-request dispatch — the same path, batches of one.
+    serve::BatchPredictorOptions singles = batching;
+    singles.max_batch_size = 1;
+    watch.Reset();
+    run_closed_loop(singles);
+    const double per_request_seconds = watch.ElapsedSeconds();
+    const double per_request_rate =
+        static_cast<double>(num_requests) / per_request_seconds;
+
+    // Phase D: the synchronous lower bound, no dispatch machinery at all.
+    watch.Reset();
+    for (size_t i = 0; i < num_requests; ++i) {
+      DieOnError(
+          model->PredictOne(segment_features[i % segment_features.size()]),
+          "direct predict");
+    }
+    const double direct_seconds = watch.ElapsedSeconds();
+    const double direct_rate =
+        static_cast<double>(num_requests) / direct_seconds;
+
+    std::printf("%8d %12.0f %12.0f %12.0f %12.0f %9.3f %9.3f %9.3f\n",
+                threads, ingest_rate, batched_rate, per_request_rate,
+                direct_rate, p50 * 1e3, p90 * 1e3, p99 * 1e3);
+    const std::string suffix = StrPrintf("_t%d_s", threads);
+    timings.Record("ingest" + suffix, ingest_seconds);
+    timings.Record("predict_batched" + suffix, batched_seconds);
+    timings.Record("predict_per_request" + suffix, per_request_seconds);
+    timings.Record("predict_direct" + suffix, direct_seconds);
+    timings.Record(StrPrintf("latency_batched_t%d_p50_s", threads), p50);
+    timings.Record(StrPrintf("latency_batched_t%d_p90_s", threads), p90);
+    timings.Record(StrPrintf("latency_batched_t%d_p99_s", threads), p99);
+  }
+  timings.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace trajkit::bench
+
+int main(int argc, char** argv) { return trajkit::bench::Main(argc, argv); }

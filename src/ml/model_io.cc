@@ -208,8 +208,23 @@ Result<RandomForest> RandomForest::Deserialize(std::string_view text) {
   }
   size_t cursor = 0;
   TRAJKIT_ASSIGN_OR_RETURN(std::string_view magic, NextLine(lines, cursor));
-  if (magic != "trajkit_random_forest v1") {
-    return Status::ParseError("not a trajkit_random_forest v1 file");
+  // Version-aware magic check: a file written by a future trajkit with a
+  // newer format version gets a clean, actionable error instead of a
+  // confusing structural parse failure further down.
+  {
+    const auto fields = SplitString(magic, ' ');
+    if (fields.size() != 2 || fields[0] != "trajkit_random_forest" ||
+        fields[1].size() < 2 || fields[1][0] != 'v') {
+      return Status::ParseError("not a trajkit_random_forest file");
+    }
+    TRAJKIT_ASSIGN_OR_RETURN(long long version,
+                             ParseInt64(fields[1].substr(1)));
+    if (version != 1) {
+      return Status::ParseError(StrPrintf(
+          "model file uses format v%lld; this build reads v1 only — "
+          "re-save the model with a matching trajkit version",
+          version));
+    }
   }
 
   RandomForestParams params;

@@ -1,0 +1,145 @@
+#include "serve/batch_predictor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace trajkit::serve {
+
+BatchPredictor::BatchPredictor(const ModelRegistry* registry,
+                               BatchPredictorOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchPredictor::~BatchPredictor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<Result<Prediction>> BatchPredictor::Submit(
+    std::vector<double> features) {
+  Request request;
+  request.features = std::move(features);
+  request.enqueue = std::chrono::steady_clock::now();
+  std::future<Result<Prediction>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(request));
+    ++counters_.requests;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void BatchPredictor::Flush() {
+  while (true) {
+    std::vector<Request> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) return;
+      batch = TakeBatchLocked();
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+BatchPredictor::Counters BatchPredictor::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<BatchPredictor::Request> BatchPredictor::TakeBatchLocked() {
+  const size_t take = std::min(pending_.size(), options_.max_batch_size);
+  std::vector<Request> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  ++counters_.batches;
+  counters_.max_batch = std::max(counters_.max_batch, take);
+  return batch;
+}
+
+void BatchPredictor::WorkerLoop() {
+  const auto delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(options_.max_delay_seconds,
+                                             0.0)));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    // Dispatch when the batch is full, the oldest request's deadline has
+    // passed, or we are draining for shutdown.
+    const auto deadline = pending_.front().enqueue + delay;
+    if (!stop_ && pending_.size() < options_.max_batch_size &&
+        std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ || pending_.size() >= options_.max_batch_size;
+      });
+      continue;
+    }
+    std::vector<Request> batch = TakeBatchLocked();
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
+  if (batch.empty()) return;
+  const std::shared_ptr<const ServingModel> model = registry_->Current();
+  if (model == nullptr) {
+    for (Request& request : batch) {
+      request.promise.set_value(
+          Status::FailedPrecondition("no active model in the registry"));
+    }
+    return;
+  }
+  // Per-request validation first, so one malformed vector fails only its own
+  // future instead of poisoning the batch.
+  const size_t expected = static_cast<size_t>(model->num_input_features);
+  std::vector<std::vector<double>> rows;
+  std::vector<size_t> row_to_request;
+  rows.reserve(batch.size());
+  row_to_request.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].features.size() != expected) {
+      batch[i].promise.set_value(Status::InvalidArgument(StrPrintf(
+          "feature vector has %zu values, model '%s' expects %zu",
+          batch[i].features.size(), model->version.c_str(), expected)));
+      continue;
+    }
+    rows.push_back(std::move(batch[i].features));
+    row_to_request.push_back(i);
+  }
+  if (rows.empty()) return;
+  Result<std::vector<Prediction>> predictions = model->PredictBatch(rows);
+  const auto done = std::chrono::steady_clock::now();
+  if (!predictions.ok()) {
+    for (const size_t i : row_to_request) {
+      batch[i].promise.set_value(predictions.status());
+    }
+    return;
+  }
+  std::vector<Prediction>& values = predictions.value();
+  for (size_t r = 0; r < row_to_request.size(); ++r) {
+    Request& request = batch[row_to_request[r]];
+    values[r].latency_seconds =
+        std::chrono::duration<double>(done - request.enqueue).count();
+    request.promise.set_value(std::move(values[r]));
+  }
+}
+
+}  // namespace trajkit::serve

@@ -1,0 +1,96 @@
+#ifndef TRAJKIT_SERVE_BATCH_PREDICTOR_H_
+#define TRAJKIT_SERVE_BATCH_PREDICTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/model_registry.h"
+
+namespace trajkit::serve {
+
+/// Micro-batching knobs.
+struct BatchPredictorOptions {
+  /// A batch is dispatched as soon as this many requests are pending.
+  size_t max_batch_size = 64;
+  /// ... or once the oldest pending request has waited this long.
+  double max_delay_seconds = 0.002;
+};
+
+/// Collects prediction requests across sessions into micro-batches and runs
+/// them through the active model's forest on the shared thread pool
+/// (`RandomForest::Predict` parallelizes over batch rows). Batching is a
+/// pure throughput optimization: forest rows are independent, so a
+/// request's answer is bit-identical whatever batch it lands in — the
+/// per-request determinism contract (pinned by tests/serve_test.cc).
+///
+/// Each model snapshot is taken once per batch from the registry, so all
+/// requests of a batch are served by one consistent
+/// (forest, subset, normalizer) triple even across a hot swap.
+class BatchPredictor {
+ public:
+  /// `registry` must outlive the predictor.
+  explicit BatchPredictor(const ModelRegistry* registry,
+                          BatchPredictorOptions options = {});
+
+  /// Drains and answers every pending request, then stops the worker.
+  ~BatchPredictor();
+
+  BatchPredictor(const BatchPredictor&) = delete;
+  BatchPredictor& operator=(const BatchPredictor&) = delete;
+
+  /// Enqueues one full-width feature vector. The future resolves when the
+  /// request's micro-batch is processed — with a Prediction, or with the
+  /// error of a missing/mismatched model (a bad request only fails itself,
+  /// not its batch neighbours).
+  std::future<Result<Prediction>> Submit(std::vector<double> features);
+
+  /// Processes everything currently pending on the calling thread (e.g.
+  /// end-of-replay, before gathering futures).
+  void Flush();
+
+  /// Lifetime counters.
+  struct Counters {
+    size_t requests = 0;
+    size_t batches = 0;
+    size_t max_batch = 0;  // Largest batch dispatched.
+  };
+  Counters counters() const;
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::promise<Result<Prediction>> promise;
+    std::chrono::steady_clock::time_point enqueue;
+  };
+
+  /// Background loop: dispatches on the size or deadline trigger.
+  void WorkerLoop();
+
+  /// Takes up to max_batch_size requests off the queue. Precondition:
+  /// `mu_` held.
+  std::vector<Request> TakeBatchLocked();
+
+  /// Answers one batch (model snapshot, per-row validation, forest).
+  void ProcessBatch(std::vector<Request> batch);
+
+  const ModelRegistry* registry_;
+  BatchPredictorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> pending_;
+  bool stop_ = false;
+  Counters counters_;
+  std::thread worker_;
+};
+
+}  // namespace trajkit::serve
+
+#endif  // TRAJKIT_SERVE_BATCH_PREDICTOR_H_

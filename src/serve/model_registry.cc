@@ -1,0 +1,233 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace trajkit::serve {
+
+Status ServingModel::Validate() const {
+  if (version.empty()) {
+    return Status::InvalidArgument("serving model needs a non-empty version");
+  }
+  if (!forest.fitted()) {
+    return Status::FailedPrecondition("serving model '" + version +
+                                      "' holds an unfitted forest");
+  }
+  if (num_input_features <= 0) {
+    return Status::InvalidArgument("num_input_features must be positive");
+  }
+  std::vector<bool> seen(static_cast<size_t>(num_input_features), false);
+  for (const int index : feature_subset) {
+    if (index < 0 || index >= num_input_features) {
+      return Status::InvalidArgument(StrPrintf(
+          "feature-subset index %d out of range [0, %d)", index,
+          num_input_features));
+    }
+    if (seen[static_cast<size_t>(index)]) {
+      return Status::InvalidArgument(
+          StrPrintf("duplicate feature-subset index %d", index));
+    }
+    seen[static_cast<size_t>(index)] = true;
+  }
+  const size_t effective = EffectiveFeatureCount();
+  if (forest.FeatureImportances().size() != effective) {
+    return Status::InvalidArgument(StrPrintf(
+        "forest was trained on %zu features but the subset selects %zu",
+        forest.FeatureImportances().size(), effective));
+  }
+  if (norm_mins.size() != norm_maxs.size()) {
+    return Status::InvalidArgument("normalizer min/max widths differ");
+  }
+  if (!norm_mins.empty() && norm_mins.size() != effective) {
+    return Status::InvalidArgument(StrPrintf(
+        "normalizer width %zu != effective feature count %zu",
+        norm_mins.size(), effective));
+  }
+  return Status::Ok();
+}
+
+Result<ml::Matrix> ServingModel::PrepareBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  const size_t effective = EffectiveFeatureCount();
+  ml::Matrix prepared(rows.size(), effective);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<double>& row = rows[r];
+    if (row.size() != static_cast<size_t>(num_input_features)) {
+      return Status::InvalidArgument(StrPrintf(
+          "feature vector %zu has %zu values, model '%s' expects %d",
+          r, row.size(), version.c_str(), num_input_features));
+    }
+    const std::span<double> out = prepared.MutableRow(r);
+    if (feature_subset.empty()) {
+      std::copy(row.begin(), row.end(), out.begin());
+    } else {
+      for (size_t c = 0; c < feature_subset.size(); ++c) {
+        out[c] = row[static_cast<size_t>(feature_subset[c])];
+      }
+    }
+  }
+  // Min-max normalization with the published ranges, replicating
+  // MinMaxScaler::Transform (constant columns map to 0, no clamping).
+  if (!norm_mins.empty()) {
+    for (size_t c = 0; c < effective; ++c) {
+      const double range = norm_maxs[c] - norm_mins[c];
+      if (range <= 0.0) {
+        for (size_t r = 0; r < prepared.rows(); ++r) prepared(r, c) = 0.0;
+      } else {
+        const double inv = 1.0 / range;
+        for (size_t r = 0; r < prepared.rows(); ++r) {
+          prepared(r, c) = (prepared(r, c) - norm_mins[c]) * inv;
+        }
+      }
+    }
+  }
+  return prepared;
+}
+
+Result<std::vector<Prediction>> ServingModel::PredictBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  if (rows.empty()) return std::vector<Prediction>{};
+  TRAJKIT_ASSIGN_OR_RETURN(ml::Matrix prepared, PrepareBatch(rows));
+  // Labels come from Predict (not an argmax over PredictProba) so serving
+  // answers are bit-identical to the offline pipeline's predictions.
+  const std::vector<int> labels = forest.Predict(prepared);
+  TRAJKIT_ASSIGN_OR_RETURN(ml::Matrix probabilities,
+                           forest.PredictProba(prepared));
+  std::vector<Prediction> out(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out[r].label = labels[r];
+    const std::span<const double> row = probabilities.Row(r);
+    out[r].probabilities.assign(row.begin(), row.end());
+    out[r].model_version = version;
+  }
+  return out;
+}
+
+Result<Prediction> ServingModel::PredictOne(
+    std::span<const double> features) const {
+  std::vector<std::vector<double>> rows(1);
+  rows[0].assign(features.begin(), features.end());
+  TRAJKIT_ASSIGN_OR_RETURN(std::vector<Prediction> predictions,
+                           PredictBatch(rows));
+  return std::move(predictions.front());
+}
+
+Result<ServingModel> MakeServingModel(std::string version,
+                                      ml::RandomForest forest,
+                                      int num_input_features,
+                                      std::vector<int> feature_subset,
+                                      std::vector<double> norm_mins,
+                                      std::vector<double> norm_maxs) {
+  ServingModel model;
+  model.version = std::move(version);
+  model.forest = std::move(forest);
+  model.num_input_features = num_input_features;
+  model.feature_subset = std::move(feature_subset);
+  model.norm_mins = std::move(norm_mins);
+  model.norm_maxs = std::move(norm_maxs);
+  TRAJKIT_RETURN_IF_ERROR(model.Validate());
+  return model;
+}
+
+Result<std::vector<int>> LoadFig3FeatureSubset(const std::string& path,
+                                               std::string_view method,
+                                               int top_k) {
+  if (top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  TRAJKIT_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, CsvOptions{}));
+  const int method_col = table.ColumnIndex("method");
+  const int k_col = table.ColumnIndex("k");
+  const int feature_col = table.ColumnIndex("feature");
+  if (method_col < 0 || k_col < 0 || feature_col < 0) {
+    return Status::ParseError(
+        "feature-selection CSV needs method,k,feature columns (the "
+        "exp_fig3_feature_selection output format)");
+  }
+  std::vector<std::pair<long long, std::string>> picks;
+  for (const std::vector<std::string>& row : table.rows) {
+    if (row[static_cast<size_t>(method_col)] != method) continue;
+    TRAJKIT_ASSIGN_OR_RETURN(long long k,
+                             ParseInt64(row[static_cast<size_t>(k_col)]));
+    picks.emplace_back(k, row[static_cast<size_t>(feature_col)]);
+  }
+  if (picks.empty()) {
+    return Status::NotFound("no rows for method '" + std::string(method) +
+                            "' in " + path);
+  }
+  std::sort(picks.begin(), picks.end());
+  if (picks.size() < static_cast<size_t>(top_k)) {
+    return Status::InvalidArgument(StrPrintf(
+        "asked for top %d features but '%s' only ranks %zu", top_k,
+        std::string(method).c_str(), picks.size()));
+  }
+  std::vector<int> subset;
+  subset.reserve(static_cast<size_t>(top_k));
+  for (int i = 0; i < top_k; ++i) {
+    TRAJKIT_ASSIGN_OR_RETURN(
+        int index, traj::TrajectoryFeatureExtractor::FeatureIndex(
+                       picks[static_cast<size_t>(i)].second));
+    subset.push_back(index);
+  }
+  return subset;
+}
+
+Status ModelRegistry::Register(ServingModel model) {
+  TRAJKIT_RETURN_IF_ERROR(model.Validate());
+  auto shared = std::make_shared<const ServingModel>(std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = models_.emplace(shared->version, shared);
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("model version '" + shared->version +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::Activate(std::string_view version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(version);
+  if (it == models_.end()) {
+    return Status::NotFound("no registered model with version '" +
+                            std::string(version) + "'");
+  }
+  active_ = it->second;
+  return Status::Ok();
+}
+
+Status ModelRegistry::RegisterAndActivate(ServingModel model) {
+  const std::string version = model.version;
+  TRAJKIT_RETURN_IF_ERROR(Register(std::move(model)));
+  return Activate(version);
+}
+
+std::shared_ptr<const ServingModel> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::shared_ptr<const ServingModel> ModelRegistry::Get(
+    std::string_view version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(version);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> versions;
+  versions.reserve(models_.size());
+  for (const auto& [version, model] : models_) versions.push_back(version);
+  return versions;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace trajkit::serve

@@ -1,0 +1,129 @@
+#ifndef TRAJKIT_SERVE_MODEL_REGISTRY_H_
+#define TRAJKIT_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+#include "ml/random_forest.h"
+#include "traj/trajectory_features.h"
+
+namespace trajkit::serve {
+
+/// One prediction answer.
+struct Prediction {
+  /// Predicted class index — computed with `RandomForest::Predict`, so it
+  /// is bit-identical to the offline pipeline on the same features.
+  int label = -1;
+  /// Per-class probabilities (soft-voting average over trees).
+  std::vector<double> probabilities;
+  /// Version of the model that served the request.
+  std::string model_version;
+  /// Enqueue-to-completion latency, filled by BatchPredictor (0 on the
+  /// direct path).
+  double latency_seconds = 0.0;
+};
+
+/// A deployable model: forest + feature-subset mask + optional min-max
+/// normalizer. The three travel together so a hot swap can never pair one
+/// model's forest with another's subset or scaling (the registry publishes
+/// them as one immutable snapshot).
+struct ServingModel {
+  std::string version;
+  ml::RandomForest forest;
+  /// Width of the full feature vector requests carry (70 for the paper's
+  /// extractor, 78 with extended features).
+  int num_input_features = traj::kNumTrajectoryFeatures;
+  /// Indices into the full vector the forest was trained on (e.g. the
+  /// Fig. 3 top-20 mask); empty = all features, in order.
+  std::vector<int> feature_subset;
+  /// Per-column min/max applied after subsetting, matching
+  /// `ml::MinMaxScaler::Transform` (constant columns map to 0); both empty
+  /// = no normalization (the random-forest serving default).
+  std::vector<double> norm_mins;
+  std::vector<double> norm_maxs;
+
+  /// Number of columns the forest actually consumes.
+  size_t EffectiveFeatureCount() const {
+    return feature_subset.empty() ? static_cast<size_t>(num_input_features)
+                                  : feature_subset.size();
+  }
+
+  /// Checks internal consistency (fitted forest, subset indices in range,
+  /// widths line up). Registered models are always valid.
+  Status Validate() const;
+
+  /// Subsets + normalizes full-width rows into the forest's input matrix.
+  /// Returns InvalidArgument when any row has the wrong width.
+  Result<ml::Matrix> PrepareBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Predicts a batch of full-width feature vectors.
+  Result<std::vector<Prediction>> PredictBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Single-request convenience (the unbatched baseline path).
+  Result<Prediction> PredictOne(std::span<const double> features) const;
+};
+
+/// Validating constructor: moves the parts into a ServingModel and returns
+/// an error instead of a partially-usable model.
+Result<ServingModel> MakeServingModel(std::string version,
+                                      ml::RandomForest forest,
+                                      int num_input_features,
+                                      std::vector<int> feature_subset = {},
+                                      std::vector<double> norm_mins = {},
+                                      std::vector<double> norm_maxs = {});
+
+/// Reads a feature-subset mask from the Fig. 3 selection output
+/// (`exp_fig3_feature_selection` CSV: method,k,feature,cv_accuracy): the
+/// first `top_k` features of `method` (e.g. "importance", "wrapper"),
+/// mapped to indices via the trajectory-feature name registry.
+Result<std::vector<int>> LoadFig3FeatureSubset(const std::string& path,
+                                               std::string_view method,
+                                               int top_k);
+
+/// Versioned registry of serving models with atomic hot-swap: readers call
+/// Current() and get an immutable snapshot — a consistent
+/// (forest, subset, normalizer) triple that stays alive for as long as
+/// they hold the pointer, even if the active model is swapped mid-request.
+/// Thread-safe; TSan-clean (see tests/serve_test.cc's race test).
+class ModelRegistry {
+ public:
+  /// Adds a model under its version. Error on validation failure or
+  /// duplicate version. Does not change the active model.
+  Status Register(ServingModel model);
+
+  /// Atomically makes `version` the model new readers see.
+  Status Activate(std::string_view version);
+
+  /// Register + Activate in one step.
+  Status RegisterAndActivate(ServingModel model);
+
+  /// The active model, or nullptr when none was activated yet.
+  std::shared_ptr<const ServingModel> Current() const;
+
+  /// A registered model by version, or nullptr.
+  std::shared_ptr<const ServingModel> Get(std::string_view version) const;
+
+  /// Registered versions, ascending.
+  std::vector<std::string> Versions() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServingModel>, std::less<>>
+      models_;
+  std::shared_ptr<const ServingModel> active_;
+};
+
+}  // namespace trajkit::serve
+
+#endif  // TRAJKIT_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,97 @@
+#include "serve/replay.h"
+
+#include <future>
+#include <queue>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace trajkit::serve {
+namespace {
+
+/// A cursor into one trajectory, ordered by its current point's timestamp
+/// (earliest first; ties broken by trajectory index for determinism).
+struct Cursor {
+  double timestamp;
+  size_t trajectory;
+  size_t point;
+};
+
+struct CursorLater {
+  bool operator()(const Cursor& a, const Cursor& b) const {
+    if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+    return a.trajectory > b.trajectory;
+  }
+};
+
+}  // namespace
+
+Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
+                                  const core::LabelSet& labels,
+                                  BatchPredictor& predictor,
+                                  const ReplayOptions& options) {
+  ReplayReport report;
+  SessionManager sessions(options.session);
+
+  // K-way merge: pop the cursor with the earliest current point, advance
+  // it. A user's own fixes are never reordered — out-of-order fixes inside
+  // a trajectory reach the session in file order and are dropped there,
+  // exactly like the offline cleaner.
+  std::priority_queue<Cursor, std::vector<Cursor>, CursorLater> merge;
+  for (size_t t = 0; t < corpus.size(); ++t) {
+    if (!corpus[t].points.empty()) {
+      merge.push(Cursor{corpus[t].points[0].timestamp, t, 0});
+    }
+  }
+
+  std::vector<ClosedSegment> closed;
+  std::vector<std::pair<int, std::future<Result<Prediction>>>> in_flight;
+  const auto submit_closed = [&] {
+    for (ClosedSegment& segment : closed) {
+      ++report.segments_closed;
+      const int true_class = labels.ClassOf(segment.mode);
+      if (true_class < 0) {
+        ++report.segments_outside_label_set;
+        continue;
+      }
+      in_flight.emplace_back(true_class,
+                             predictor.Submit(std::move(segment.features)));
+    }
+    closed.clear();
+  };
+
+  Stopwatch ingest_timer;
+  while (!merge.empty()) {
+    Cursor cursor = merge.top();
+    merge.pop();
+    const traj::Trajectory& trajectory = corpus[cursor.trajectory];
+    const traj::TrajectoryPoint& point = trajectory.points[cursor.point];
+    sessions.Ingest(trajectory.user_id, point, &closed);
+    ++report.points;
+    if (options.evict_every_points > 0 &&
+        report.points % options.evict_every_points == 0) {
+      sessions.EvictIdle(point.timestamp, &closed);
+    }
+    if (!closed.empty()) submit_closed();
+    if (cursor.point + 1 < trajectory.points.size()) {
+      merge.push(Cursor{trajectory.points[cursor.point + 1].timestamp,
+                        cursor.trajectory, cursor.point + 1});
+    }
+  }
+  sessions.FlushAll(&closed);
+  submit_closed();
+  report.ingest_seconds = ingest_timer.ElapsedSeconds();
+
+  predictor.Flush();
+  for (auto& [true_class, future] : in_flight) {
+    TRAJKIT_ASSIGN_OR_RETURN(Prediction prediction, future.get());
+    ++report.segments_evaluated;
+    report.y_true.push_back(true_class);
+    report.y_pred.push_back(prediction.label);
+    if (prediction.label == true_class) ++report.correct;
+  }
+  report.session_stats = sessions.stats();
+  return report;
+}
+
+}  // namespace trajkit::serve

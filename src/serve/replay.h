@@ -1,0 +1,66 @@
+#ifndef TRAJKIT_SERVE_REPLAY_H_
+#define TRAJKIT_SERVE_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/label_sets.h"
+#include "serve/batch_predictor.h"
+#include "serve/session_manager.h"
+#include "traj/types.h"
+
+namespace trajkit::serve {
+
+/// Knobs of a corpus replay.
+struct ReplayOptions {
+  /// Session-layer configuration. The defaults match the offline
+  /// segmenter, so a replay closes exactly the segments
+  /// `traj::SegmentTrajectory` cuts.
+  SessionOptions session;
+  /// Run EvictIdle (against event time, i.e. the timestamp of the point
+  /// just ingested) every this many points; 0 = never.
+  size_t evict_every_points = 0;
+};
+
+/// Outcome of a replay.
+struct ReplayReport {
+  size_t points = 0;
+  size_t segments_closed = 0;
+  /// Segments whose mode is inside the label set (the ones predicted and
+  /// scored).
+  size_t segments_evaluated = 0;
+  /// Closed segments skipped because their mode is outside the label set.
+  size_t segments_outside_label_set = 0;
+  size_t correct = 0;
+  /// True class / predicted class per evaluated segment, in close order.
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  /// Wall time spent in the ingest loop (excludes waiting on futures).
+  double ingest_seconds = 0.0;
+  /// Final session-layer counters.
+  SessionManagerStats session_stats;
+
+  double accuracy() const {
+    return segments_evaluated == 0
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(segments_evaluated);
+  }
+};
+
+/// Replays a labelled corpus through the online stack in global timestamp
+/// order: a k-way merge over the trajectories feeds points one at a time to
+/// a SessionManager (session id = user id), every closed in-label-set
+/// segment is submitted to `predictor`, and predictions are scored against
+/// the annotated modes. Per-trajectory order is preserved exactly (the
+/// merge never reorders a user's own fixes), so the session layer sees the
+/// same streams the offline segmenter reads.
+Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
+                                  const core::LabelSet& labels,
+                                  BatchPredictor& predictor,
+                                  const ReplayOptions& options = {});
+
+}  // namespace trajkit::serve
+
+#endif  // TRAJKIT_SERVE_REPLAY_H_

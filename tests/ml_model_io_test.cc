@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/csv.h"
 #include "common/rng.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
@@ -114,6 +115,41 @@ TEST(ModelIoTest, GarbageRejected) {
                    "distributions 1 2\n0.5 0.5\nimportances 2\n0 0\n")
                    .ok());  // Child index out of range.
   EXPECT_FALSE(LoadRandomForest("/nonexistent/forest.txt").ok());
+}
+
+TEST(ModelIoTest, FutureFormatVersionRejectedCleanly) {
+  // A model written by a future trajkit must fail with a clean Status that
+  // names the version — not a CHECK-abort or a confusing structural error.
+  const Dataset train = MakeBlobs(2, 20, 0.5, 11);
+  RandomForestParams params;
+  params.n_estimators = 3;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  std::string blob = forest.Serialize();
+  const std::string magic = "trajkit_random_forest v1";
+  ASSERT_EQ(blob.compare(0, magic.size(), magic), 0);
+  blob.replace(0, magic.size(), "trajkit_random_forest v7");
+
+  const auto result = RandomForest::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("v7"), std::string::npos)
+      << result.status().ToString();
+
+  // Same via the file path: a clean error, and v1 still loads.
+  const std::string dir = testing::TempDir() + "/trajkit_model_io";
+  ASSERT_TRUE(WriteStringToFile(dir + "/future.txt", blob).ok());
+  EXPECT_FALSE(LoadRandomForest(dir + "/future.txt").ok());
+  ASSERT_TRUE(SaveRandomForest(forest, dir + "/current.txt").ok());
+  EXPECT_TRUE(LoadRandomForest(dir + "/current.txt").ok());
+}
+
+TEST(ModelIoTest, MalformedVersionTagRejected) {
+  EXPECT_FALSE(RandomForest::Deserialize("trajkit_random_forest\n").ok());
+  EXPECT_FALSE(
+      RandomForest::Deserialize("trajkit_random_forest vX\n").ok());
+  EXPECT_FALSE(
+      RandomForest::Deserialize("trajkit_random_forest 1\n").ok());
 }
 
 TEST(ModelIoTest, TruncatedFileRejected) {

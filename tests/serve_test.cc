@@ -1,0 +1,693 @@
+// Tests for the online serving subsystem (src/serve): streaming feature
+// parity, incremental segmentation parity, the micro-batching predictor,
+// the model registry (including the hot-swap race, which must be
+// TSan-clean), and the end-to-end replay-vs-offline guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "core/label_sets.h"
+#include "core/pipeline.h"
+#include "ml/random_forest.h"
+#include "serve/batch_predictor.h"
+#include "serve/model_registry.h"
+#include "serve/replay.h"
+#include "serve/session_manager.h"
+#include "synthgeo/generator.h"
+#include "traj/point_features.h"
+#include "traj/segmentation.h"
+#include "traj/trajectory_features.h"
+#include "traj/types.h"
+
+namespace trajkit::serve {
+namespace {
+
+// Random walk around Beijing with adversarial timestamp deltas: duplicates
+// (dt = 0) and sub-floor gaps exercise the min-duration clamp, stalls
+// exercise zero-distance bearings.
+std::vector<traj::TrajectoryPoint> RandomSegmentPoints(Rng& rng, size_t n) {
+  std::vector<traj::TrajectoryPoint> points;
+  points.reserve(n);
+  double t = 1.2e9 + rng.Uniform(0.0, 1e6);
+  double lat = 39.9 + rng.Gaussian(0.0, 0.05);
+  double lon = 116.3 + rng.Gaussian(0.0, 0.05);
+  for (size_t i = 0; i < n; ++i) {
+    traj::TrajectoryPoint point;
+    point.pos = {lat, lon};
+    point.timestamp = t;
+    point.mode = traj::Mode::kWalk;
+    points.push_back(point);
+    switch (rng.NextBounded(8)) {
+      case 0:
+        break;  // Duplicate timestamp.
+      case 1:
+        t += 0.01;  // Below the min-duration floor.
+        break;
+      default:
+        t += rng.Uniform(0.2, 60.0);
+    }
+    if (rng.NextBounded(10) != 0) {  // 1-in-10: stationary fix.
+      lat += rng.Gaussian(0.0, 1e-4);
+      lon += rng.Gaussian(0.0, 1e-4);
+    }
+  }
+  return points;
+}
+
+std::vector<double> BatchFeatures(
+    const std::vector<traj::TrajectoryPoint>& points,
+    const traj::PointFeatureOptions& options = {}) {
+  traj::Segment segment;
+  segment.points = points;
+  const traj::TrajectoryFeatureExtractor extractor(options);
+  auto features = extractor.Extract(segment);
+  EXPECT_TRUE(features.ok());
+  return std::move(features).value();
+}
+
+// A small trained forest over the synthetic corpus, plus everything the
+// replay tests need. Built once (forest training dominates test runtime).
+struct ReplayFixture {
+  std::vector<traj::Trajectory> corpus;
+  core::LabelSet labels = core::LabelSet::Dabiri();
+  ml::Dataset dataset;
+  std::vector<int> offline_predictions;
+  size_t offline_correct = 0;
+  ServingModel model;
+
+  static const ReplayFixture& Get() {
+    static const ReplayFixture* fixture = new ReplayFixture();
+    return *fixture;
+  }
+
+ private:
+  ReplayFixture() {
+    synthgeo::GeneratorOptions generator_options;
+    generator_options.num_users = 4;
+    generator_options.days_per_user = 2;
+    generator_options.seed = 19;
+    synthgeo::GeoLifeLikeGenerator generator(generator_options);
+    corpus = generator.Generate();
+    const core::Pipeline pipeline;
+    dataset = std::move(pipeline.BuildDataset(corpus, labels)).value();
+    ml::RandomForestParams params;
+    params.n_estimators = 15;
+    ml::RandomForest forest(params);
+    TRAJKIT_CHECK(forest.Fit(dataset).ok());
+    offline_predictions = forest.Predict(dataset.features());
+    for (size_t i = 0; i < offline_predictions.size(); ++i) {
+      if (offline_predictions[i] == dataset.labels()[i]) ++offline_correct;
+    }
+    model = std::move(MakeServingModel("v1", std::move(forest),
+                                       traj::kNumTrajectoryFeatures))
+                .value();
+  }
+};
+
+// ------------------------------------------------------ Streaming parity --
+
+TEST(StreamingFeaturesTest, BitIdenticalToBatchOnRandomSegments) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.NextBounded(120);
+    const auto points = RandomSegmentPoints(rng, n);
+    StreamingFeatureExtractor streaming;
+    for (const auto& point : points) streaming.Add(point);
+    const auto flushed = streaming.Flush();
+    ASSERT_TRUE(flushed.ok());
+    // Bit-for-bit: vector operator== is exact double equality.
+    EXPECT_EQ(flushed.value(), BatchFeatures(points))
+        << "trial " << trial << " n=" << n;
+
+    // The accumulated channel buffers equal the batch kernel's arrays.
+    const traj::PointFeatures batch = traj::ComputePointFeatures(points);
+    EXPECT_EQ(streaming.point_features().speed, batch.speed);
+    EXPECT_EQ(streaming.point_features().acceleration, batch.acceleration);
+    EXPECT_EQ(streaming.point_features().jerk, batch.jerk);
+    EXPECT_EQ(streaming.point_features().bearing_rate_rate,
+              batch.bearing_rate_rate);
+  }
+}
+
+TEST(StreamingFeaturesTest, BitIdenticalWithUnwrappedBearings) {
+  traj::PointFeatureOptions options;
+  options.wrap_bearing_difference = false;
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto points = RandomSegmentPoints(rng, 2 + rng.NextBounded(60));
+    StreamingFeatureExtractor streaming(options);
+    for (const auto& point : points) streaming.Add(point);
+    const auto flushed = streaming.Flush();
+    ASSERT_TRUE(flushed.ok());
+    EXPECT_EQ(flushed.value(), BatchFeatures(points, options));
+  }
+}
+
+TEST(StreamingFeaturesTest, LiveStatsTrackBatchChannels) {
+  Rng rng(3);
+  const auto points = RandomSegmentPoints(rng, 40);
+  StreamingFeatureExtractor streaming;
+  for (const auto& point : points) streaming.Add(point);
+  const traj::PointFeatures batch = traj::ComputePointFeatures(points);
+  for (int channel = 0; channel < traj::kNumFeatureChannels; ++channel) {
+    const std::vector<double>& values =
+        traj::ChannelValues(batch, channel);
+    const stats::RunningStats& live = streaming.LiveStats(channel);
+    ASSERT_EQ(live.count(), values.size());
+    double lo = values[0], hi = values[0];
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_EQ(live.min(), lo);
+    EXPECT_EQ(live.max(), hi);
+  }
+}
+
+TEST(StreamingFeaturesTest, FlushNeedsTwoPointsAndResetClears) {
+  Rng rng(5);
+  StreamingFeatureExtractor streaming;
+  EXPECT_FALSE(streaming.Flush().ok());
+  const auto points = RandomSegmentPoints(rng, 20);
+  streaming.Add(points[0]);
+  EXPECT_FALSE(streaming.Flush().ok());
+
+  for (size_t i = 1; i < points.size(); ++i) streaming.Add(points[i]);
+  ASSERT_TRUE(streaming.Flush().ok());
+
+  // Reset and re-run a different segment: no leakage from the first.
+  streaming.Reset();
+  EXPECT_EQ(streaming.num_points(), 0u);
+  const auto other = RandomSegmentPoints(rng, 30);
+  for (const auto& point : other) streaming.Add(point);
+  EXPECT_EQ(streaming.Flush().value(), BatchFeatures(other));
+}
+
+// -------------------------------------------------- Segmentation parity --
+
+// Builds a trajectory that hits every offline split rule: mode changes,
+// a day boundary, a long gap, and out-of-order fixes.
+traj::Trajectory AdversarialTrajectory(uint64_t seed) {
+  Rng rng(seed);
+  traj::Trajectory trajectory;
+  trajectory.user_id = 17;
+  double t = 1.2e9;
+  double lat = 39.9, lon = 116.3;
+  const traj::Mode modes[] = {traj::Mode::kWalk, traj::Mode::kBus,
+                              traj::Mode::kUnknown, traj::Mode::kBike};
+  for (int block = 0; block < 12; ++block) {
+    const traj::Mode mode = modes[rng.NextBounded(4)];
+    const size_t n = 2 + rng.NextBounded(30);
+    for (size_t i = 0; i < n; ++i) {
+      traj::TrajectoryPoint point;
+      point.pos = {lat, lon};
+      point.timestamp = t;
+      point.mode = mode;
+      trajectory.points.push_back(point);
+      t += rng.Uniform(1.0, 90.0);
+      lat += rng.Gaussian(0.0, 1e-4);
+      lon += rng.Gaussian(0.0, 1e-4);
+      if (rng.NextBounded(15) == 0) {
+        // Out-of-order fix: jump back in time.
+        traj::TrajectoryPoint stale = point;
+        stale.timestamp = point.timestamp - rng.Uniform(10.0, 1000.0);
+        trajectory.points.push_back(stale);
+      }
+    }
+    if (rng.NextBounded(3) == 0) t += 7200.0;   // Long gap.
+    if (rng.NextBounded(4) == 0) t += 86400.0;  // Day boundary.
+  }
+  return trajectory;
+}
+
+void ExpectSessionMatchesOffline(const traj::Trajectory& trajectory,
+                                 double max_gap_seconds) {
+  traj::SegmentationOptions offline_options;
+  offline_options.max_gap_seconds = max_gap_seconds;
+  const std::vector<traj::Segment> offline =
+      traj::SegmentTrajectory(trajectory, offline_options);
+
+  SessionOptions session_options;
+  session_options.max_gap_seconds = max_gap_seconds;
+  session_options.keep_points = true;
+  session_options.idle_after_seconds = 0.0;  // Parity mode: no eviction.
+  SessionManager sessions(session_options);
+  std::vector<ClosedSegment> closed;
+  for (const auto& point : trajectory.points) {
+    sessions.Ingest(trajectory.user_id, point, &closed);
+  }
+  sessions.FlushAll(&closed);
+
+  ASSERT_EQ(closed.size(), offline.size());
+  const traj::TrajectoryFeatureExtractor extractor;
+  for (size_t s = 0; s < closed.size(); ++s) {
+    EXPECT_EQ(closed[s].mode, offline[s].mode);
+    EXPECT_EQ(closed[s].day, offline[s].day);
+    ASSERT_EQ(closed[s].num_points, offline[s].points.size());
+    for (size_t i = 0; i < offline[s].points.size(); ++i) {
+      EXPECT_EQ(closed[s].points[i].timestamp,
+                offline[s].points[i].timestamp);
+      EXPECT_EQ(closed[s].points[i].pos, offline[s].points[i].pos);
+    }
+    // Feature vectors bit-identical to the offline extractor's.
+    EXPECT_EQ(closed[s].features,
+              std::move(extractor.Extract(offline[s])).value());
+  }
+}
+
+TEST(SessionManagerTest, SegmentationParityVsOffline) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    ExpectSessionMatchesOffline(AdversarialTrajectory(seed),
+                                /*max_gap_seconds=*/0.0);
+  }
+}
+
+TEST(SessionManagerTest, SegmentationParityWithGapRule) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    ExpectSessionMatchesOffline(AdversarialTrajectory(seed),
+                                /*max_gap_seconds=*/1800.0);
+  }
+}
+
+TEST(SessionManagerTest, CorpusParityVsOffline) {
+  synthgeo::GeneratorOptions options;
+  options.num_users = 3;
+  options.days_per_user = 2;
+  options.seed = 77;
+  synthgeo::GeoLifeLikeGenerator generator(options);
+  const auto corpus = generator.Generate();
+  for (const traj::Trajectory& trajectory : corpus) {
+    ExpectSessionMatchesOffline(trajectory, 0.0);
+  }
+}
+
+TEST(SessionManagerTest, OutOfOrderFixesDroppedAcrossSegmentBoundary) {
+  SessionOptions options;
+  options.min_points = 2;
+  SessionManager sessions(options);
+  std::vector<ClosedSegment> closed;
+  Rng rng(11);
+  auto points = RandomSegmentPoints(rng, 12);
+  for (const auto& point : points) sessions.Ingest(1, point, &closed);
+  // A mode change closes the first segment but keeps the session state.
+  traj::TrajectoryPoint next = points.back();
+  next.timestamp += 5.0;
+  next.mode = traj::Mode::kBus;
+  sessions.Ingest(1, next, &closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].reason, CloseReason::kModeChange);
+  // A fix older than the last kept one is dropped even though that fix's
+  // segment is already closed: the cleaning reference persists, exactly
+  // like the offline segmenter's.
+  traj::TrajectoryPoint stale = next;
+  stale.timestamp -= 500.0;
+  sessions.Ingest(1, stale, &closed);
+  EXPECT_EQ(sessions.stats().points_dropped_out_of_order, 1u);
+  ASSERT_EQ(closed.size(), 1u);
+  // Only `next` sits in the open segment; too short to emit.
+  std::vector<ClosedSegment> rest;
+  sessions.FlushAll(&rest);
+  EXPECT_TRUE(rest.empty());
+  EXPECT_EQ(sessions.stats().segments_discarded_short, 1u);
+}
+
+TEST(SessionManagerTest, MaxWindowClosesOpenSegment) {
+  SessionOptions options;
+  options.min_points = 2;
+  options.max_segment_points = 10;
+  SessionManager sessions(options);
+  std::vector<ClosedSegment> closed;
+  Rng rng(13);
+  const auto points = RandomSegmentPoints(rng, 25);
+  for (const auto& point : points) sessions.Ingest(1, point, &closed);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].reason, CloseReason::kMaxWindow);
+  EXPECT_EQ(closed[0].num_points, 10u);
+  EXPECT_EQ(closed[1].num_points, 10u);
+  sessions.FlushAll(&closed);
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[2].reason, CloseReason::kFlush);
+  EXPECT_EQ(closed[2].num_points, 5u);
+}
+
+TEST(SessionManagerTest, IdleSessionsEvicted) {
+  SessionOptions options;
+  options.min_points = 2;
+  options.idle_after_seconds = 600.0;
+  SessionManager sessions(options);
+  std::vector<ClosedSegment> closed;
+  Rng rng(17);
+  const auto a = RandomSegmentPoints(rng, 15);
+  for (const auto& point : a) sessions.Ingest(1, point, &closed);
+  const double now = a.back().timestamp;
+  traj::TrajectoryPoint fresh = a.back();
+  fresh.timestamp = now;
+  sessions.Ingest(2, fresh, &closed);
+  EXPECT_EQ(sessions.num_open_sessions(), 2u);
+
+  sessions.EvictIdle(now + 300.0, &closed);  // Nobody idle yet.
+  EXPECT_EQ(sessions.num_open_sessions(), 2u);
+  ASSERT_TRUE(closed.empty());
+
+  sessions.EvictIdle(now + 601.0, &closed);  // Both sessions idle now.
+  EXPECT_EQ(sessions.num_open_sessions(), 0u);
+  EXPECT_EQ(sessions.stats().sessions_evicted_idle, 2u);
+  // Session 1 had enough points to emit; session 2 (one point) discarded.
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].session_id, 1);
+  EXPECT_EQ(closed[0].reason, CloseReason::kIdle);
+  EXPECT_EQ(sessions.stats().segments_discarded_short, 1u);
+}
+
+TEST(SessionManagerTest, SessionCapEvictsLeastRecentlyUpdated) {
+  SessionOptions options;
+  options.min_points = 2;
+  options.max_sessions = 2;
+  SessionManager sessions(options);
+  std::vector<ClosedSegment> closed;
+  Rng rng(23);
+  const auto points = RandomSegmentPoints(rng, 6);
+  for (const auto& point : points) sessions.Ingest(1, point, &closed);
+  for (const auto& point : points) sessions.Ingest(2, point, &closed);
+  EXPECT_EQ(sessions.num_open_sessions(), 2u);
+  // Touch 1 so 2 becomes the LRU victim.
+  sessions.Ingest(1, points.back(), &closed);
+  ASSERT_TRUE(closed.empty());
+  sessions.Ingest(3, points.front(), &closed);
+  EXPECT_EQ(sessions.num_open_sessions(), 2u);
+  EXPECT_EQ(sessions.stats().sessions_evicted_cap, 1u);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].session_id, 2);
+  EXPECT_EQ(closed[0].reason, CloseReason::kSessionCap);
+}
+
+// ----------------------------------------------------------- Registry --
+
+TEST(ModelRegistryTest, ValidatesModels) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+
+  ServingModel unfitted;
+  unfitted.version = "bad";
+  EXPECT_FALSE(registry.Register(std::move(unfitted)).ok());
+
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  // Subset indices out of range / duplicated.
+  auto bad_subset = fixture.model;
+  bad_subset.version = "bad-subset";
+  bad_subset.feature_subset = {0, 99};
+  EXPECT_FALSE(bad_subset.Validate().ok());
+  bad_subset.feature_subset = {3, 3};
+  EXPECT_FALSE(bad_subset.Validate().ok());
+  // Subset width must match what the forest was trained on.
+  bad_subset.feature_subset = {0, 1, 2};
+  EXPECT_FALSE(bad_subset.Validate().ok());
+  // Normalizer width mismatch.
+  auto bad_norm = fixture.model;
+  bad_norm.version = "bad-norm";
+  bad_norm.norm_mins = {0.0};
+  bad_norm.norm_maxs = {1.0};
+  EXPECT_FALSE(bad_norm.Validate().ok());
+
+  ASSERT_TRUE(registry.Register(fixture.model).ok());
+  // Duplicate version rejected.
+  EXPECT_FALSE(registry.Register(fixture.model).ok());
+  EXPECT_FALSE(registry.Activate("no-such-version").ok());
+  ASSERT_TRUE(registry.Activate("v1").ok());
+  ASSERT_NE(registry.Current(), nullptr);
+  EXPECT_EQ(registry.Current()->version, "v1");
+  EXPECT_EQ(registry.Versions(), std::vector<std::string>{"v1"});
+  EXPECT_NE(registry.Get("v1"), nullptr);
+  EXPECT_EQ(registry.Get("v2"), nullptr);
+}
+
+TEST(ModelRegistryTest, NormalizationMatchesMinMaxScaler) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  // A model whose normalizer is identity on [0, 1) plus one constant
+  // column: constant columns must map to 0 like MinMaxScaler::Transform.
+  auto model = fixture.model;
+  model.version = "normed";
+  const size_t width = static_cast<size_t>(model.num_input_features);
+  model.norm_mins.assign(width, 0.0);
+  model.norm_maxs.assign(width, 1.0);
+  model.norm_mins[3] = 5.0;  // Constant column: range 0.
+  model.norm_maxs[3] = 5.0;
+  ASSERT_TRUE(model.Validate().ok());
+  std::vector<std::vector<double>> rows(1, std::vector<double>(width, 2.0));
+  const auto prepared = model.PrepareBatch(rows);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->At(0, 0), 2.0);  // (2-0)*1/(1-0).
+  EXPECT_EQ(prepared->At(0, 3), 0.0);  // Constant column.
+}
+
+// ------------------------------------------------------ Batch predictor --
+
+TEST(BatchPredictorTest, NoActiveModelFailsCleanly) {
+  ModelRegistry registry;
+  BatchPredictor predictor(&registry);
+  auto future = predictor.Submit(
+      std::vector<double>(traj::kNumTrajectoryFeatures, 0.0));
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BatchPredictorTest, DeterministicAcrossBatchCompositions) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+
+  std::vector<std::vector<double>> requests;
+  for (size_t r = 0; r < fixture.dataset.num_samples(); ++r) {
+    const auto row = fixture.dataset.features().Row(r);
+    requests.emplace_back(row.begin(), row.end());
+  }
+
+  const auto run = [&](size_t max_batch) {
+    BatchPredictorOptions options;
+    options.max_batch_size = max_batch;
+    options.max_delay_seconds = 0.001;
+    BatchPredictor predictor(&registry, options);
+    std::vector<std::future<Result<Prediction>>> futures;
+    for (const auto& request : requests) {
+      futures.push_back(predictor.Submit(request));
+    }
+    std::vector<Prediction> predictions;
+    for (auto& future : futures) {
+      auto result = future.get();
+      EXPECT_TRUE(result.ok());
+      predictions.push_back(std::move(result).value());
+    }
+    return predictions;
+  };
+
+  const auto singles = run(1);
+  const auto batched = run(64);
+  const auto odd = run(7);
+  ASSERT_EQ(singles.size(), batched.size());
+  for (size_t i = 0; i < singles.size(); ++i) {
+    // Per-request determinism: identical answers whatever the batch
+    // composition, and identical to the offline forest.
+    EXPECT_EQ(singles[i].label, batched[i].label);
+    EXPECT_EQ(singles[i].label, odd[i].label);
+    EXPECT_EQ(singles[i].label, fixture.offline_predictions[i]);
+    EXPECT_EQ(singles[i].probabilities, batched[i].probabilities);
+    EXPECT_EQ(singles[i].model_version, "v1");
+    EXPECT_GT(singles[i].latency_seconds, 0.0);
+  }
+}
+
+TEST(BatchPredictorTest, DeadlineDispatchesPartialBatch) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictorOptions options;
+  options.max_batch_size = 1000;  // Never reached: deadline must fire.
+  options.max_delay_seconds = 0.002;
+  BatchPredictor predictor(&registry, options);
+  const auto row = fixture.dataset.features().Row(0);
+  auto future = predictor.Submit({row.begin(), row.end()});
+  const auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
+  EXPECT_EQ(predictor.counters().batches, 1u);
+}
+
+TEST(BatchPredictorTest, BadRequestFailsOnlyItself) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictorOptions options;
+  options.max_batch_size = 2;  // Both requests land in one batch.
+  options.max_delay_seconds = 0.05;
+  BatchPredictor predictor(&registry, options);
+  auto bad = predictor.Submit(std::vector<double>(5, 0.0));
+  const auto row = fixture.dataset.features().Row(0);
+  auto good = predictor.Submit({row.begin(), row.end()});
+  const auto bad_result = bad.get();
+  ASSERT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.status().code(), StatusCode::kInvalidArgument);
+  const auto good_result = good.get();
+  ASSERT_TRUE(good_result.ok());
+  EXPECT_EQ(good_result.value().label, fixture.offline_predictions[0]);
+}
+
+TEST(BatchPredictorTest, FlushProcessesPendingOnCallerThread) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictorOptions options;
+  options.max_batch_size = 1000;
+  options.max_delay_seconds = 60.0;  // Deadline effectively never fires.
+  BatchPredictor predictor(&registry, options);
+  std::vector<std::future<Result<Prediction>>> futures;
+  for (size_t r = 0; r < 5; ++r) {
+    const auto row = fixture.dataset.features().Row(r);
+    futures.push_back(predictor.Submit({row.begin(), row.end()}));
+  }
+  predictor.Flush();
+  for (size_t r = 0; r < futures.size(); ++r) {
+    const auto result = futures[r].get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().label, fixture.offline_predictions[r]);
+  }
+}
+
+// The hot-swap race: one writer flips the active model while readers
+// predict. Run under -DTRAJKIT_SANITIZE=thread (tools/run_ci.sh); the
+// assertions also verify each reader saw one consistent snapshot.
+TEST(ModelRegistryTest, HotSwapRaceKeepsSnapshotsConsistent) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  auto v2 = fixture.model;
+  v2.version = "v2";
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Register(std::move(v2)).ok());
+
+  constexpr int kReaders = 3;
+  constexpr int kIterationsPerReader = 100;
+  std::atomic<int> readers_done{0};
+  // The writer keeps flipping the active model until every reader has
+  // finished its iterations, so swaps genuinely overlap the reads.
+  std::thread writer([&] {
+    int i = 0;
+    while (readers_done.load() < kReaders) {
+      ASSERT_TRUE(registry.Activate(++i % 2 == 0 ? "v2" : "v1").ok());
+    }
+  });
+
+  const auto row = fixture.dataset.features().Row(0);
+  const std::vector<double> request(row.begin(), row.end());
+  std::vector<std::thread> readers;
+  std::atomic<int> predictions{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kIterationsPerReader; ++i) {
+        const std::shared_ptr<const ServingModel> snapshot =
+            registry.Current();
+        ASSERT_NE(snapshot, nullptr);
+        // The snapshot is an immutable, internally-consistent triple no
+        // matter how many swaps happen while we hold it.
+        ASSERT_TRUE(snapshot->version == "v1" || snapshot->version == "v2");
+        auto prediction = snapshot->PredictOne(request);
+        ASSERT_TRUE(prediction.ok());
+        EXPECT_EQ(prediction->label, fixture.offline_predictions[0]);
+        EXPECT_EQ(prediction->model_version, snapshot->version);
+        predictions.fetch_add(1);
+      }
+      readers_done.fetch_add(1);
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(predictions.load(), kReaders * kIterationsPerReader);
+}
+
+// ----------------------------------------------------- Fig. 3 subset --
+
+TEST(FeatureSubsetTest, LoadsTopKFromFig3Csv) {
+  const std::string path = testing::TempDir() + "/serve_test/fig3.csv";
+  ASSERT_TRUE(WriteStringToFile(
+                  path,
+                  "method,k,feature,cv_accuracy\n"
+                  "importance,1,speed_p90,0.61\n"
+                  "importance,2,distance_max,0.67\n"
+                  "importance,3,speed_mean,0.70\n"
+                  "wrapper,1,jerk_min,0.55\n")
+                  .ok());
+  const auto subset = LoadFig3FeatureSubset(path, "importance", 2);
+  ASSERT_TRUE(subset.ok()) << subset.status().ToString();
+  ASSERT_EQ(subset->size(), 2u);
+  EXPECT_EQ((*subset)[0],
+            traj::TrajectoryFeatureExtractor::FeatureIndex("speed_p90")
+                .value());
+  EXPECT_EQ((*subset)[1],
+            traj::TrajectoryFeatureExtractor::FeatureIndex("distance_max")
+                .value());
+
+  EXPECT_FALSE(LoadFig3FeatureSubset(path, "importance", 10).ok());
+  EXPECT_FALSE(LoadFig3FeatureSubset(path, "nope", 1).ok());
+  EXPECT_FALSE(LoadFig3FeatureSubset(path, "importance", 0).ok());
+}
+
+// ------------------------------------------------------------- Replay --
+
+TEST(ReplayTest, MatchesOfflinePipelineExactly) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictor predictor(&registry);
+  const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
+                                   predictor);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Identically-segmented data: same evaluated segments, same number of
+  // correct predictions, hence identical accuracy.
+  EXPECT_EQ(report->segments_evaluated, fixture.dataset.num_samples());
+  EXPECT_EQ(report->correct, fixture.offline_correct);
+  EXPECT_DOUBLE_EQ(
+      report->accuracy(),
+      static_cast<double>(fixture.offline_correct) /
+          static_cast<double>(fixture.dataset.num_samples()));
+
+  // Same label multiset (replay closes in global time order, the offline
+  // dataset in per-user corpus order).
+  std::multiset<int> online(report->y_true.begin(), report->y_true.end());
+  std::multiset<int> offline(fixture.dataset.labels().begin(),
+                             fixture.dataset.labels().end());
+  EXPECT_EQ(online, offline);
+  EXPECT_EQ(report->session_stats.segments_emitted,
+            report->segments_closed);
+}
+
+TEST(ReplayTest, PeriodicIdleEvictionStillEvaluatesEverySegment) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictor predictor(&registry);
+  ReplayOptions options;
+  options.session.idle_after_seconds = 6.0 * 3600.0;
+  options.evict_every_points = 1000;
+  const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
+                                   predictor, options);
+  ASSERT_TRUE(report.ok());
+  // Eviction at a 6h horizon only closes sessions at boundaries the
+  // splitter would cut anyway (day change), so nothing is lost.
+  EXPECT_EQ(report->segments_evaluated, fixture.dataset.num_samples());
+  EXPECT_EQ(report->correct, fixture.offline_correct);
+}
+
+}  // namespace
+}  // namespace trajkit::serve

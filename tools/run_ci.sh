@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# TrajKit CI driver: the tier-1 verify (configure, build, full ctest) plus
+# the ThreadSanitizer configuration of the concurrency-sensitive tests
+# (parallel_test, serve_test — the shared pool and the serving layer's
+# hot-swap/micro-batching machinery).
+#
+# Usage: tools/run_ci.sh [--skip-tsan]
+# Env:   BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
+#        JOBS (default nproc).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+JOBS="${JOBS:-$(nproc)}"
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: configure + build (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_TSAN" -eq 1 ]]; then
+  echo "==> TSan configuration skipped (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> TSan: configure + build (${TSAN_BUILD_DIR})"
+cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target parallel_test serve_test
+
+echo "==> TSan: parallel_test + serve_test"
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R '^(parallel_test|serve_test)$'
+
+echo "==> CI green"

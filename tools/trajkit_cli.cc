@@ -21,8 +21,21 @@
 //       Cross-validated evaluation with a full classification report.
 //
 //   trajkit predict   --dataset=FILE.csv --model=FILE.model
+//                     [--output=FILE.csv]
 //       Load a saved forest, predict, and (when labels are present)
-//       report accuracy and a confusion matrix.
+//       report accuracy and a confusion matrix. --output writes every
+//       prediction (sample id, class, per-class probabilities) as CSV;
+//       stdout keeps a short preview.
+//
+//   trajkit serve-replay  (--data=DIR | --synthetic) --model=FILE.model
+//                     [--labels=dabiri|endo|all] [--batch=64]
+//                     [--max_delay_ms=2] [--gap=SECONDS]
+//                     [--max_window=N]
+//                     [--subset=FILE.csv --method=importance --top_k=20]
+//       Replay a corpus through the online serving stack (streaming
+//       sessions -> incremental features -> micro-batched prediction) in
+//       global timestamp order and compare the accuracy against the
+//       offline pipeline on identically-segmented data.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
@@ -32,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -46,13 +60,19 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "serve/batch_predictor.h"
+#include "serve/model_registry.h"
+#include "serve/replay.h"
+#include "serve/session_manager.h"
 #include "synthgeo/generator.h"
+#include "traj/trajectory_features.h"
 
 namespace trajkit {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: trajkit <generate|features|train|evaluate|predict> [--flags]\n"
+    "usage: trajkit "
+    "<generate|features|train|evaluate|predict|serve-replay> [--flags]\n"
     "run `trajkit <command> --help` or see the file header for details\n";
 
 int Fail(const Status& status, const char* what) {
@@ -233,6 +253,39 @@ int RunPredict(const Flags& flags) {
   if (predictions.size() > 20) {
     std::printf("... (%zu predictions total)\n", predictions.size());
   }
+
+  // --output writes the full prediction table (the stdout preview above is
+  // capped at 20 rows).
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    auto probabilities = forest->PredictProba(dataset->features());
+    CsvTable table;
+    table.header = {"sample", "predicted_class", "predicted_label"};
+    const bool with_proba = probabilities.ok();
+    if (with_proba) {
+      for (const std::string& name : dataset->class_names()) {
+        table.header.push_back("proba_" + name);
+      }
+    }
+    table.rows.reserve(predictions.size());
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      std::vector<std::string> row;
+      row.push_back(StrPrintf("%zu", i));
+      row.push_back(StrPrintf("%d", predictions[i]));
+      row.push_back(dataset->class_names()[
+          static_cast<size_t>(predictions[i])]);
+      if (with_proba) {
+        for (const double p : probabilities->Row(i)) {
+          row.push_back(StrPrintf("%.17g", p));
+        }
+      }
+      table.rows.push_back(std::move(row));
+    }
+    const Status write = WriteCsvFile(output, table);
+    if (!write.ok()) return Fail(write, "prediction CSV write");
+    std::printf("wrote all %zu predictions to %s\n", predictions.size(),
+                output.c_str());
+  }
   // When the CSV carries labels, report quality.
   const ml::ClassificationReport report = ml::Evaluate(
       dataset->labels(), predictions, dataset->num_classes());
@@ -241,6 +294,142 @@ int RunPredict(const Flags& flags) {
                                   dataset->num_classes())
                   .ToString(dataset->class_names())
                   .c_str());
+  return 0;
+}
+
+int RunServeReplay(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "serve-replay: --model=FILE.model is required\n");
+    return 2;
+  }
+
+  // Corpus: real directory or synthetic (same convention as `features`).
+  std::vector<traj::Trajectory> corpus;
+  const std::string data = flags.GetString("data", "");
+  if (!data.empty()) {
+    auto loaded = geolife::LoadGeoLifeCorpus(data);
+    if (!loaded.ok()) return Fail(loaded.status(), "GeoLife load");
+    corpus = std::move(loaded).value();
+  } else {
+    synthgeo::GeoLifeLikeGenerator generator(
+        GeneratorOptionsFromFlags(flags));
+    corpus = generator.Generate();
+    std::printf("(no --data; generated a synthetic corpus: %zu points)\n",
+                generator.summary().total_points);
+  }
+
+  auto labels = LabelSetFromFlags(flags);
+  if (!labels.ok()) return Fail(labels.status(), "label set");
+
+  auto forest = ml::LoadRandomForest(model_path);
+  if (!forest.ok()) return Fail(forest.status(), "model load");
+
+  // Optional Fig. 3 feature-subset mask: the forest was trained on the
+  // top-k columns, requests carry the full 70-dim vector.
+  std::vector<int> subset;
+  const std::string subset_path = flags.GetString("subset", "");
+  if (!subset_path.empty()) {
+    auto loaded = serve::LoadFig3FeatureSubset(
+        subset_path, flags.GetString("method", "importance"),
+        flags.GetInt("top_k", 20));
+    if (!loaded.ok()) return Fail(loaded.status(), "feature subset");
+    subset = std::move(loaded).value();
+    std::printf("serving with a %zu-feature mask from %s\n", subset.size(),
+                subset_path.c_str());
+  }
+
+  serve::ModelRegistry registry;
+  {
+    auto model = serve::MakeServingModel(
+        "replay-v1", std::move(forest).value(),
+        traj::kNumTrajectoryFeatures, subset);
+    if (!model.ok()) return Fail(model.status(), "serving model");
+    const Status status =
+        registry.RegisterAndActivate(std::move(model).value());
+    if (!status.ok()) return Fail(status, "registry");
+  }
+
+  serve::BatchPredictorOptions batching;
+  batching.max_batch_size =
+      static_cast<size_t>(flags.GetInt("batch", 64));
+  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 2.0) * 1e-3;
+  serve::BatchPredictor predictor(&registry, batching);
+
+  serve::ReplayOptions replay_options;
+  replay_options.session.max_gap_seconds = flags.GetDouble("gap", 0.0);
+  replay_options.session.max_segment_points =
+      static_cast<size_t>(flags.GetInt("max_window", 0));
+  Stopwatch timer;
+  auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
+                                    replay_options);
+  if (!report.ok()) return Fail(report.status(), "replay");
+  const double total_seconds = timer.ElapsedSeconds();
+
+  const serve::BatchPredictor::Counters counters = predictor.counters();
+  std::printf(
+      "replayed %zu points in %.2fs (%.0f points/s ingest)\n",
+      report->points, total_seconds,
+      report->ingest_seconds > 0.0
+          ? static_cast<double>(report->points) / report->ingest_seconds
+          : 0.0);
+  std::printf(
+      "segments: %zu closed, %zu evaluated, %zu outside label set\n",
+      report->segments_closed, report->segments_evaluated,
+      report->segments_outside_label_set);
+  std::printf("batches: %zu (mean %.1f, max %zu requests)\n",
+              counters.batches,
+              counters.batches > 0
+                  ? static_cast<double>(counters.requests) /
+                        static_cast<double>(counters.batches)
+                  : 0.0,
+              counters.max_batch);
+  std::printf("online accuracy:  %.4f (%zu/%zu)\n", report->accuracy(),
+              report->correct, report->segments_evaluated);
+
+  // Offline comparison: the batch pipeline on the same corpus with the
+  // same segmentation rules, predicted through the same serving model.
+  // The max-window rule has no offline counterpart, so skip when set.
+  if (replay_options.session.max_segment_points > 0) {
+    std::printf("(--max_window set: offline comparison skipped — the "
+                "max-window rule has no offline counterpart)\n");
+    return 0;
+  }
+  core::PipelineOptions pipeline_options;
+  pipeline_options.segmentation.max_gap_seconds =
+      replay_options.session.max_gap_seconds;
+  const core::Pipeline pipeline(pipeline_options);
+  auto dataset = pipeline.BuildDataset(corpus, labels.value());
+  if (!dataset.ok()) return Fail(dataset.status(), "offline pipeline");
+  const std::shared_ptr<const serve::ServingModel> model =
+      registry.Current();
+  std::vector<std::vector<double>> rows(dataset->num_samples());
+  for (size_t r = 0; r < dataset->num_samples(); ++r) {
+    const std::span<const double> row = dataset->features().Row(r);
+    rows[r].assign(row.begin(), row.end());
+  }
+  auto offline = model->PredictBatch(rows);
+  if (!offline.ok()) return Fail(offline.status(), "offline predict");
+  size_t offline_correct = 0;
+  for (size_t r = 0; r < offline->size(); ++r) {
+    if ((*offline)[r].label == dataset->labels()[r]) ++offline_correct;
+  }
+  const double offline_accuracy =
+      dataset->num_samples() == 0
+          ? 0.0
+          : static_cast<double>(offline_correct) /
+                static_cast<double>(dataset->num_samples());
+  std::printf("offline accuracy: %.4f (%zu/%zu)\n", offline_accuracy,
+              offline_correct, dataset->num_samples());
+  if (report->segments_evaluated == dataset->num_samples() &&
+      report->correct == offline_correct) {
+    std::printf("online == offline: segment count and accuracy match\n");
+  } else {
+    std::printf("WARNING: online and offline disagree (%zu vs %zu "
+                "segments, %zu vs %zu correct)\n",
+                report->segments_evaluated, dataset->num_samples(),
+                report->correct, offline_correct);
+  }
   return 0;
 }
 
@@ -260,6 +449,7 @@ int Run(int argc, char** argv) {
   if (command == "train") return RunTrain(flags);
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "predict") return RunPredict(flags);
+  if (command == "serve-replay") return RunServeReplay(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }
