@@ -17,6 +17,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/experiments.h"
+#include "obs/metrics.h"
 
 namespace trajkit::bench {
 
@@ -46,13 +47,19 @@ inline synthgeo::GeneratorOptions CorpusOptionsFromFlags(
 
 /// Collects named wall-clock phase timings and, when --timing_json=<path>
 /// was given, writes them as one JSON object — the machine-readable perf
-/// trajectory consumed by BENCH_*.json tooling:
+/// trajectory consumed by BENCH_*.json tooling (tools/check_bench.py):
 ///   {"harness": "...", "threads": N, "timings_s": {"phase": 1.23, ...}}
 /// Record() keeps insertion order; duplicate names are emitted as given.
+/// Write() additionally honors the shared --metrics_json=<path> flag: the
+/// process metrics registry (counters, gauges, latency histograms with
+/// p50/p90/p99) is dumped alongside the timings, so every harness emits
+/// the same structured observability artifact.
 class TimingJson {
  public:
   TimingJson(const char* harness, const Flags& flags)
-      : harness_(harness), path_(flags.GetString("timing_json", "")) {}
+      : harness_(harness),
+        path_(flags.GetString("timing_json", "")),
+        metrics_path_(flags.GetString("metrics_json", "")) {}
 
   /// Records one phase's wall-clock seconds.
   void Record(const std::string& name, double seconds) {
@@ -66,9 +73,17 @@ class TimingJson {
     watch.Reset();
   }
 
-  /// Writes the JSON file if --timing_json was given; a no-op otherwise.
-  /// Returns false (with a stderr note) when the file cannot be written.
+  /// Writes the timing JSON (--timing_json) and the metrics registry dump
+  /// (--metrics_json) if their flags were given; no-ops otherwise. Returns
+  /// false (with a stderr note) when a file cannot be written.
   bool Write() const {
+    if (!metrics_path_.empty()) {
+      if (!obs::WriteTextFile(metrics_path_,
+                              obs::MetricsRegistry::Global().ToJson())) {
+        return false;
+      }
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    }
     if (path_.empty()) return true;
     std::FILE* out = std::fopen(path_.c_str(), "w");
     if (out == nullptr) {
@@ -91,6 +106,7 @@ class TimingJson {
  private:
   const char* harness_;
   std::string path_;
+  std::string metrics_path_;
   std::vector<std::pair<std::string, double>> entries_;
 };
 

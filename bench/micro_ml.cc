@@ -36,7 +36,7 @@ Dataset SyntheticFeatures(size_t samples, size_t features, int classes,
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(Dataset::Create(Matrix::FromRows(rows), std::move(labels),
                                    {}, {}, std::move(class_names)))

@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "common/rng.h"
 #include "core/experiments.h"
 #include "ml/crossval.h"
@@ -43,7 +46,7 @@ ml::Dataset SyntheticFeatures(size_t samples, size_t features, int classes,
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(ml::Dataset::Create(ml::Matrix::FromRows(rows),
                                        std::move(labels), std::move(groups),
@@ -119,4 +122,30 @@ BENCHMARK(BM_CrossValidateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace trajkit
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --metrics_json=<path> flag can be
+// stripped before google-benchmark sees (and rejects) it: after the run the
+// process metrics registry (pool chunk/invocation counters, idle seconds,
+// forest fit/predict histograms) is dumped as JSON.
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kFlag[] = "--metrics_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      metrics_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty() &&
+      !trajkit::obs::WriteTextFile(
+          metrics_path, trajkit::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
+  return 0;
+}

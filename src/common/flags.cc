@@ -13,11 +13,13 @@ Flags::Flags(int argc, char** argv) {
     }
     arg.remove_prefix(2);
     const size_t eq = arg.find('=');
+    // insert_or_assign instead of operator[]= : the latter trips a GCC 12
+    // -Wrestrict false positive (PR 105651) under -Werror.
     if (eq == std::string_view::npos) {
-      values_[std::string(arg)] = "1";
+      values_.insert_or_assign(std::string(arg), std::string("1"));
     } else {
-      values_[std::string(arg.substr(0, eq))] =
-          std::string(arg.substr(eq + 1));
+      values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                               std::string(arg.substr(eq + 1)));
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -12,10 +13,35 @@
 #include <thread>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace trajkit {
 
 namespace {
+
+/// Pool instrumentation, resolved once (leaked with the registry so worker
+/// threads can record during process exit). Counters are relaxed atomics —
+/// one add per chunk / invocation, negligible next to chunk bodies.
+struct PoolMetrics {
+  obs::Counter& invocations;
+  obs::Counter& invocations_serial;
+  obs::Counter& chunks;
+  obs::Gauge& worker_idle_seconds;
+  obs::Gauge& threads;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics{
+        obs::MetricsRegistry::Global().GetCounter("parallel.invocations"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "parallel.invocations_serial"),
+        obs::MetricsRegistry::Global().GetCounter("parallel.chunks"),
+        obs::MetricsRegistry::Global().GetGauge(
+            "parallel.worker_idle_seconds"),
+        obs::MetricsRegistry::Global().GetGauge("parallel.threads"),
+    };
+    return *metrics;
+  }
+};
 
 int DefaultThreads() {
   if (const char* env = std::getenv("TRAJKIT_THREADS")) {
@@ -54,6 +80,7 @@ struct ParallelWork {
       const size_t chunk_end = std::min(chunk_begin + grain, end);
       // After a failure the remaining chunks are claimed but not executed,
       // so the completion count still converges and waiters wake up.
+      PoolMetrics::Get().chunks.Increment();
       if (!failed.load(std::memory_order_relaxed)) {
         try {
           for (size_t i = chunk_begin; i < chunk_end; ++i) (*fn)(i);
@@ -133,9 +160,14 @@ class ThreadPool {
       std::shared_ptr<ParallelWork> work;
       {
         std::unique_lock<std::mutex> lock(mu_);
+        const auto wait_start = std::chrono::steady_clock::now();
         cv_.wait(lock, [&] {
           return stop_epoch_ != epoch || !queue_.empty();
         });
+        PoolMetrics::Get().worker_idle_seconds.Add(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wait_start)
+                .count());
         if (stop_epoch_ != epoch) return;
         work = std::move(queue_.front());
         queue_.pop_front();
@@ -166,6 +198,7 @@ Status ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t chunks = (n + grain - 1) / grain;
   const int threads = MaxThreads();
   if (threads <= 1 || chunks <= 1) {
+    PoolMetrics::Get().invocations_serial.Increment();
     // Serial fast path: same exception contract, no pool involvement.
     try {
       for (size_t i = begin; i < end; ++i) fn(i);
@@ -177,6 +210,8 @@ Status ParallelFor(size_t begin, size_t end, size_t grain,
     return Status::Ok();
   }
 
+  PoolMetrics::Get().invocations.Increment();
+  PoolMetrics::Get().threads.Set(threads);
   auto work = std::make_shared<ParallelWork>();
   work->begin = begin;
   work->end = end;

@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
+#include <optional>
+
 #include "common/parallel.h"
+#include "obs/trace.h"
 #include "traj/point_features.h"
 
 namespace trajkit::core {
@@ -10,10 +13,17 @@ Pipeline::Pipeline(PipelineOptions options) : options_(options) {}
 Result<ml::Dataset> Pipeline::BuildDataset(
     const std::vector<traj::Trajectory>& corpus,
     const LabelSet& labels) const {
-  std::vector<traj::Segment> segments =
-      options_.strategy == SegmentationStrategy::kUserDayMode
-          ? traj::SegmentCorpus(corpus, options_.segmentation)
-          : traj::SegmentCorpusByWindows(corpus, options_.windows);
+  // Stage spans nest under "pipeline": segmentation here, then the
+  // noise/extract/assemble stages inside BuildDatasetFromSegments — the
+  // whole 8-step run exports as the span/pipeline/* histogram family.
+  obs::TraceSpan span("pipeline");
+  std::vector<traj::Segment> segments;
+  {
+    obs::TraceSpan segment_span("segment");
+    segments = options_.strategy == SegmentationStrategy::kUserDayMode
+                   ? traj::SegmentCorpus(corpus, options_.segmentation)
+                   : traj::SegmentCorpusByWindows(corpus, options_.windows);
+  }
   return BuildDatasetFromSegments(std::move(segments), labels);
 }
 
@@ -29,10 +39,18 @@ std::vector<std::string> Pipeline::FeatureNames() const {
 
 Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
     std::vector<traj::Segment> segments, const LabelSet& labels) const {
+  // Direct callers (pre-segmented corpora) still get the pipeline span as
+  // the stage parent; via BuildDataset the root span already exists.
+  std::optional<obs::TraceSpan> root;
+  if (obs::TraceSpan::CurrentDepth() == 0) root.emplace("pipeline");
   stats_ = PipelineStats{};
   stats_.segments_total = segments.size();
+  obs::MetricsRegistry::Global()
+      .GetCounter("core.pipeline.segments_total")
+      .Increment(segments.size());
 
   if (options_.remove_noise) {
+    obs::TraceSpan noise_span("noise");
     const int min_points =
         options_.strategy == SegmentationStrategy::kUserDayMode
             ? options_.segmentation.min_points
@@ -40,6 +58,9 @@ Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
     const traj::NoiseRemovalStats noise_stats = traj::RemoveNoiseFromCorpus(
         segments, options_.noise, min_points);
     stats_.outliers_removed = noise_stats.outliers_removed;
+    obs::MetricsRegistry::Global()
+        .GetCounter("core.pipeline.outliers_removed")
+        .Increment(noise_stats.outliers_removed);
   }
 
   const traj::TrajectoryFeatureExtractor extractor(options_.point_features);
@@ -64,22 +85,27 @@ Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
   }
 
   std::vector<std::vector<double>> rows(eligible.size());
-  TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, eligible.size(), 4, [&](size_t i) {
-    const traj::Segment& segment = *eligible[i].segment;
-    // Point features are computed once and shared by both extractors.
-    const traj::PointFeatures point_features =
-        traj::ComputePointFeatures(segment.points, options_.point_features);
-    std::vector<double> features =
-        extractor.ExtractFromPointFeatures(point_features);
-    if (options_.include_extended_features) {
-      const std::vector<double> extended =
-          extended_extractor.ExtractFromPointFeatures(point_features,
-                                                      segment.points);
-      features.insert(features.end(), extended.begin(), extended.end());
-    }
-    rows[i] = std::move(features);
-  }));
+  {
+    obs::TraceSpan extract_span("extract");
+    TRAJKIT_RETURN_IF_ERROR(
+        ParallelFor(0, eligible.size(), 4, [&](size_t i) {
+          const traj::Segment& segment = *eligible[i].segment;
+          // Point features are computed once and shared by both extractors.
+          const traj::PointFeatures point_features = traj::ComputePointFeatures(
+              segment.points, options_.point_features);
+          std::vector<double> features =
+              extractor.ExtractFromPointFeatures(point_features);
+          if (options_.include_extended_features) {
+            const std::vector<double> extended =
+                extended_extractor.ExtractFromPointFeatures(point_features,
+                                                            segment.points);
+            features.insert(features.end(), extended.begin(), extended.end());
+          }
+          rows[i] = std::move(features);
+        }));
+  }
 
+  obs::TraceSpan assemble_span("assemble");
   std::vector<int> y;
   std::vector<int> groups;
   std::vector<double> times;
@@ -93,6 +119,9 @@ Result<ml::Dataset> Pipeline::BuildDatasetFromSegments(
     stats_.points_total += item.segment->points.size();
   }
   stats_.segments_in_label_set = rows.size();
+  obs::MetricsRegistry::Global()
+      .GetCounter("core.pipeline.segments_in_label_set")
+      .Increment(rows.size());
   if (rows.empty()) {
     return Status::InvalidArgument(
         "no segments matched the label set '" + labels.name() +

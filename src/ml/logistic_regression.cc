@@ -71,13 +71,13 @@ Status LogisticRegression::Fit(const Dataset& train) {
 
   std::vector<double> velocity(weights_.size(), 0.0);
   std::vector<double> gradient(weights_.size(), 0.0);
+  std::vector<double> lookahead(weights_.size(), 0.0);
   std::vector<double> probs(k);
   constexpr double kMomentum = 0.9;
 
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     std::fill(gradient.begin(), gradient.end(), 0.0);
     // Nesterov lookahead.
-    std::vector<double> lookahead(weights_.size());
     for (size_t i = 0; i < weights_.size(); ++i) {
       lookahead[i] = weights_[i] + kMomentum * velocity[i];
     }

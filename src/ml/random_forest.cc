@@ -3,16 +3,45 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace trajkit::ml {
+
+namespace {
+
+/// Forest-level instrumentation: fit/predict wall-time histograms plus a
+/// rows-predicted counter, resolved once (handles are registry-stable).
+struct ForestMetrics {
+  obs::Histogram& fit_seconds;
+  obs::Histogram& predict_seconds;
+  obs::Counter& rows_predicted;
+
+  static ForestMetrics& Get() {
+    static ForestMetrics* metrics = new ForestMetrics{
+        obs::MetricsRegistry::Global().GetHistogram(
+            "ml.random_forest.fit_seconds",
+            obs::HistogramOptions::DurationSeconds()),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "ml.random_forest.predict_seconds",
+            obs::HistogramOptions::LatencySeconds()),
+        obs::MetricsRegistry::Global().GetCounter(
+            "ml.random_forest.rows_predicted"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
 
 Status RandomForest::Fit(const Dataset& train) {
+  const obs::ScopedTimer timer(ForestMetrics::Get().fit_seconds);
   if (train.num_samples() == 0) {
     return Status::InvalidArgument("cannot fit a forest on an empty dataset");
   }
@@ -90,6 +119,13 @@ Status RandomForest::Fit(const Dataset& train) {
 
 std::vector<int> RandomForest::Predict(const Matrix& features) const {
   TRAJKIT_CHECK(fitted());
+  // Tiny predicts (the online per-request path) skip the timer: two clock
+  // reads + an observe are measurable against a ~1µs single-row predict,
+  // and the serving latency histogram already covers that path end-to-end.
+  ForestMetrics& metrics = ForestMetrics::Get();
+  metrics.rows_predicted.Increment(features.rows());
+  std::optional<obs::ScopedTimer> timer;
+  if (features.rows() >= 64) timer.emplace(metrics.predict_seconds);
   std::vector<int> out(features.rows());
   // Rows are independent; each writes only its own output slot.
   const Status status = ParallelFor(0, features.rows(), 16, [&](size_t r) {

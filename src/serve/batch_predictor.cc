@@ -9,7 +9,20 @@ namespace trajkit::serve {
 
 BatchPredictor::BatchPredictor(const ModelRegistry* registry,
                                BatchPredictorOptions options)
-    : registry_(registry), options_(options) {
+    : registry_(registry),
+      options_(options),
+      metric_requests_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.batch_predictor.requests")),
+      metric_batches_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.batch_predictor.batches")),
+      metric_queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "serve.batch_predictor.queue_depth")),
+      metric_batch_size_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.batch_predictor.batch_size",
+          obs::HistogramOptions::Exponential(1.0, 2.0, 11))),
+      metric_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.batch_predictor.latency_seconds",
+          obs::HistogramOptions::LatencySeconds())) {
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -29,12 +42,17 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   request.features = std::move(features);
   request.enqueue = std::chrono::steady_clock::now();
   std::future<Result<Prediction>> future = request.promise.get_future();
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(std::move(request));
     ++counters_.requests;
+    depth = pending_.size();
   }
   cv_.notify_one();
+  // Metrics after the notify so the worker's wakeup is not delayed.
+  metric_queue_depth_.Set(static_cast<double>(depth));
+  metric_requests_.Increment();
   return future;
 }
 
@@ -65,6 +83,9 @@ std::vector<BatchPredictor::Request> BatchPredictor::TakeBatchLocked() {
   }
   ++counters_.batches;
   counters_.max_batch = std::max(counters_.max_batch, take);
+  // A gauge store is cheap enough to keep under the lock; the batch
+  // histogram observes happen in ProcessBatch, outside it.
+  metric_queue_depth_.Set(static_cast<double>(pending_.size()));
   return batch;
 }
 
@@ -99,6 +120,8 @@ void BatchPredictor::WorkerLoop() {
 
 void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   if (batch.empty()) return;
+  metric_batches_.Increment();
+  metric_batch_size_.Observe(static_cast<double>(batch.size()));
   const std::shared_ptr<const ServingModel> model = registry_->Current();
   if (model == nullptr) {
     for (Request& request : batch) {
@@ -138,6 +161,7 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
     Request& request = batch[row_to_request[r]];
     values[r].latency_seconds =
         std::chrono::duration<double>(done - request.enqueue).count();
+    metric_latency_.Observe(values[r].latency_seconds);
     request.promise.set_value(std::move(values[r]));
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "serve/model_registry.h"
 
 namespace trajkit::serve {
@@ -82,6 +83,16 @@ class BatchPredictor {
 
   const ModelRegistry* registry_;
   BatchPredictorOptions options_;
+
+  /// Global-registry handles, resolved once in the constructor so the
+  /// enqueue/dispatch paths pay only relaxed atomic updates:
+  /// serve.batch_predictor.{requests,batches} counters, queue_depth gauge,
+  /// batch_size and latency_seconds (enqueue→completion) histograms.
+  obs::Counter& metric_requests_;
+  obs::Counter& metric_batches_;
+  obs::Gauge& metric_queue_depth_;
+  obs::Histogram& metric_batch_size_;
+  obs::Histogram& metric_latency_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

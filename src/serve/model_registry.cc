@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace trajkit::serve {
 
@@ -185,6 +186,9 @@ Status ModelRegistry::Register(ServingModel model) {
     return Status::InvalidArgument("model version '" + shared->version +
                                    "' is already registered");
   }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.registry.models")
+      .Set(static_cast<double>(models_.size()));
   return Status::Ok();
 }
 
@@ -196,6 +200,13 @@ Status ModelRegistry::Activate(std::string_view version) {
                             std::string(version) + "'");
   }
   active_ = it->second;
+  // Swap count + active version for dashboards: every activation (including
+  // the first) is a swap event; the version is an info metric so the string
+  // survives into the JSON/Prometheus artifacts.
+  obs::MetricsRegistry::Global().GetCounter("serve.registry.swaps")
+      .Increment();
+  obs::MetricsRegistry::Global().SetInfo("serve.registry.active_version",
+                                         active_->version);
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #include "serve/session_manager.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -28,7 +29,29 @@ std::string_view CloseReasonToString(CloseReason reason) {
 }
 
 SessionManager::SessionManager(SessionOptions options)
-    : options_(options) {}
+    : options_(options),
+      metric_points_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.points_ingested")),
+      metric_out_of_order_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.points_dropped_out_of_order")),
+      metric_emitted_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.segments_emitted")),
+      metric_discarded_short_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.segments_discarded_short")),
+      metric_discarded_unlabeled_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.segments_discarded_unlabeled")),
+      metric_evicted_idle_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.evicted_idle")),
+      metric_evicted_cap_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.sessions.evicted_cap")),
+      metric_active_(obs::MetricsRegistry::Global().GetGauge(
+          "serve.sessions.active")) {
+  for (size_t r = 0; r < metric_closed_by_reason_.size(); ++r) {
+    metric_closed_by_reason_[r] = &obs::MetricsRegistry::Global().GetCounter(
+        "serve.sessions.closed." +
+        std::string(CloseReasonToString(static_cast<CloseReason>(r))));
+  }
+}
 
 void SessionManager::CloseSegment(int64_t session_id, Session* session,
                                   CloseReason reason,
@@ -41,9 +64,11 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
                               std::max(options_.min_points, 0)));
   if (session->count < min_points) {
     ++stats_.segments_discarded_short;
+    metric_discarded_short_.Increment();
   } else if (options_.drop_unlabeled &&
              session->mode == traj::Mode::kUnknown) {
     ++stats_.segments_discarded_unlabeled;
+    metric_discarded_unlabeled_.Increment();
   } else {
     Result<std::vector<double>> features = session->extractor.Flush();
     TRAJKIT_CHECK(features.ok()) << features.status().ToString();
@@ -60,6 +85,8 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
     if (options_.keep_points) segment.points = session->points;
     closed->push_back(std::move(segment));
     ++stats_.segments_emitted;
+    metric_emitted_.Increment();
+    metric_closed_by_reason_[static_cast<size_t>(reason)]->Increment();
   }
   session->extractor.Reset();
   session->points.clear();
@@ -70,6 +97,7 @@ void SessionManager::Ingest(int64_t session_id,
                             const traj::TrajectoryPoint& point,
                             std::vector<ClosedSegment>* closed) {
   ++stats_.points_ingested;
+  metric_points_.Increment();
   auto [it, inserted] = sessions_.try_emplace(session_id);
   Session& session = it->second;
   if (inserted) {
@@ -84,6 +112,7 @@ void SessionManager::Ingest(int64_t session_id,
   // kept fix of this session is dropped (even across a segment boundary).
   if (session.has_last && point.timestamp < session.last_time) {
     ++stats_.points_dropped_out_of_order;
+    metric_out_of_order_.Increment();
     return;
   }
 
@@ -137,7 +166,9 @@ void SessionManager::Ingest(int64_t session_id,
     lru_.pop_back();
     sessions_.erase(victim);
     ++stats_.sessions_evicted_cap;
+    metric_evicted_cap_.Increment();
   }
+  metric_active_.Set(static_cast<double>(sessions_.size()));
 }
 
 void SessionManager::EvictIdle(double now,
@@ -151,10 +182,12 @@ void SessionManager::EvictIdle(double now,
       lru_.erase(session.lru);
       it = sessions_.erase(it);
       ++stats_.sessions_evicted_idle;
+      metric_evicted_idle_.Increment();
     } else {
       ++it;
     }
   }
+  metric_active_.Set(static_cast<double>(sessions_.size()));
 }
 
 void SessionManager::FlushAll(std::vector<ClosedSegment>* closed) {
@@ -163,6 +196,7 @@ void SessionManager::FlushAll(std::vector<ClosedSegment>* closed) {
   }
   sessions_.clear();
   lru_.clear();
+  metric_active_.Set(0.0);
 }
 
 }  // namespace trajkit::serve

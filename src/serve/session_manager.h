@@ -1,12 +1,14 @@
 #ifndef TRAJKIT_SERVE_SESSION_MANAGER_H_
 #define TRAJKIT_SERVE_SESSION_MANAGER_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/streaming_features.h"
 #include "traj/segmentation.h"
 #include "traj/types.h"
@@ -142,6 +144,19 @@ class SessionManager {
 
   SessionOptions options_;
   SessionManagerStats stats_;
+  /// Process-wide mirrors of stats_ (serve.sessions.* counters, the
+  /// serve.sessions.active gauge, and one serve.sessions.closed.<reason>
+  /// counter per CloseReason), resolved once at construction. stats_ stays
+  /// per-instance; the metrics aggregate across all managers.
+  obs::Counter& metric_points_;
+  obs::Counter& metric_out_of_order_;
+  obs::Counter& metric_emitted_;
+  obs::Counter& metric_discarded_short_;
+  obs::Counter& metric_discarded_unlabeled_;
+  obs::Counter& metric_evicted_idle_;
+  obs::Counter& metric_evicted_cap_;
+  obs::Gauge& metric_active_;
+  std::array<obs::Counter*, 7> metric_closed_by_reason_;
   /// Ordered map: deterministic iteration for eviction and flush.
   std::map<int64_t, Session> sessions_;
   /// Recency list, most recently updated first.

@@ -34,7 +34,7 @@ Dataset MakeProblem(int n, uint64_t seed, int classes = 3) {
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(Dataset::Create(Matrix::FromRows(rows),
                                    std::move(labels), {}, {},

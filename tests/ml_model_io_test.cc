@@ -28,7 +28,7 @@ Dataset MakeBlobs(int num_classes, int per_class, double spread,
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < num_classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(Dataset::Create(Matrix::FromRows(rows),
                                    std::move(labels), {}, {},

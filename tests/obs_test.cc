@@ -1,0 +1,283 @@
+// Tests of the observability layer (src/obs/): histogram bucket and
+// quantile correctness, concurrent counter/histogram updates (run under
+// TSan via the `concurrency` ctest label), golden-file JSON and Prometheus
+// exports (deterministic ordering is part of the contract), and trace-span
+// nesting.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trajkit::obs {
+namespace {
+
+HistogramOptions Bounds(std::vector<double> bounds) {
+  HistogramOptions options;
+  options.bucket_bounds = std::move(bounds);
+  return options;
+}
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.0);
+  gauge.Add(0.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesInclusiveUpperBounds) {
+  Histogram histogram(Bounds({1.0, 2.0, 5.0}));
+  histogram.Observe(0.5);   // le=1
+  histogram.Observe(1.0);   // le=1 (boundary is inclusive)
+  histogram.Observe(1.5);   // le=2
+  histogram.Observe(5.0);   // le=5
+  histogram.Observe(100.0); // +Inf
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 108.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram histogram(Bounds({10.0, 20.0, 30.0}));
+  histogram.Observe(5.0);
+  histogram.Observe(15.0);
+  histogram.Observe(15.0);
+  histogram.Observe(25.0);
+  const HistogramSnapshot snap = histogram.snapshot();
+  // p50: rank 2 of 4 falls in the (10, 20] bucket holding observations
+  // 2..3 — halfway through it, interpolated to 15.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 15.0);
+  // p99: rank 3.96 in the (20, 30] bucket, whose upper edge clamps to the
+  // observed max 25: 20 + (25-20) * 0.96.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 24.8);
+  // p0 pins to the observed minimum's bucket start.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 5.0);
+  // p100 is the observed maximum.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 25.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty(Bounds({1.0}));
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram single(Bounds({10.0}));
+  single.Observe(7.0);
+  // One observation: every quantile is that value (edges clamp to it).
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.99), 7.0);
+
+  Histogram overflow_only(Bounds({1.0}));
+  overflow_only.Observe(50.0);
+  overflow_only.Observe(60.0);
+  // All mass in +Inf: quantiles stay inside the observed range.
+  EXPECT_GE(overflow_only.Quantile(0.5), 50.0);
+  EXPECT_LE(overflow_only.Quantile(0.99), 60.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesKeepTotalMass) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Histogram histogram(HistogramOptions::LatencySeconds());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(1e-6 * static_cast<double>((t * 31 + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t mass = 0;
+  for (const uint64_t bucket : snap.buckets) mass += bucket;
+  EXPECT_EQ(mass, snap.count);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("h", Bounds({1.0}));
+  // Options only apply on creation; the same histogram comes back.
+  Histogram& h2 = registry.GetHistogram("h", Bounds({1.0, 2.0, 3.0}));
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Every thread resolves the handle itself: lookup and increment must
+    // both be thread-safe.
+    threads.emplace_back([&registry] {
+      Counter& counter = registry.GetCounter("shared");
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+/// A registry with one metric of each kind and hand-computable values —
+/// shared by the two golden-export tests.
+void FillGoldenRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("a").Increment(3);
+  registry.GetGauge("g").Set(2.5);
+  Histogram& h = registry.GetHistogram("h", Bounds({1.0, 2.0}));
+  h.Observe(0.5);
+  h.Observe(1.5);
+  registry.SetInfo("k", "v");
+}
+
+TEST(MetricsRegistryTest, GoldenJsonExport) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  // p50: rank 1 of 2 — the first bucket, edges [min=0.5, 1]: exactly 1.
+  // p90: rank 1.8 — second bucket, edges [1, max=1.5]: 1 + 0.5*0.8 = 1.4.
+  // p99: 1 + 0.5*0.98 = 1.49.
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g\": 2.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h\": {\"count\": 2, \"sum\": 2, \"min\": 0.5, \"max\": 1.5, "
+      "\"mean\": 1, \"p50\": 1, \"p90\": 1.4, \"p99\": 1.49, \"buckets\": "
+      "[{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 1}, "
+      "{\"le\": \"+Inf\", \"count\": 0}]}\n"
+      "  },\n"
+      "  \"info\": {\n"
+      "    \"k\": \"v\"\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.ToJson(), expected);
+  // Determinism: a second export of unchanged state is byte-identical.
+  EXPECT_EQ(registry.ToJson(), expected);
+}
+
+TEST(MetricsRegistryTest, GoldenPrometheusExport) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(registry);
+  const std::string expected =
+      "# TYPE test_a counter\n"
+      "test_a 3\n"
+      "# TYPE test_g gauge\n"
+      "test_g 2.5\n"
+      "# TYPE test_h histogram\n"
+      "test_h_bucket{le=\"1\"} 1\n"
+      "test_h_bucket{le=\"2\"} 2\n"
+      "test_h_bucket{le=\"+Inf\"} 2\n"
+      "test_h_sum 2\n"
+      "test_h_count 2\n"
+      "# TYPE test_k gauge\n"
+      "test_k{value=\"v\"} 1\n";
+  EXPECT_EQ(registry.ToPrometheusText("test_"), expected);
+}
+
+TEST(MetricsRegistryTest, PrometheusNamesAreSanitized) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.sessions.closed.mode-change").Increment();
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("trajkit_serve_sessions_closed_mode_change 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryExportsValidSkeleton) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {},\n  \"info\": {}\n}\n");
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+}
+
+TEST(ScopedTimerTest, RecordsOnceIntoHistogram) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.GetHistogram("t", HistogramOptions::DurationSeconds());
+  {
+    ScopedTimer timer(histogram);
+    const double recorded = timer.Stop();
+    EXPECT_GE(recorded, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);  // Second Stop is a no-op.
+  }  // Destructor must not double-record.
+  EXPECT_EQ(histogram.count(), 1u);
+
+  {
+    ScopedTimer named("t2", registry);
+  }
+  EXPECT_EQ(registry.GetHistogram("t2").count(), 1u);
+}
+
+TEST(TraceSpanTest, NestingBuildsPathsAndUnwinds) {
+  MetricsRegistry registry;
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  {
+    TraceSpan outer("outer", registry);
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    {
+      TraceSpan inner("inner", registry);
+      EXPECT_EQ(inner.path(), "outer/inner");
+      EXPECT_EQ(TraceSpan::CurrentPath(), "outer/inner");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2);
+    }
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+    {
+      TraceSpan sibling("sibling", registry);
+      EXPECT_EQ(TraceSpan::CurrentPath(), "outer/sibling");
+    }
+  }
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_EQ(registry.GetHistogram("span/outer").count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("span/outer/inner").count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("span/outer/sibling").count(), 1u);
+  EXPECT_EQ(registry.GetCounter("span_calls/outer").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("span_calls/outer/inner").value(), 1u);
+}
+
+TEST(TraceSpanTest, SpansAreThreadLocal) {
+  MetricsRegistry registry;
+  TraceSpan outer("main-span", registry);
+  std::thread worker([&registry] {
+    // A fresh thread starts outside any span, whatever the spawner holds.
+    EXPECT_EQ(TraceSpan::CurrentPath(), "");
+    TraceSpan span("worker-span", registry);
+    EXPECT_EQ(TraceSpan::CurrentPath(), "worker-span");
+  });
+  worker.join();
+  EXPECT_EQ(TraceSpan::CurrentPath(), "main-span");
+  EXPECT_EQ(registry.GetHistogram("span/worker-span").count(), 1u);
+}
+
+}  // namespace
+}  // namespace trajkit::obs

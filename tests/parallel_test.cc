@@ -120,12 +120,18 @@ TEST(ParallelForTest, NestedInvocationDoesNotDeadlock) {
 
 TEST(ParallelMapTest, PreservesIndexOrderForMoveOnlyResults) {
   ScopedThreads threads(8);
-  const auto mapped = ParallelMap<std::string>(
-      100, 3, [](size_t i) { return "v" + std::to_string(i * i); });
+  // Built via append (not operator+) to sidestep a GCC 12 -Wrestrict
+  // false positive (PR 105651) under -Werror.
+  const auto name_for = [](size_t i) {
+    std::string out("v");
+    out += std::to_string(i * i);
+    return out;
+  };
+  const auto mapped = ParallelMap<std::string>(100, 3, name_for);
   ASSERT_TRUE(mapped.ok());
   ASSERT_EQ(mapped->size(), 100u);
   for (size_t i = 0; i < mapped->size(); ++i) {
-    EXPECT_EQ((*mapped)[i], "v" + std::to_string(i * i));
+    EXPECT_EQ((*mapped)[i], name_for(i));
   }
 }
 
@@ -170,7 +176,7 @@ ml::Dataset MakeGroupedBlobs(int num_classes, int per_class, uint64_t seed) {
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < num_classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(ml::Dataset::Create(ml::Matrix::FromRows(rows),
                                        std::move(labels), std::move(groups),

@@ -39,7 +39,7 @@ ml::Dataset RandomProblem(uint64_t seed, int n = 150, int features = 5,
   }
   std::vector<std::string> class_names;
   for (int c = 0; c < classes; ++c) {
-    class_names.push_back("c" + std::to_string(c));
+    class_names.push_back(std::string(1, 'c') + std::to_string(c));
   }
   return std::move(ml::Dataset::Create(ml::Matrix::FromRows(rows),
                                        std::move(labels), std::move(groups),

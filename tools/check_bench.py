@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare benchmark artifacts to a baseline.
+
+Reads one or more benchmark result files and compares every metric tracked
+in the baseline against the current run:
+
+  * TimingJson files emitted by the exp_*/micro_serve harnesses via
+    --timing_json=FILE: {"harness": ..., "threads": N, "timings_s": {...}}
+  * google-benchmark JSON emitted via --benchmark_out=FILE
+    --benchmark_out_format=json: {"context": ..., "benchmarks": [...]}
+
+The format is auto-detected per file. All metrics are wall-clock seconds
+(google-benchmark real_time is converted from its time_unit). The baseline
+(BENCH_baseline.json, checked in) defines WHICH keys are tracked — extra
+keys in the current run are ignored, tracked keys missing from the run
+fail the gate.
+
+Thresholds (time ratios, current / baseline):
+  * keys containing "p99"  fail above 1.30  (30% tail-latency regression)
+  * all other keys         fail above 1.25  (20% throughput regression:
+    1/1.25 = 0.8x items per second)
+
+Regressions smaller than --min_delta_s (default 1 ms) of absolute change
+never fail: sub-millisecond phases are noise-dominated on shared CI boxes.
+
+Usage:
+  tools/check_bench.py --baseline=BENCH_baseline.json result1.json ...
+  tools/check_bench.py --baseline=BENCH_baseline.json --update result1.json ...
+
+--update rewrites the baseline from the current run (tracked keys = all
+keys present in the inputs) instead of checking. Exit code 0 = gate green,
+1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+P99_THRESHOLD = 1.30
+THROUGHPUT_THRESHOLD = 1.25
+
+TIME_UNIT_TO_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load_artifact(path):
+    """Returns (artifact_name, {metric_key: seconds}) for one result file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if "timings_s" in data:  # TimingJson from bench_common.h
+        name = data.get("harness") or os.path.basename(path)
+        metrics = {k: float(v) for k, v in data["timings_s"].items()}
+        return name, metrics
+    if "benchmarks" in data:  # google-benchmark --benchmark_out JSON
+        executable = data.get("context", {}).get("executable", "")
+        name = os.path.basename(executable) or os.path.basename(path)
+        if name.startswith("./"):
+            name = name[2:]
+        metrics = {}
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            unit = TIME_UNIT_TO_SECONDS.get(bench.get("time_unit", "ns"))
+            if unit is None:
+                raise ValueError(
+                    f"{path}: unknown time_unit in {bench.get('name')}")
+            metrics[bench["name"]] = float(bench["real_time"]) * unit
+        return name, metrics
+    raise ValueError(
+        f"{path}: neither TimingJson ('timings_s') nor google-benchmark "
+        "('benchmarks') format")
+
+
+def threshold_for(key):
+    return P99_THRESHOLD if "p99" in key else THROUGHPUT_THRESHOLD
+
+
+def check(baseline, current, min_delta_s):
+    """Returns a list of failure strings (empty = gate green)."""
+    failures = []
+    for artifact, tracked in sorted(baseline.get("artifacts", {}).items()):
+        run = current.get(artifact)
+        if run is None:
+            failures.append(f"{artifact}: tracked artifact missing from the "
+                            "current run (pass its result file)")
+            continue
+        for key, base_value in sorted(tracked["metrics"].items()):
+            if key not in run:
+                failures.append(f"{artifact}/{key}: tracked metric missing "
+                                "from the current run")
+                continue
+            value = run[key]
+            if base_value <= 0.0:
+                continue  # cannot form a ratio; treat as untracked
+            ratio = value / base_value
+            limit = threshold_for(key)
+            if ratio > limit and (value - base_value) > min_delta_s:
+                failures.append(
+                    f"{artifact}/{key}: {value:.6f}s vs baseline "
+                    f"{base_value:.6f}s ({ratio:.2f}x > {limit:.2f}x limit)")
+            else:
+                print(f"  ok {artifact}/{key}: {value:.6f}s "
+                      f"({ratio:.2f}x of baseline, limit {limit:.2f}x)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+",
+                        help="benchmark result JSON files")
+    parser.add_argument("--baseline", required=True,
+                        help="path to BENCH_baseline.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    parser.add_argument("--min_delta_s", type=float, default=1e-3,
+                        help="absolute regression below this never fails")
+    args = parser.parse_args()
+
+    current = {}
+    for path in args.results:
+        try:
+            name, metrics = load_artifact(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        # Repeated files for the same artifact keep the per-key minimum:
+        # running a bench N times and passing every file gives a best-of-N
+        # comparison, which damps scheduler noise on shared CI runners.
+        slot = current.setdefault(name, {})
+        for key, value in metrics.items():
+            slot[key] = min(slot.get(key, value), value)
+
+    if args.update:
+        baseline = {
+            "comment": "Perf-regression baseline for tools/check_bench.py. "
+                       "Regenerate with --update after intentional perf "
+                       "changes; thresholds live in the checker.",
+            "artifacts": {
+                name: {"metrics": dict(sorted(metrics.items()))}
+                for name, metrics in sorted(current.items())
+            },
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline} "
+              f"({sum(len(a['metrics']) for a in baseline['artifacts'].values())} "
+              "tracked metrics)")
+        return 0
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot load baseline: {err}", file=sys.stderr)
+        return 1
+
+    failures = check(baseline, current, args.min_delta_s)
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# TrajKit CI driver: the tier-1 verify (configure, build, full ctest) plus
-# the ThreadSanitizer configuration of the concurrency-sensitive tests
-# (parallel_test, serve_test — the shared pool and the serving layer's
-# hot-swap/micro-batching machinery).
+# TrajKit CI driver, run locally or by .github/workflows/ci.yml:
 #
-# Usage: tools/run_ci.sh [--skip-tsan]
+#   1. tier-1: configure (-Werror) + build + full ctest
+#   2. TSan:   concurrency-labelled tests under ThreadSanitizer
+#   3. ASan:   the full suite under AddressSanitizer
+#   4. bench:  perf-regression gate (tools/check_bench.py) against the
+#              checked-in BENCH_baseline.json
+#
+# Usage: tools/run_ci.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 # Env:   BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
-#        JOBS (default nproc).
+#        ASAN_BUILD_DIR (default build-asan), JOBS (default nproc),
+#        BENCH_RUNS (default 2, best-of-N for the perf gate).
+#
+# All sanitizer/bench legs reuse their build directories across runs; a
+# ccache install is picked up automatically for faster rebuilds.
 
 set -euo pipefail
 
@@ -14,33 +21,81 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 JOBS="${JOBS:-$(nproc)}"
+BENCH_RUNS="${BENCH_RUNS:-2}"
 SKIP_TSAN=0
+SKIP_ASAN=0
+SKIP_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-bench) SKIP_BENCH=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
+# Warnings are errors in CI; local developer builds stay permissive.
+COMMON_CMAKE_ARGS=(-DTRAJKIT_WERROR=ON)
+if command -v ccache >/dev/null 2>&1; then
+  COMMON_CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "==> ccache enabled"
+fi
+
 echo "==> tier-1: configure + build (${BUILD_DIR})"
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . "${COMMON_CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "==> TSan configuration skipped (--skip-tsan)"
-  exit 0
+  echo "==> TSan leg skipped (--skip-tsan)"
+else
+  echo "==> TSan: configure + build (${TSAN_BUILD_DIR})"
+  cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread \
+    "${COMMON_CMAKE_ARGS[@]}"
+  cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+    --target parallel_test serve_test obs_test
+
+  echo "==> TSan: concurrency-labelled tests"
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -L concurrency
 fi
 
-echo "==> TSan: configure + build (${TSAN_BUILD_DIR})"
-cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target parallel_test serve_test
+if [[ "$SKIP_ASAN" -eq 1 ]]; then
+  echo "==> ASan leg skipped (--skip-asan)"
+else
+  echo "==> ASan: configure + build (${ASAN_BUILD_DIR})"
+  cmake -B "$ASAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=address \
+    "${COMMON_CMAKE_ARGS[@]}"
+  cmake --build "$ASAN_BUILD_DIR" -j "$JOBS"
 
-echo "==> TSan: parallel_test + serve_test"
-ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(parallel_test|serve_test)$'
+  echo "==> ASan: full ctest"
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_BENCH" -eq 1 ]]; then
+  echo "==> bench gate skipped (--skip-bench)"
+else
+  echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel"
+  BENCH_OUT="$BUILD_DIR/bench-gate"
+  mkdir -p "$BENCH_OUT"
+  GATE_FILES=()
+  for run in $(seq 1 "$BENCH_RUNS"); do
+    "$BUILD_DIR"/bench/micro_serve --users=12 --days=2 --requests=4096 \
+      --threads_list=1 \
+      --timing_json="$BENCH_OUT/serve_$run.json" \
+      --metrics_json="$BENCH_OUT/serve_metrics_$run.json" >/dev/null
+    "$BUILD_DIR"/bench/micro_parallel \
+      '--benchmark_filter=(BM_ParallelForOverhead|BM_RandomForestPredictThreads)/1$' \
+      --benchmark_out="$BENCH_OUT/parallel_$run.json" \
+      --benchmark_out_format=json \
+      --metrics_json="$BENCH_OUT/parallel_metrics_$run.json" >/dev/null 2>&1
+    GATE_FILES+=("$BENCH_OUT/serve_$run.json" "$BENCH_OUT/parallel_$run.json")
+  done
+  python3 tools/check_bench.py --baseline=BENCH_baseline.json "${GATE_FILES[@]}"
+fi
 
 echo "==> CI green"

@@ -32,10 +32,14 @@
 //                     [--max_delay_ms=2] [--gap=SECONDS]
 //                     [--max_window=N]
 //                     [--subset=FILE.csv --method=importance --top_k=20]
+//                     [--metrics_json=FILE] [--metrics_prom=FILE]
 //       Replay a corpus through the online serving stack (streaming
 //       sessions -> incremental features -> micro-batched prediction) in
 //       global timestamp order and compare the accuracy against the
-//       offline pipeline on identically-segmented data.
+//       offline pipeline on identically-segmented data. --metrics_json /
+//       --metrics_prom dump the process metrics registry (batch latency
+//       p50/p90/p99, session counters, active model version, pool stats)
+//       as JSON or Prometheus text.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
@@ -60,6 +64,7 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
 #include "serve/batch_predictor.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
@@ -297,6 +302,29 @@ int RunPredict(const Flags& flags) {
   return 0;
 }
 
+/// Dumps the process metrics registry to the --metrics_json /
+/// --metrics_prom paths (no-op for absent flags). Returns false on a
+/// write failure.
+bool DumpMetrics(const Flags& flags) {
+  const std::string json_path = flags.GetString("metrics_json", "");
+  if (!json_path.empty()) {
+    if (!obs::WriteTextFile(json_path,
+                            obs::MetricsRegistry::Global().ToJson())) {
+      return false;
+    }
+    std::printf("metrics written to %s\n", json_path.c_str());
+  }
+  const std::string prom_path = flags.GetString("metrics_prom", "");
+  if (!prom_path.empty()) {
+    if (!obs::WriteTextFile(
+            prom_path, obs::MetricsRegistry::Global().ToPrometheusText())) {
+      return false;
+    }
+    std::printf("metrics written to %s\n", prom_path.c_str());
+  }
+  return true;
+}
+
 int RunServeReplay(const Flags& flags) {
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) {
@@ -386,6 +414,10 @@ int RunServeReplay(const Flags& flags) {
               counters.max_batch);
   std::printf("online accuracy:  %.4f (%zu/%zu)\n", report->accuracy(),
               report->correct, report->segments_evaluated);
+
+  // The metrics artifact reflects the serving replay itself, so dump it
+  // before the offline-comparison pipeline adds its own samples.
+  if (!DumpMetrics(flags)) return 1;
 
   // Offline comparison: the batch pipeline on the same corpus with the
   // same segmentation rules, predicted through the same serving model.
