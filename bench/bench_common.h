@@ -2,10 +2,12 @@
 #define TRAJKIT_BENCH_BENCH_COMMON_H_
 
 // Shared plumbing of the experiment harnesses: a tiny --flag=value parser,
-// the corpus knobs every experiment accepts, the --threads knob of the
-// parallel execution layer, and the --timing_json machine-readable timing
-// emitter. Harnesses are plain executables that print the paper's rows;
-// microbenchmarks (micro_*.cc) use google-benchmark instead.
+// the corpus knobs every experiment accepts, and the --timing_json
+// machine-readable timing emitter. The harness-wide trio
+// --threads/--timing_json/--metrics_json is parsed by the shared
+// common/harness_options.h so every harness, microbenchmark, and the CLI
+// spell them identically. Harnesses are plain executables that print the
+// paper's rows; microbenchmarks (micro_*.cc) use google-benchmark instead.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/harness_options.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/experiments.h"
@@ -21,17 +24,10 @@
 
 namespace trajkit::bench {
 
-/// The harnesses use the library's --key=value parser.
+/// The harnesses use the library's --key=value parser and the shared
+/// --threads/--timing_json/--metrics_json trio.
 using ::trajkit::Flags;
-
-/// Applies --threads=N (0/absent keeps the TRAJKIT_THREADS-or-hardware
-/// default) and returns the effective budget. Call once, right after flag
-/// parsing, before any dataset/model work.
-inline int InitThreadsFromFlags(const Flags& flags) {
-  const int threads = flags.GetInt("threads", 0);
-  if (threads > 0) SetMaxThreads(threads);
-  return MaxThreads();
-}
+using ::trajkit::HarnessOptions;
 
 /// Corpus knobs shared by all experiments. --users/--days/--seed shrink or
 /// grow the synthetic corpus; the defaults below reproduce the numbers in
@@ -56,10 +52,10 @@ inline synthgeo::GeneratorOptions CorpusOptionsFromFlags(
 /// the same structured observability artifact.
 class TimingJson {
  public:
-  TimingJson(const char* harness, const Flags& flags)
+  TimingJson(const char* harness, const HarnessOptions& options)
       : harness_(harness),
-        path_(flags.GetString("timing_json", "")),
-        metrics_path_(flags.GetString("metrics_json", "")) {}
+        path_(options.timing_json),
+        metrics_path_(options.metrics_json) {}
 
   /// Records one phase's wall-clock seconds.
   void Record(const std::string& name, double seconds) {

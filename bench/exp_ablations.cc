@@ -46,8 +46,10 @@ int Run(int argc, char** argv) {
 
   std::printf("=== Ablations (Dabiri labels, random %d-fold CV) ===\n\n",
               folds);
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_ablations", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_ablations", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

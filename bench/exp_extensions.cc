@@ -41,8 +41,10 @@ int Run(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.5);
 
   std::printf("=== Extensions: segmentation, features, classifiers ===\n\n");
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_extensions", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_extensions", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

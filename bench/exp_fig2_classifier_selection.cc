@@ -37,8 +37,10 @@ int Run(int argc, char** argv) {
 
   std::printf(
       "=== Figure 2: classifier selection (random CV, Dabiri labels) ===\n");
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_fig2_classifier_selection", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_fig2_classifier_selection", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

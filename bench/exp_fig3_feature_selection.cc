@@ -90,8 +90,10 @@ int Run(int argc, char** argv) {
   std::printf(
       "=== Figure 3: feature selection (user-oriented CV, Endo labels) "
       "===\n");
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_fig3_feature_selection", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_fig3_feature_selection", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

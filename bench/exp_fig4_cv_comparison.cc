@@ -35,8 +35,10 @@ int Run(int argc, char** argv) {
 
   std::printf(
       "=== Figure 4: random vs user-oriented cross-validation ===\n\n");
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_fig4_cv_comparison", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_fig4_cv_comparison", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

@@ -31,8 +31,10 @@ int Run(int argc, char** argv) {
   std::printf(
       "=== Learning curve: corpus size vs accuracy (RF, Dabiri labels) "
       "===\n\n");
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_learning_curve", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_learning_curve", harness);
   Stopwatch total_timer;
 
   TablePrinter table({"users", "segments", "points", "random_acc",

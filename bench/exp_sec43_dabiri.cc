@@ -39,8 +39,10 @@ int Run(int argc, char** argv) {
       "=== Section 4.3 (ii): comparison with Dabiri & Heaslip [2] ===\n"
       "random %d-fold CV, top-20 features, RF(%d), no noise removal\n\n",
       folds, trees);
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_sec43_dabiri", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_sec43_dabiri", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

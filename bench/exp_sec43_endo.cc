@@ -41,8 +41,10 @@ int Run(int argc, char** argv) {
       "=== Section 4.3 (i): comparison with Endo et al. [4] ===\n"
       "disjoint-user 80/20 split, top-20 features, RF(%d)\n\n",
       trees);
-  std::printf("threads: %d\n", bench::InitThreadsFromFlags(flags));
-  bench::TimingJson timing("exp_sec43_endo", flags);
+  const bench::HarnessOptions harness =
+      bench::HarnessOptions::FromFlags(flags);
+  std::printf("threads: %d\n", harness.ApplyThreads());
+  bench::TimingJson timing("exp_sec43_endo", harness);
   Stopwatch total_timer;
   Stopwatch phase_timer;
 

@@ -7,7 +7,9 @@
 
 #include <vector>
 
+#include "common/harness_options.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "geo/geodesy.h"
 #include "stats/descriptive.h"
 #include "synthgeo/generator.h"
@@ -120,4 +122,22 @@ BENCHMARK(BM_CorpusGeneration)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace trajkit
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --threads/--timing_json/
+// --metrics_json trio (common/harness_options.h) is accepted and stripped
+// before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  const trajkit::HarnessOptions harness =
+      trajkit::HarnessOptions::FromArgv(&argc, argv);
+  harness.ApplyThreads();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!harness.metrics_json.empty() &&
+      !trajkit::obs::WriteTextFile(
+          harness.metrics_json,
+          trajkit::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
+  return 0;
+}

@@ -5,7 +5,9 @@
 
 #include <vector>
 
+#include "common/harness_options.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "ml/gradient_boosting.h"
@@ -92,4 +94,22 @@ BENCHMARK(BM_GradientBoostingFit)->Arg(10)->Arg(30);
 }  // namespace
 }  // namespace trajkit::ml
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --threads/--timing_json/
+// --metrics_json trio (common/harness_options.h) is accepted and stripped
+// before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  const trajkit::HarnessOptions harness =
+      trajkit::HarnessOptions::FromArgv(&argc, argv);
+  harness.ApplyThreads();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!harness.metrics_json.empty() &&
+      !trajkit::obs::WriteTextFile(
+          harness.metrics_json,
+          trajkit::obs::MetricsRegistry::Global().ToJson())) {
+    return 1;
+  }
+  return 0;
+}

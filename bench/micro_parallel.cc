@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/harness_options.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "common/rng.h"
@@ -122,29 +123,23 @@ BENCHMARK(BM_CrossValidateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace trajkit
 
-// Expanded BENCHMARK_MAIN so the shared --metrics_json=<path> flag can be
-// stripped before google-benchmark sees (and rejects) it: after the run the
-// process metrics registry (pool chunk/invocation counters, idle seconds,
-// forest fit/predict histograms) is dumped as JSON.
+// Expanded BENCHMARK_MAIN so the shared --threads/--timing_json/
+// --metrics_json trio can be stripped before google-benchmark sees (and
+// rejects) it: after the run the process metrics registry (pool
+// chunk/invocation counters, idle seconds, forest fit/predict histograms)
+// is dumped as JSON.
 int main(int argc, char** argv) {
-  std::string metrics_path;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    constexpr char kFlag[] = "--metrics_json=";
-    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
-      metrics_path = argv[i] + sizeof(kFlag) - 1;
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
+  const trajkit::HarnessOptions harness =
+      trajkit::HarnessOptions::FromArgv(&argc, argv);
+  harness.ApplyThreads();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!metrics_path.empty() &&
+  if (!harness.metrics_json.empty() &&
       !trajkit::obs::WriteTextFile(
-          metrics_path, trajkit::obs::MetricsRegistry::Global().ToJson())) {
+          harness.metrics_json,
+          trajkit::obs::MetricsRegistry::Global().ToJson())) {
     return 1;
   }
   return 0;

@@ -13,9 +13,13 @@
 //   D. direct:      synchronous ServingModel::PredictOne loop (no
 //                   dispatch at all) — the lower bound on serving
 //                   overhead, printed as a reference.
+//   E. overload:    open-loop flood of a bounded queue with per-request
+//                   deadlines and mixed priorities — measures admission
+//                   control + deadline enforcement under saturation
+//                   (served/shed/expired split and survivor p99).
 //
 // Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
-// --threads_list=1,2,4,8, --timing_json=FILE.
+// --overload_deadline_ms, --threads_list=1,2,4,8, --timing_json=FILE.
 //
 //   ./micro_serve --users=30 --days=4 --timing_json=BENCH_serve.json
 
@@ -50,8 +54,9 @@ std::vector<int> ParseThreadsList(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  InitThreadsFromFlags(flags);
-  TimingJson timings("micro_serve", flags);
+  const HarnessOptions harness = HarnessOptions::FromFlags(flags);
+  harness.ApplyThreads();
+  TimingJson timings("micro_serve", harness);
 
   // Corpus + a forest trained offline on the same features.
   synthgeo::GeoLifeLikeGenerator generator(
@@ -160,8 +165,8 @@ int Main(int argc, char** argv) {
                   DieOnError(futures[i - window].get(), "predict")
                       .latency_seconds);
             }
-            futures.push_back(predictor.Submit(
-                segment_features[i % segment_features.size()]));
+            futures.push_back(predictor.Submit(serve::PredictRequest(
+                segment_features[i % segment_features.size()])));
           }
           for (size_t i = num_requests >= window ? num_requests - window : 0;
                i < num_requests; ++i) {
@@ -201,9 +206,62 @@ int Main(int argc, char** argv) {
     const double direct_rate =
         static_cast<double>(num_requests) / direct_seconds;
 
+    // Phase E: overload — an open loop (no in-flight window) slams the
+    // whole request stream into a small bounded queue with per-request
+    // deadlines and mixed priorities. Admission control sheds, the
+    // deadline sweep expires, and whatever survives is served; latency
+    // percentiles cover the survivors only and are bounded above by the
+    // deadline, which keeps the perf-gate keys stable.
+    serve::BatchPredictorOptions overload = batching;
+    overload.max_queue = 4 * batching.max_batch_size;
+    const double overload_deadline_s =
+        flags.GetDouble("overload_deadline_ms", 20.0) * 1e-3;
+    watch.Reset();
+    size_t served = 0;
+    size_t shed = 0;
+    size_t expired = 0;
+    std::vector<double> overload_latencies;
+    {
+      serve::BatchPredictor predictor(&registry, overload);
+      std::vector<std::future<Result<serve::Prediction>>> futures;
+      futures.reserve(num_requests);
+      for (size_t i = 0; i < num_requests; ++i) {
+        serve::RequestContext context =
+            serve::RequestContext::WithTimeout(overload_deadline_s);
+        context.priority = static_cast<int>(i % 3);
+        futures.push_back(predictor.Submit(serve::PredictRequest(
+            segment_features[i % segment_features.size()], context)));
+      }
+      predictor.Flush();
+      for (auto& future : futures) {
+        const auto result = future.get();
+        if (result.ok()) {
+          ++served;
+          overload_latencies.push_back(result.value().latency_seconds);
+        } else if (result.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          ++shed;
+        } else if (result.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          ++expired;
+        } else {
+          DieOnError(result, "overload predict");
+        }
+      }
+    }
+    const double overload_seconds = watch.ElapsedSeconds();
+    const double overload_p99 =
+        overload_latencies.empty()
+            ? 0.0
+            : stats::Percentile(overload_latencies, 99.0);
+
     std::printf("%8d %12.0f %12.0f %12.0f %12.0f %9.3f %9.3f %9.3f\n",
                 threads, ingest_rate, batched_rate, per_request_rate,
                 direct_rate, p50 * 1e3, p90 * 1e3, p99 * 1e3);
+    std::printf("%8s overload: %zu served, %zu shed, %zu expired, "
+                "p99 %.3f ms in %.3f s\n",
+                "", served, shed, expired, overload_p99 * 1e3,
+                overload_seconds);
     const std::string suffix = StrPrintf("_t%d_s", threads);
     timings.Record("ingest" + suffix, ingest_seconds);
     timings.Record("predict_batched" + suffix, batched_seconds);
@@ -212,6 +270,9 @@ int Main(int argc, char** argv) {
     timings.Record(StrPrintf("latency_batched_t%d_p50_s", threads), p50);
     timings.Record(StrPrintf("latency_batched_t%d_p90_s", threads), p90);
     timings.Record(StrPrintf("latency_batched_t%d_p99_s", threads), p99);
+    timings.Record("overload" + suffix, overload_seconds);
+    timings.Record(StrPrintf("latency_overload_t%d_p99_s", threads),
+                   overload_p99);
   }
   timings.Write();
   return 0;

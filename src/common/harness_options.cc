@@ -1,0 +1,54 @@
+#include "common/harness_options.h"
+
+#include <cstring>
+
+#include "common/parallel.h"
+#include "common/strings.h"
+
+namespace trajkit {
+namespace {
+
+/// If `arg` is "--<key>=<value>", returns the value; nullptr otherwise.
+const char* MatchFlag(const char* arg, const char* key) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(arg, "--", 2) != 0) return nullptr;
+  if (std::strncmp(arg + 2, key, key_len) != 0) return nullptr;
+  if (arg[2 + key_len] != '=') return nullptr;
+  return arg + 2 + key_len + 1;
+}
+
+}  // namespace
+
+HarnessOptions HarnessOptions::FromFlags(const Flags& flags) {
+  HarnessOptions options;
+  options.threads = flags.GetInt("threads", 0);
+  options.timing_json = flags.GetString("timing_json", "");
+  options.metrics_json = flags.GetString("metrics_json", "");
+  return options;
+}
+
+HarnessOptions HarnessOptions::FromArgv(int* argc, char** argv) {
+  HarnessOptions options;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (const char* value = MatchFlag(argv[i], "threads")) {
+      options.threads =
+          static_cast<int>(ParseInt64(value).value_or(0));
+    } else if (const char* value = MatchFlag(argv[i], "timing_json")) {
+      options.timing_json = value;
+    } else if (const char* value = MatchFlag(argv[i], "metrics_json")) {
+      options.metrics_json = value;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return options;
+}
+
+int HarnessOptions::ApplyThreads() const {
+  if (threads > 0) SetMaxThreads(threads);
+  return MaxThreads();
+}
+
+}  // namespace trajkit

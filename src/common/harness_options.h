@@ -1,0 +1,38 @@
+#ifndef TRAJKIT_COMMON_HARNESS_OPTIONS_H_
+#define TRAJKIT_COMMON_HARNESS_OPTIONS_H_
+
+#include <string>
+
+#include "common/flags.h"
+
+namespace trajkit {
+
+/// The flag trio every TrajKit executable (experiment harnesses,
+/// microbenchmarks, the CLI) accepts, parsed in one place instead of
+/// re-declared per harness:
+///
+///   --threads=N        bound the shared worker pool (0/absent keeps the
+///                      process default, which honors TRAJKIT_THREADS)
+///   --timing_json=F    machine-readable phase timings (bench::TimingJson)
+///   --metrics_json=F   process metrics registry dump after the run
+struct HarnessOptions {
+  int threads = 0;
+  std::string timing_json;
+  std::string metrics_json;
+
+  /// Reads the trio from parsed flags.
+  static HarnessOptions FromFlags(const Flags& flags);
+
+  /// Parses the trio directly from argv and REMOVES the matched arguments
+  /// (for mains that hand the remaining argv to another flag parser, e.g.
+  /// google-benchmark, which rejects flags it does not know).
+  static HarnessOptions FromArgv(int* argc, char** argv);
+
+  /// Applies --threads (no-op for <= 0) and returns the effective pool
+  /// budget. Call once, before any dataset/model work.
+  int ApplyThreads() const;
+};
+
+}  // namespace trajkit
+
+#endif  // TRAJKIT_COMMON_HARNESS_OPTIONS_H_

@@ -19,6 +19,9 @@ enum class StatusCode {
   kParseError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -70,6 +73,20 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// The operation's deadline passed before it could run to completion.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A bounded resource (queue slot, quota) was exhausted; retrying later
+  /// or with a higher priority may succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// A transient failure (stalled dependency, flaky backend); the canonical
+  /// retryable code — see common/retry.h.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status carries no error.

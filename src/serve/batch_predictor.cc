@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/retry.h"
 #include "common/strings.h"
+#include "serve/fault_injector.h"
 
 namespace trajkit::serve {
 
 BatchPredictor::BatchPredictor(const ModelRegistry* registry,
                                BatchPredictorOptions options)
     : registry_(registry),
-      options_(options),
+      options_(std::move(options)),
       metric_requests_(obs::MetricsRegistry::Global().GetCounter(
           "serve.batch_predictor.requests")),
       metric_batches_(obs::MetricsRegistry::Global().GetCounter(
@@ -22,7 +24,15 @@ BatchPredictor::BatchPredictor(const ModelRegistry* registry,
           obs::HistogramOptions::Exponential(1.0, 2.0, 11))),
       metric_latency_(obs::MetricsRegistry::Global().GetHistogram(
           "serve.batch_predictor.latency_seconds",
-          obs::HistogramOptions::LatencySeconds())) {
+          obs::HistogramOptions::LatencySeconds())),
+      metric_shed_(obs::MetricsRegistry::Global(), "serve.shed_total",
+                   {"queue_full", "preempted"}),
+      metric_degraded_(obs::MetricsRegistry::Global(), "serve.degraded_total",
+                       {"previous_model", "majority_class"}),
+      metric_deadline_exceeded_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.deadline_exceeded_total")),
+      metric_unavailable_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.unavailable_total")) {
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -37,23 +47,80 @@ BatchPredictor::~BatchPredictor() {
 }
 
 std::future<Result<Prediction>> BatchPredictor::Submit(
-    std::vector<double> features) {
+    PredictRequest predict_request) {
   Request request;
-  request.features = std::move(features);
+  request.features = std::move(predict_request.features);
+  request.context = predict_request.context;
   request.enqueue = std::chrono::steady_clock::now();
   std::future<Result<Prediction>> future = request.promise.get_future();
+
+  // Fast-fail a request that arrives already expired: it would only be
+  // swept later without ever being batchable.
+  if (request.context.has_deadline() &&
+      request.context.deadline <= request.enqueue) {
+    request.promise.set_value(
+        Status::DeadlineExceeded("request deadline passed before enqueue"));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_exceeded;
+    }
+    metric_deadline_exceeded_.Increment();
+    return future;
+  }
+
   size_t depth = 0;
+  bool shed_incoming = false;
+  bool shed_victim = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.push_back(std::move(request));
-    ++counters_.requests;
-    depth = pending_.size();
+    if (options_.max_queue > 0 && pending_.size() >= options_.max_queue) {
+      // High-watermark load shedding: drop the lowest-priority request.
+      // min_element picks the first (= oldest) request of the lowest
+      // priority class, the one closest to expiring anyway.
+      auto victim = std::min_element(
+          pending_.begin(), pending_.end(),
+          [](const Request& a, const Request& b) {
+            return a.context.priority < b.context.priority;
+          });
+      if (victim != pending_.end() &&
+          victim->context.priority < request.context.priority) {
+        victim->promise.set_value(Status::ResourceExhausted(StrPrintf(
+            "shed: preempted by priority-%d request (queue full at %zu)",
+            request.context.priority, pending_.size())));
+        pending_.erase(victim);
+        shed_victim = true;
+      } else {
+        request.promise.set_value(Status::ResourceExhausted(StrPrintf(
+            "shed: queue full at %zu and no lower-priority victim",
+            pending_.size())));
+        shed_incoming = true;
+      }
+      ++counters_.shed;
+    }
+    if (!shed_incoming) {
+      if (request.context.has_deadline()) {
+        min_deadline_ = std::min(min_deadline_, request.context.deadline);
+      }
+      pending_.push_back(std::move(request));
+      ++counters_.requests;
+      depth = pending_.size();
+    }
   }
+  if (shed_incoming) {
+    metric_shed_.Of("queue_full").Increment();
+    return future;
+  }
+  if (shed_victim) metric_shed_.Of("preempted").Increment();
   cv_.notify_one();
   // Metrics after the notify so the worker's wakeup is not delayed.
   metric_queue_depth_.Set(static_cast<double>(depth));
   metric_requests_.Increment();
   return future;
+}
+
+std::future<Result<Prediction>> BatchPredictor::Submit(
+    std::vector<double> features) {
+  return Submit(PredictRequest(std::move(features)));
 }
 
 void BatchPredictor::Flush() {
@@ -73,6 +140,32 @@ BatchPredictor::Counters BatchPredictor::counters() const {
   return counters_;
 }
 
+void BatchPredictor::SweepExpiredLocked(
+    std::chrono::steady_clock::time_point now) {
+  if (now < min_deadline_) return;
+  auto new_min = std::chrono::steady_clock::time_point::max();
+  size_t expired = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->context.deadline <= now) {
+      it->promise.set_value(Status::DeadlineExceeded(StrPrintf(
+          "deadline passed while queued (waited %.3f ms)",
+          std::chrono::duration<double, std::milli>(now - it->enqueue)
+              .count())));
+      ++counters_.deadline_exceeded;
+      ++expired;
+      it = pending_.erase(it);
+    } else {
+      new_min = std::min(new_min, it->context.deadline);
+      ++it;
+    }
+  }
+  min_deadline_ = new_min;
+  if (expired > 0) {
+    metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired));
+    metric_queue_depth_.Set(static_cast<double>(pending_.size()));
+  }
+}
+
 std::vector<BatchPredictor::Request> BatchPredictor::TakeBatchLocked() {
   const size_t take = std::min(pending_.size(), options_.max_batch_size);
   std::vector<Request> batch;
@@ -83,6 +176,8 @@ std::vector<BatchPredictor::Request> BatchPredictor::TakeBatchLocked() {
   }
   ++counters_.batches;
   counters_.max_batch = std::max(counters_.max_batch, take);
+  // min_deadline_ may now be stale-early (it could belong to a taken
+  // request); the next sweep recomputes it, at worst one spurious wakeup.
   // A gauge store is cheap enough to keep under the lock; the batch
   // histogram observes happen in ProcessBatch, outside it.
   metric_queue_depth_.Set(static_cast<double>(pending_.size()));
@@ -96,19 +191,21 @@ void BatchPredictor::WorkerLoop() {
                                              0.0)));
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    SweepExpiredLocked(std::chrono::steady_clock::now());
     if (pending_.empty()) {
       if (stop_) return;
       cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
       continue;
     }
-    // Dispatch when the batch is full, the oldest request's deadline has
-    // passed, or we are draining for shutdown.
-    const auto deadline = pending_.front().enqueue + delay;
+    // Dispatch when the batch is full, the oldest request's delay budget
+    // has passed, or we are draining for shutdown. Wake early for the
+    // nearest request deadline so expiries do not wait out the batch
+    // delay. No predicate: the outer loop re-evaluates everything
+    // (including deadlines that moved earlier while we slept).
+    const auto dispatch_at = pending_.front().enqueue + delay;
     if (!stop_ && pending_.size() < options_.max_batch_size &&
-        std::chrono::steady_clock::now() < deadline) {
-      cv_.wait_until(lock, deadline, [this] {
-        return stop_ || pending_.size() >= options_.max_batch_size;
-      });
+        std::chrono::steady_clock::now() < dispatch_at) {
+      cv_.wait_until(lock, std::min(dispatch_at, min_deadline_));
       continue;
     }
     std::vector<Request> batch = TakeBatchLocked();
@@ -118,33 +215,133 @@ void BatchPredictor::WorkerLoop() {
   }
 }
 
+bool BatchPredictor::AnswerWithLabelPrior(
+    Request& request, std::chrono::steady_clock::time_point done) {
+  if (options_.label_prior.empty()) return false;
+  Prediction prediction;
+  prediction.degradation = DegradationLevel::kMajorityClass;
+  prediction.model_version = "label_prior";
+  const auto& prior = options_.label_prior;
+  double total = 0.0;
+  for (const double weight : prior) total += weight;
+  prediction.label = static_cast<int>(
+      std::max_element(prior.begin(), prior.end()) - prior.begin());
+  prediction.probabilities.resize(prior.size(), 0.0);
+  for (size_t i = 0; i < prior.size(); ++i) {
+    prediction.probabilities[i] = total > 0.0 ? prior[i] / total : 0.0;
+  }
+  prediction.latency_seconds =
+      std::chrono::duration<double>(done - request.enqueue).count();
+  metric_latency_.Observe(prediction.latency_seconds);
+  metric_degraded_.Of("majority_class").Increment();
+  request.promise.set_value(std::move(prediction));
+  return true;
+}
+
+std::shared_ptr<const ServingModel> BatchPredictor::LastGoodModel() const {
+  std::lock_guard<std::mutex> lock(last_good_mu_);
+  return last_good_;
+}
+
 void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   if (batch.empty()) return;
   metric_batches_.Increment();
   metric_batch_size_.Observe(static_cast<double>(batch.size()));
-  const std::shared_ptr<const ServingModel> model = registry_->Current();
+
+  FaultInjector::BatchFaults faults;
+  if (options_.fault_injector != nullptr) {
+    faults = options_.fault_injector->Next();
+  }
+  if (faults.delay_seconds > 0.0) SleepForSeconds(faults.delay_seconds);
+
+  // Deadline re-check at processing start: a request can expire between
+  // dispatch and here (notably under an injected batch delay).
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  size_t expired = 0;
+  for (Request& request : batch) {
+    if (request.context.has_deadline() && request.context.deadline <= start) {
+      request.promise.set_value(Status::DeadlineExceeded(
+          "deadline passed before the batch was processed"));
+      ++expired;
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (expired > 0) {
+    metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired));
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.deadline_exceeded += expired;
+  }
+  if (live.empty()) return;
+
+  // Degradation rung 0 -> 1: active model, else the cached previous-good
+  // snapshot. An injected swap stall makes the registry unusable for this
+  // batch, exactly like a wedged hot swap would.
+  DegradationLevel level = DegradationLevel::kNone;
+  std::shared_ptr<const ServingModel> model;
+  if (!faults.stall_registry) model = registry_->Current();
   if (model == nullptr) {
-    for (Request& request : batch) {
+    model = LastGoodModel();
+    if (model != nullptr) level = DegradationLevel::kPreviousModel;
+  }
+
+  // An injected transient predict failure: requests that still carry retry
+  // budget resolve retryable (the caller resubmits with backoff); spent
+  // requests drop to the majority-class rung so they terminate.
+  if (faults.fail_predict) {
+    size_t unavailable = 0;
+    size_t degraded = 0;
+    for (Request& request : live) {
+      if (request.context.retry_budget <= 0 &&
+          AnswerWithLabelPrior(request, start)) {
+        ++degraded;
+        continue;
+      }
+      request.promise.set_value(
+          Status::Unavailable("injected transient predict failure"));
+      ++unavailable;
+    }
+    metric_unavailable_.Increment(static_cast<uint64_t>(unavailable));
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.unavailable += unavailable;
+    counters_.degraded += degraded;
+    return;
+  }
+
+  // Degradation rung 2: no usable model at all — majority class from the
+  // label prior, or the pre-degradation error when none is configured.
+  if (model == nullptr) {
+    size_t degraded = 0;
+    for (Request& request : live) {
+      if (AnswerWithLabelPrior(request, start)) {
+        ++degraded;
+        continue;
+      }
       request.promise.set_value(
           Status::FailedPrecondition("no active model in the registry"));
     }
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.degraded += degraded;
     return;
   }
+
   // Per-request validation first, so one malformed vector fails only its own
   // future instead of poisoning the batch.
   const size_t expected = static_cast<size_t>(model->num_input_features);
   std::vector<std::vector<double>> rows;
   std::vector<size_t> row_to_request;
-  rows.reserve(batch.size());
-  row_to_request.reserve(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].features.size() != expected) {
-      batch[i].promise.set_value(Status::InvalidArgument(StrPrintf(
+  rows.reserve(live.size());
+  row_to_request.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i].features.size() != expected) {
+      live[i].promise.set_value(Status::InvalidArgument(StrPrintf(
           "feature vector has %zu values, model '%s' expects %zu",
-          batch[i].features.size(), model->version.c_str(), expected)));
+          live[i].features.size(), model->version.c_str(), expected)));
       continue;
     }
-    rows.push_back(std::move(batch[i].features));
+    rows.push_back(std::move(live[i].features));
     row_to_request.push_back(i);
   }
   if (rows.empty()) return;
@@ -152,13 +349,23 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   const auto done = std::chrono::steady_clock::now();
   if (!predictions.ok()) {
     for (const size_t i : row_to_request) {
-      batch[i].promise.set_value(predictions.status());
+      live[i].promise.set_value(predictions.status());
     }
     return;
   }
+  if (level == DegradationLevel::kNone) {
+    std::lock_guard<std::mutex> lock(last_good_mu_);
+    last_good_ = model;
+  } else {
+    metric_degraded_.Of("previous_model")
+        .Increment(static_cast<uint64_t>(row_to_request.size()));
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.degraded += row_to_request.size();
+  }
   std::vector<Prediction>& values = predictions.value();
   for (size_t r = 0; r < row_to_request.size(); ++r) {
-    Request& request = batch[row_to_request[r]];
+    Request& request = live[row_to_request[r]];
+    values[r].degradation = level;
     values[r].latency_seconds =
         std::chrono::duration<double>(done - request.enqueue).count();
     metric_latency_.Observe(values[r].latency_seconds);

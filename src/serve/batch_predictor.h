@@ -13,15 +13,34 @@
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
+#include "serve/request.h"
 
 namespace trajkit::serve {
 
-/// Micro-batching knobs.
+class FaultInjector;
+
+/// Micro-batching + admission-control knobs.
 struct BatchPredictorOptions {
   /// A batch is dispatched as soon as this many requests are pending.
   size_t max_batch_size = 64;
   /// ... or once the oldest pending request has waited this long.
   double max_delay_seconds = 0.002;
+  /// Admission control: maximum queued requests. 0 = unbounded (default,
+  /// the pre-admission-control behavior). When the queue is at the limit
+  /// the lowest-priority request is shed first: an already-queued victim
+  /// with strictly lower priority than the newcomer is preempted,
+  /// otherwise the newcomer itself is rejected. Shed requests resolve
+  /// with Status::ResourceExhausted and are counted per reason under
+  /// serve.shed_total.{preempted,queue_full}.
+  size_t max_queue = 0;
+  /// Class prior (e.g. training-set label counts) backing the last rung of
+  /// the degradation chain: when no model can serve a batch, requests are
+  /// answered with the majority class of this prior instead of an error.
+  /// Empty (default) disables the rung.
+  std::vector<double> label_prior;
+  /// Optional chaos injector (not owned; must outlive the predictor).
+  /// nullptr = no fault injection.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Collects prediction requests across sessions into micro-batches and runs
@@ -34,6 +53,16 @@ struct BatchPredictorOptions {
 /// Each model snapshot is taken once per batch from the registry, so all
 /// requests of a batch are served by one consistent
 /// (forest, subset, normalizer) triple even across a hot swap.
+///
+/// Request lifecycle (DESIGN.md §9): a submitted PredictRequest either
+///  - is shed at admission (queue full, ResourceExhausted),
+///  - expires while queued or before its batch runs (DeadlineExceeded),
+///  - resolves Unavailable on a transient fault when it still has retry
+///    budget (the caller resubmits, see common/retry.h), or
+///  - is answered — by the active model, by the cached previous-good model
+///    snapshot, or by the label-prior majority class, with the rung
+///    recorded in Prediction::degradation.
+/// Every submitted request resolves exactly one of these ways.
 class BatchPredictor {
  public:
   /// `registry` must outlive the predictor.
@@ -46,10 +75,15 @@ class BatchPredictor {
   BatchPredictor(const BatchPredictor&) = delete;
   BatchPredictor& operator=(const BatchPredictor&) = delete;
 
-  /// Enqueues one full-width feature vector. The future resolves when the
-  /// request's micro-batch is processed — with a Prediction, or with the
-  /// error of a missing/mismatched model (a bad request only fails itself,
-  /// not its batch neighbours).
+  /// Enqueues one request. The future resolves when the request's
+  /// micro-batch is processed — with a Prediction, or with a Status per
+  /// the lifecycle above (a bad request only fails itself, not its batch
+  /// neighbours).
+  std::future<Result<Prediction>> Submit(PredictRequest request);
+
+  /// Pre-RequestContext entry point: no deadline, priority 0, no retries.
+  [[deprecated("use Submit(PredictRequest) — this wraps the features in a "
+               "context-free request with an infinite deadline")]]
   std::future<Result<Prediction>> Submit(std::vector<double> features);
 
   /// Processes everything currently pending on the calling thread (e.g.
@@ -58,28 +92,48 @@ class BatchPredictor {
 
   /// Lifetime counters.
   struct Counters {
-    size_t requests = 0;
+    size_t requests = 0;           // Accepted into the queue.
     size_t batches = 0;
-    size_t max_batch = 0;  // Largest batch dispatched.
+    size_t max_batch = 0;          // Largest batch dispatched.
+    size_t shed = 0;               // Rejected or preempted at admission.
+    size_t deadline_exceeded = 0;  // Expired while queued / pre-dispatch.
+    size_t degraded = 0;           // Answered below DegradationLevel::kNone.
+    size_t unavailable = 0;        // Resolved retryable (budget remaining).
   };
   Counters counters() const;
 
  private:
   struct Request {
     std::vector<double> features;
+    RequestContext context;
     std::promise<Result<Prediction>> promise;
     std::chrono::steady_clock::time_point enqueue;
   };
 
-  /// Background loop: dispatches on the size or deadline trigger.
+  /// Background loop: dispatches on the size or delay trigger, waking
+  /// early to expire deadlined requests.
   void WorkerLoop();
+
+  /// Resolves every queued request whose deadline has passed with
+  /// DeadlineExceeded and recomputes min_deadline_. Precondition: `mu_`
+  /// held.
+  void SweepExpiredLocked(std::chrono::steady_clock::time_point now);
 
   /// Takes up to max_batch_size requests off the queue. Precondition:
   /// `mu_` held.
   std::vector<Request> TakeBatchLocked();
 
-  /// Answers one batch (model snapshot, per-row validation, forest).
+  /// Answers one batch (fault draw, deadline re-check, degradation chain,
+  /// per-row validation, forest).
   void ProcessBatch(std::vector<Request> batch);
+
+  /// Resolves `request` with the label-prior majority class (degradation
+  /// rung kMajorityClass). False when no prior is configured.
+  bool AnswerWithLabelPrior(Request& request,
+                            std::chrono::steady_clock::time_point done);
+
+  /// Last model that successfully served an undegraded batch.
+  std::shared_ptr<const ServingModel> LastGoodModel() const;
 
   const ModelRegistry* registry_;
   BatchPredictorOptions options_;
@@ -87,18 +141,36 @@ class BatchPredictor {
   /// Global-registry handles, resolved once in the constructor so the
   /// enqueue/dispatch paths pay only relaxed atomic updates:
   /// serve.batch_predictor.{requests,batches} counters, queue_depth gauge,
-  /// batch_size and latency_seconds (enqueue→completion) histograms.
+  /// batch_size and latency_seconds (enqueue→completion) histograms, plus
+  /// the lifecycle outcome counters (serve.shed_total.*,
+  /// serve.deadline_exceeded_total, serve.degraded_total.*,
+  /// serve.unavailable_total).
   obs::Counter& metric_requests_;
   obs::Counter& metric_batches_;
   obs::Gauge& metric_queue_depth_;
   obs::Histogram& metric_batch_size_;
   obs::Histogram& metric_latency_;
+  obs::CounterSet metric_shed_;      // serve.shed_total.<reason>
+  obs::CounterSet metric_degraded_;  // serve.degraded_total.<level>
+  obs::Counter& metric_deadline_exceeded_;
+  obs::Counter& metric_unavailable_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> pending_;
+  /// Earliest deadline among queued requests; time_point::max() when none
+  /// has one. May be stale-early after TakeBatchLocked (the sweep then
+  /// finds nothing expired and recomputes) — never stale-late.
+  std::chrono::steady_clock::time_point min_deadline_ =
+      std::chrono::steady_clock::time_point::max();
   bool stop_ = false;
   Counters counters_;
+
+  /// Degradation rung 1: the snapshot that served the most recent
+  /// undegraded batch, used when the registry has no usable model.
+  mutable std::mutex last_good_mu_;
+  std::shared_ptr<const ServingModel> last_good_;
+
   std::thread worker_;
 };
 

@@ -9,6 +9,18 @@
 
 namespace trajkit::serve {
 
+const char* DegradationLevelToString(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone:
+      return "none";
+    case DegradationLevel::kPreviousModel:
+      return "previous_model";
+    case DegradationLevel::kMajorityClass:
+      return "majority_class";
+  }
+  return "unknown";
+}
+
 Status ServingModel::Validate() const {
   if (version.empty()) {
     return Status::InvalidArgument("serving model needs a non-empty version");

@@ -16,6 +16,18 @@
 
 namespace trajkit::serve {
 
+/// How far down the degradation chain the answer came from. The predictor
+/// walks kNone -> kPreviousModel -> kMajorityClass and stops at the first
+/// rung that can produce an answer (see BatchPredictor).
+enum class DegradationLevel {
+  kNone = 0,           ///< Served by the active model.
+  kPreviousModel = 1,  ///< Active model unusable; served by the last good
+                       ///< snapshot the predictor had cached.
+  kMajorityClass = 2,  ///< No usable model; label-prior majority class.
+};
+
+const char* DegradationLevelToString(DegradationLevel level);
+
 /// One prediction answer.
 struct Prediction {
   /// Predicted class index — computed with `RandomForest::Predict`, so it
@@ -28,6 +40,8 @@ struct Prediction {
   /// Enqueue-to-completion latency, filled by BatchPredictor (0 on the
   /// direct path).
   double latency_seconds = 0.0;
+  /// Which rung of the fallback chain produced this answer.
+  DegradationLevel degradation = DegradationLevel::kNone;
 };
 
 /// A deployable model: forest + feature-subset mask + optional min-max

@@ -44,8 +44,26 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     }
   }
 
+  // One submitted request; `features` is retained only while the request
+  // still has retry budget (a resubmission needs the payload again).
+  struct InFlight {
+    int true_class = -1;
+    int budget = 0;
+    std::vector<double> features;
+    std::future<Result<Prediction>> future;
+  };
+  const auto make_context = [&options] {
+    RequestContext context;
+    if (options.deadline_seconds > 0.0) {
+      context = RequestContext::WithTimeout(options.deadline_seconds);
+    }
+    context.priority = options.priority;
+    context.retry_budget = options.retry_budget;
+    return context;
+  };
+
   std::vector<ClosedSegment> closed;
-  std::vector<std::pair<int, std::future<Result<Prediction>>>> in_flight;
+  std::vector<InFlight> in_flight;
   const auto submit_closed = [&] {
     for (ClosedSegment& segment : closed) {
       ++report.segments_closed;
@@ -54,8 +72,13 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
         ++report.segments_outside_label_set;
         continue;
       }
-      in_flight.emplace_back(true_class,
-                             predictor.Submit(std::move(segment.features)));
+      InFlight item;
+      item.true_class = true_class;
+      item.budget = options.retry_budget;
+      if (item.budget > 0) item.features = segment.features;
+      item.future = predictor.Submit(
+          PredictRequest(std::move(segment.features), make_context()));
+      in_flight.push_back(std::move(item));
     }
     closed.clear();
   };
@@ -82,13 +105,58 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   submit_closed();
   report.ingest_seconds = ingest_timer.ElapsedSeconds();
 
-  predictor.Flush();
-  for (auto& [true_class, future] : in_flight) {
-    TRAJKIT_ASSIGN_OR_RETURN(Prediction prediction, future.get());
-    ++report.segments_evaluated;
-    report.y_true.push_back(true_class);
-    report.y_pred.push_back(prediction.label);
-    if (prediction.label == true_class) ++report.correct;
+  // Gather in rounds: transient failures with remaining budget are
+  // resubmitted (one backoff delay per round, shared by that round's
+  // retries). Budgets strictly decrease, so this terminates after at most
+  // retry_budget rounds.
+  Backoff backoff(options.retry, options.retry_seed);
+  std::vector<InFlight> round = std::move(in_flight);
+  while (!round.empty()) {
+    predictor.Flush();
+    std::vector<InFlight> next;
+    for (InFlight& item : round) {
+      Result<Prediction> result = item.future.get();
+      if (result.ok()) {
+        const Prediction& prediction = result.value();
+        if (prediction.degradation != DegradationLevel::kNone) {
+          ++report.degraded;
+        }
+        ++report.segments_evaluated;
+        report.y_true.push_back(item.true_class);
+        report.y_pred.push_back(prediction.label);
+        if (prediction.label == item.true_class) ++report.correct;
+        continue;
+      }
+      const Status& status = result.status();
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++report.deadline_exceeded;
+        continue;
+      }
+      if (status.code() == StatusCode::kResourceExhausted) {
+        ++report.shed;
+        continue;
+      }
+      if (IsRetryableStatus(status) && item.budget > 0) {
+        --item.budget;
+        ++report.retries;
+        RequestContext context = make_context();
+        context.retry_budget = item.budget;
+        // Keep the payload only while further retries are still possible.
+        std::vector<double> features;
+        if (item.budget > 0) {
+          features = item.features;
+        } else {
+          features = std::move(item.features);
+        }
+        item.future = predictor.Submit(
+            PredictRequest(std::move(features), context));
+        next.push_back(std::move(item));
+        continue;
+      }
+      return status;
+    }
+    if (!next.empty()) SleepForSeconds(backoff.NextDelaySeconds());
+    round = std::move(next);
   }
   report.session_stats = sessions.stats();
   return report;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/label_sets.h"
 #include "serve/batch_predictor.h"
 #include "serve/session_manager.h"
@@ -21,6 +22,17 @@ struct ReplayOptions {
   /// Run EvictIdle (against event time, i.e. the timestamp of the point
   /// just ingested) every this many points; 0 = never.
   size_t evict_every_points = 0;
+  /// Per-request deadline measured from submission; 0 (default) = none.
+  double deadline_seconds = 0.0;
+  /// Priority attached to every replayed request.
+  int priority = 0;
+  /// Resubmissions allowed per request on a transient (Unavailable)
+  /// failure. 0 (default) = never resubmit. Resubmission rounds are paced
+  /// by `retry` (jittered exponential backoff, deterministic under
+  /// `retry_seed`).
+  int retry_budget = 0;
+  RetryOptions retry;
+  uint64_t retry_seed = 0x72657472790aULL;
 };
 
 /// Outcome of a replay.
@@ -33,6 +45,15 @@ struct ReplayReport {
   /// Closed segments skipped because their mode is outside the label set.
   size_t segments_outside_label_set = 0;
   size_t correct = 0;
+  /// Requests resolved DeadlineExceeded (expired while queued).
+  size_t deadline_exceeded = 0;
+  /// Requests shed by admission control (ResourceExhausted).
+  size_t shed = 0;
+  /// Requests answered below DegradationLevel::kNone (previous-good model
+  /// or label-prior majority class); these still count as evaluated.
+  size_t degraded = 0;
+  /// Resubmissions performed after transient (Unavailable) failures.
+  size_t retries = 0;
   /// True class / predicted class per evaluated segment, in close order.
   std::vector<int> y_true;
   std::vector<int> y_pred;
@@ -56,6 +77,11 @@ struct ReplayReport {
 /// the annotated modes. Per-trajectory order is preserved exactly (the
 /// merge never reorders a user's own fixes), so the session layer sees the
 /// same streams the offline segmenter reads.
+///
+/// Every submitted request is accounted for exactly once in the report:
+/// evaluated (possibly degraded), shed, or deadline-exceeded. Transient
+/// (Unavailable) failures are resubmitted with backoff while the request's
+/// retry budget lasts; any other error aborts the replay with that status.
 Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
                                   const core::LabelSet& labels,
                                   BatchPredictor& predictor,

@@ -106,7 +106,9 @@ std::vector<traj::Trajectory> GeoLifeLikeGenerator::Generate() {
         request.start = position;
         request.start_time = clock;
         request.clean_gps = options_.clean_gps;
-        SimulatedTrip trip = SimulateTrip(request, user, rng);
+        // `mode` was drawn from the profile weights, never kUnknown, so
+        // the Result is always OK here (value() aborts otherwise).
+        SimulatedTrip trip = SimulateTrip(request, user, rng).value();
 
         // Annotation error: with probability label_noise_prob, the user
         // forgot to switch the label when this trip started, so its first

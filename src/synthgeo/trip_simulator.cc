@@ -20,9 +20,12 @@ double DrawTripDuration(const ModeProfile& profile, Rng& rng) {
 
 }  // namespace
 
-SimulatedTrip SimulateTrip(const TripRequest& request,
-                           const UserProfile& user, Rng& rng) {
-  TRAJKIT_CHECK(request.mode != traj::Mode::kUnknown);
+Result<SimulatedTrip> SimulateTrip(const TripRequest& request,
+                                   const UserProfile& user, Rng& rng) {
+  if (request.mode == traj::Mode::kUnknown) {
+    return Status::InvalidArgument(
+        "cannot simulate a trip with mode kUnknown: no motion profile");
+  }
   const ModeProfile& profile = GetModeProfile(request.mode);
   SimulatedTrip trip;
 

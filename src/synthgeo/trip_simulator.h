@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "geo/geodesy.h"
 #include "synthgeo/mode_profiles.h"
@@ -47,8 +48,11 @@ struct SimulatedTrip {
 /// drifting systematic bias (AR(1)), both scaled by the user's device
 /// factor — the "random" and "systematic" GPS error classes discussed in
 /// §4 of the paper.
-SimulatedTrip SimulateTrip(const TripRequest& request,
-                           const UserProfile& user, Rng& rng);
+///
+/// InvalidArgument when `request.mode` is kUnknown (there is no motion
+/// profile to simulate from).
+Result<SimulatedTrip> SimulateTrip(const TripRequest& request,
+                                   const UserProfile& user, Rng& rng);
 
 }  // namespace trajkit::synthgeo
 

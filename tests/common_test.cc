@@ -1,11 +1,15 @@
-// Unit tests for src/common: status, result, strings, rng, csv, table.
+// Unit tests for src/common: status, result, strings, rng, csv, table,
+// retry/backoff.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -42,6 +46,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
             "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, ServingFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -432,6 +449,100 @@ TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
   EXPECT_GE(t2, t1);
   timer.Reset();
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+// ----------------------------------------------------------------- Retry --
+
+TEST(RetryTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("backend hiccup")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Ok()));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryableStatus(Status::ResourceExhausted("full")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad")));
+}
+
+TEST(RetryTest, BackoffGrowsClampsAndJittersDeterministically) {
+  RetryOptions options;
+  options.initial_backoff_seconds = 0.001;
+  options.multiplier = 2.0;
+  options.max_backoff_seconds = 0.004;
+  options.jitter = 0.5;
+  Backoff a(options, /*seed=*/99);
+  Backoff b(options, /*seed=*/99);
+  double base = options.initial_backoff_seconds;
+  for (int i = 0; i < 8; ++i) {
+    const double delay = a.NextDelaySeconds();
+    // Same options + seed => same sequence (chaos runs are reproducible).
+    EXPECT_EQ(delay, b.NextDelaySeconds());
+    // Jitter only shrinks the delay, never past (1 - jitter) * base.
+    EXPECT_LE(delay, base);
+    EXPECT_GE(delay, (1.0 - options.jitter) * base);
+    base = std::min(base * options.multiplier, options.max_backoff_seconds);
+  }
+  EXPECT_EQ(a.attempts(), 8);
+
+  // jitter = 0: the exact exponential sequence, clamped at the max.
+  options.jitter = 0.0;
+  Backoff exact(options, 1);
+  EXPECT_DOUBLE_EQ(exact.NextDelaySeconds(), 0.001);
+  EXPECT_DOUBLE_EQ(exact.NextDelaySeconds(), 0.002);
+  EXPECT_DOUBLE_EQ(exact.NextDelaySeconds(), 0.004);
+  EXPECT_DOUBLE_EQ(exact.NextDelaySeconds(), 0.004);
+  exact.Reset();
+  EXPECT_DOUBLE_EQ(exact.NextDelaySeconds(), 0.001);
+}
+
+TEST(RetryTest, RetriesTransientFailuresThenSucceeds) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.jitter = 0.0;
+  int calls = 0;
+  std::vector<double> slept;
+  const auto result = RetryWithBackoff<int>(
+      options, /*seed=*/1,
+      [&]() -> Result<int> {
+        if (++calls < 3) return Status::Unavailable("transient");
+        return 7;
+      },
+      [&](double seconds) { slept.push_back(seconds); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], options.initial_backoff_seconds);
+  EXPECT_DOUBLE_EQ(slept[1],
+                   options.initial_backoff_seconds * options.multiplier);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  const auto result = RetryWithBackoff<int>(
+      options, 1,
+      [&]() -> Result<int> {
+        ++calls;
+        return Status::InvalidArgument("deterministic");
+      },
+      [](double) { FAIL() << "must not sleep on a non-retryable error"; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BudgetExhaustionReturnsLastError) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.jitter = 0.0;
+  int calls = 0;
+  const auto result = RetryWithBackoff<int>(
+      options, 1,
+      [&]() -> Result<int> {
+        ++calls;
+        return Status::Unavailable("still down");
+      },
+      [](double) {});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
 }
 
 }  // namespace

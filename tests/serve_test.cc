@@ -15,11 +15,13 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "core/label_sets.h"
 #include "core/pipeline.h"
 #include "ml/random_forest.h"
 #include "serve/batch_predictor.h"
+#include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
 #include "serve/session_manager.h"
@@ -457,8 +459,8 @@ TEST(ModelRegistryTest, NormalizationMatchesMinMaxScaler) {
 TEST(BatchPredictorTest, NoActiveModelFailsCleanly) {
   ModelRegistry registry;
   BatchPredictor predictor(&registry);
-  auto future = predictor.Submit(
-      std::vector<double>(traj::kNumTrajectoryFeatures, 0.0));
+  auto future = predictor.Submit(PredictRequest(
+      std::vector<double>(traj::kNumTrajectoryFeatures, 0.0)));
   const auto result = future.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
@@ -482,7 +484,7 @@ TEST(BatchPredictorTest, DeterministicAcrossBatchCompositions) {
     BatchPredictor predictor(&registry, options);
     std::vector<std::future<Result<Prediction>>> futures;
     for (const auto& request : requests) {
-      futures.push_back(predictor.Submit(request));
+      futures.push_back(predictor.Submit(PredictRequest(request)));
     }
     std::vector<Prediction> predictions;
     for (auto& future : futures) {
@@ -518,7 +520,7 @@ TEST(BatchPredictorTest, DeadlineDispatchesPartialBatch) {
   options.max_delay_seconds = 0.002;
   BatchPredictor predictor(&registry, options);
   const auto row = fixture.dataset.features().Row(0);
-  auto future = predictor.Submit({row.begin(), row.end()});
+  auto future = predictor.Submit(PredictRequest({row.begin(), row.end()}));
   const auto result = future.get();
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
@@ -533,9 +535,9 @@ TEST(BatchPredictorTest, BadRequestFailsOnlyItself) {
   options.max_batch_size = 2;  // Both requests land in one batch.
   options.max_delay_seconds = 0.05;
   BatchPredictor predictor(&registry, options);
-  auto bad = predictor.Submit(std::vector<double>(5, 0.0));
+  auto bad = predictor.Submit(PredictRequest(std::vector<double>(5, 0.0)));
   const auto row = fixture.dataset.features().Row(0);
-  auto good = predictor.Submit({row.begin(), row.end()});
+  auto good = predictor.Submit(PredictRequest({row.begin(), row.end()}));
   const auto bad_result = bad.get();
   ASSERT_FALSE(bad_result.ok());
   EXPECT_EQ(bad_result.status().code(), StatusCode::kInvalidArgument);
@@ -555,7 +557,8 @@ TEST(BatchPredictorTest, FlushProcessesPendingOnCallerThread) {
   std::vector<std::future<Result<Prediction>>> futures;
   for (size_t r = 0; r < 5; ++r) {
     const auto row = fixture.dataset.features().Row(r);
-    futures.push_back(predictor.Submit({row.begin(), row.end()}));
+    futures.push_back(
+        predictor.Submit(PredictRequest({row.begin(), row.end()})));
   }
   predictor.Flush();
   for (size_t r = 0; r < futures.size(); ++r) {
@@ -687,6 +690,324 @@ TEST(ReplayTest, PeriodicIdleEvictionStillEvaluatesEverySegment) {
   // splitter would cut anyway (day change), so nothing is lost.
   EXPECT_EQ(report->segments_evaluated, fixture.dataset.num_samples());
   EXPECT_EQ(report->correct, fixture.offline_correct);
+}
+
+// ------------------------------------------------- Request lifecycle --
+
+// Options that park the worker: the size/delay triggers can never fire, so
+// queued requests sit until a deadline wakes the worker or Flush drains
+// them. Used to test the admission/deadline paths without racing dispatch.
+BatchPredictorOptions ParkedWorkerOptions() {
+  BatchPredictorOptions options;
+  options.max_batch_size = 1000;
+  options.max_delay_seconds = 60.0;
+  return options;
+}
+
+std::vector<double> FixtureRow(size_t r) {
+  const auto row = ReplayFixture::Get().dataset.features().Row(r);
+  return {row.begin(), row.end()};
+}
+
+TEST(BatchPredictorTest, ExpiredDeadlineFailsFastAtSubmit) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictor predictor(&registry, ParkedWorkerOptions());
+  auto future = predictor.Submit(
+      PredictRequest(FixtureRow(0), RequestContext::WithTimeout(-1.0)));
+  // Resolves without any dispatch: the request never entered the queue.
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(predictor.counters().requests, 0u);
+}
+
+TEST(BatchPredictorTest, DeadlineExpiresWhileQueued) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  // Dispatch triggers parked: only the deadline can resolve the request,
+  // which exercises the worker's wake-at-min-deadline path (no Flush).
+  BatchPredictor predictor(&registry, ParkedWorkerOptions());
+  auto doomed = predictor.Submit(
+      PredictRequest(FixtureRow(0), RequestContext::WithTimeout(0.005)));
+  auto patient = predictor.Submit(PredictRequest(FixtureRow(1)));
+  const auto result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(predictor.counters().deadline_exceeded, 1u);
+  // The deadline-free neighbour is untouched by the sweep.
+  predictor.Flush();
+  const auto kept = patient.get();
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value().label, fixture.offline_predictions[1]);
+}
+
+TEST(BatchPredictorTest, AdmissionShedsLowestPriorityFirst) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictorOptions options = ParkedWorkerOptions();
+  options.max_queue = 2;
+  BatchPredictor predictor(&registry, options);
+
+  const auto submit = [&](size_t row, int priority) {
+    PredictRequest request(FixtureRow(row));
+    request.context.priority = priority;
+    return predictor.Submit(std::move(request));
+  };
+  auto a = submit(0, 1);
+  auto b = submit(1, 1);
+  // Queue full; an equal-or-lower-priority newcomer is itself rejected...
+  auto c = submit(2, 0);
+  const auto c_result = c.get();
+  ASSERT_FALSE(c_result.ok());
+  EXPECT_EQ(c_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(c_result.status().message().find("queue full"),
+            std::string::npos);
+  // ... while a higher-priority newcomer preempts the oldest lowest.
+  auto d = submit(3, 5);
+  const auto a_result = a.get();
+  ASSERT_FALSE(a_result.ok());
+  EXPECT_EQ(a_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(a_result.status().message().find("preempted"),
+            std::string::npos);
+  EXPECT_EQ(predictor.counters().shed, 2u);
+
+  predictor.Flush();
+  const auto b_result = b.get();
+  ASSERT_TRUE(b_result.ok());
+  EXPECT_EQ(b_result.value().label, fixture.offline_predictions[1]);
+  const auto d_result = d.get();
+  ASSERT_TRUE(d_result.ok());
+  EXPECT_EQ(d_result.value().label, fixture.offline_predictions[3]);
+}
+
+// --------------------------------------------------- Degradation chain --
+
+TEST(BatchPredictorTest, RegistryStallFallsBackToPreviousGoodModel) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  FaultSpec spec;
+  spec.swap_stall_p = 1.0;  // Every batch loses the registry...
+  FaultInjector injector(spec);
+  injector.set_enabled(false);  // ... once enabled.
+  BatchPredictorOptions options;
+  options.fault_injector = &injector;
+  BatchPredictor predictor(&registry, options);
+
+  // First batch serves clean and caches the snapshot.
+  auto clean = predictor.Submit(PredictRequest(FixtureRow(0)));
+  const auto clean_result = clean.get();
+  ASSERT_TRUE(clean_result.ok());
+  EXPECT_EQ(clean_result.value().degradation, DegradationLevel::kNone);
+
+  injector.set_enabled(true);
+  auto degraded = predictor.Submit(PredictRequest(FixtureRow(1)));
+  const auto result = degraded.get();
+  ASSERT_TRUE(result.ok());
+  // Same model, same (bit-identical) answer — only the rung differs.
+  EXPECT_EQ(result.value().degradation, DegradationLevel::kPreviousModel);
+  EXPECT_EQ(result.value().model_version, "v1");
+  EXPECT_EQ(result.value().label, fixture.offline_predictions[1]);
+  EXPECT_GE(predictor.counters().degraded, 1u);
+}
+
+TEST(BatchPredictorTest, NoModelAnywhereFallsBackToLabelPrior) {
+  ModelRegistry registry;  // Nothing registered: both model rungs miss.
+  BatchPredictorOptions options;
+  options.label_prior = {1.0, 6.0, 3.0};
+  BatchPredictor predictor(&registry, options);
+  auto future = predictor.Submit(PredictRequest(
+      std::vector<double>(traj::kNumTrajectoryFeatures, 0.0)));
+  const auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().label, 1);  // argmax of the prior.
+  EXPECT_EQ(result.value().degradation, DegradationLevel::kMajorityClass);
+  EXPECT_EQ(result.value().model_version, "label_prior");
+  ASSERT_EQ(result.value().probabilities.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.value().probabilities[1], 0.6);
+}
+
+TEST(BatchPredictorTest, TransientFaultRespectsRetryBudget) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  FaultSpec spec;
+  spec.predict_fail_p = 1.0;
+  FaultInjector injector(spec);
+  BatchPredictorOptions options;
+  options.fault_injector = &injector;
+  options.label_prior = {2.0, 1.0};
+  BatchPredictor predictor(&registry, options);
+
+  // Budget left: the caller gets the retryable error back.
+  PredictRequest retryable(FixtureRow(0));
+  retryable.context.retry_budget = 1;
+  const auto retry_result = predictor.Submit(std::move(retryable)).get();
+  ASSERT_FALSE(retry_result.ok());
+  EXPECT_EQ(retry_result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableStatus(retry_result.status()));
+  EXPECT_EQ(predictor.counters().unavailable, 1u);
+
+  // Budget spent: degrade to the label prior instead of failing.
+  const auto spent_result =
+      predictor.Submit(PredictRequest(FixtureRow(0))).get();
+  ASSERT_TRUE(spent_result.ok());
+  EXPECT_EQ(spent_result.value().degradation,
+            DegradationLevel::kMajorityClass);
+  EXPECT_EQ(spent_result.value().label, 0);
+}
+
+TEST(BatchPredictorTest, DisabledInjectorKeepsAnswersBitIdentical) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  // Every fault at p=1 — but the kill switch must make the wiring inert,
+  // preserving the online==offline parity contract bit for bit.
+  FaultSpec spec;
+  spec.swap_stall_p = 1.0;
+  spec.swap_stall_latency_ms = 5.0;
+  spec.predict_fail_p = 1.0;
+  spec.batch_delay_p = 1.0;
+  spec.batch_delay_latency_ms = 5.0;
+  FaultInjector injector(spec);
+  injector.set_enabled(false);
+  BatchPredictorOptions options;
+  options.fault_injector = &injector;
+  BatchPredictor predictor(&registry, options);
+  std::vector<std::future<Result<Prediction>>> futures;
+  for (size_t r = 0; r < fixture.dataset.num_samples(); ++r) {
+    futures.push_back(predictor.Submit(PredictRequest(FixtureRow(r))));
+  }
+  for (size_t r = 0; r < futures.size(); ++r) {
+    auto result = futures[r].get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().label, fixture.offline_predictions[r]);
+    EXPECT_EQ(result.value().degradation, DegradationLevel::kNone);
+  }
+  EXPECT_EQ(predictor.counters().degraded, 0u);
+  EXPECT_EQ(predictor.counters().unavailable, 0u);
+}
+
+TEST(BatchPredictorTest, DeprecatedFeaturesOverloadStillServes) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictor predictor(&registry);
+  // The pre-RequestContext entry point must keep working (and forwarding
+  // with an infinite deadline) until call sites finish migrating.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto future = predictor.Submit(FixtureRow(0));
+#pragma GCC diagnostic pop
+  const auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
+  EXPECT_EQ(result.value().degradation, DegradationLevel::kNone);
+}
+
+// ------------------------------------------------------ Fault injector --
+
+TEST(FaultSpecTest, ParsesClausesAndSeed) {
+  const auto spec = FaultSpec::Parse(
+      "swap_stall:p=0.01,latency_ms=50;predict_fail:p=0.02;"
+      "batch_delay:p=0.1,latency_ms=5;seed=42");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->swap_stall_p, 0.01);
+  EXPECT_DOUBLE_EQ(spec->swap_stall_latency_ms, 50.0);
+  EXPECT_DOUBLE_EQ(spec->predict_fail_p, 0.02);
+  EXPECT_DOUBLE_EQ(spec->batch_delay_p, 0.1);
+  EXPECT_DOUBLE_EQ(spec->batch_delay_latency_ms, 5.0);
+  EXPECT_EQ(spec->seed, 42u);
+
+  // Empty spec = all faults off, default seed.
+  const auto empty = FaultSpec::Parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(empty->swap_stall_p, 0.0);
+  EXPECT_DOUBLE_EQ(empty->predict_fail_p, 0.0);
+  EXPECT_DOUBLE_EQ(empty->batch_delay_p, 0.0);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultSpec::Parse("quantum_flip:p=1").ok());
+  EXPECT_FALSE(FaultSpec::Parse("predict_fail:p=1.5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("predict_fail:p=-0.1").ok());
+  EXPECT_FALSE(FaultSpec::Parse("predict_fail:p=abc").ok());
+  EXPECT_FALSE(FaultSpec::Parse("swap_stall:latency_ms=-3").ok());
+  EXPECT_FALSE(FaultSpec::Parse("swap_stall:q=1").ok());
+  EXPECT_FALSE(FaultSpec::Parse("predict_fail:latency_ms=5").ok());
+  EXPECT_FALSE(FaultSpec::Parse("seed").ok());
+  EXPECT_FALSE(FaultSpec::Parse("predict_fail").ok());
+}
+
+TEST(FaultInjectorTest, DeterministicDrawSequence) {
+  FaultSpec spec;
+  spec.predict_fail_p = 0.5;
+  spec.batch_delay_p = 0.5;
+  spec.batch_delay_latency_ms = 2.0;
+  spec.seed = 7;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  for (int i = 0; i < 64; ++i) {
+    const auto fa = a.Next();
+    const auto fb = b.Next();
+    EXPECT_EQ(fa.stall_registry, fb.stall_registry);
+    EXPECT_EQ(fa.fail_predict, fb.fail_predict);
+    EXPECT_EQ(fa.delay_seconds, fb.delay_seconds);
+  }
+}
+
+// ------------------------------------------------------- Chaos replay --
+
+TEST(ReplayTest, ChaosReplayAccountsEveryRequest) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+
+  FaultSpec spec;
+  spec.swap_stall_p = 0.2;
+  spec.swap_stall_latency_ms = 1.0;
+  spec.predict_fail_p = 0.3;
+  spec.batch_delay_p = 0.3;
+  spec.batch_delay_latency_ms = 1.0;
+  spec.seed = 11;
+  FaultInjector injector(spec);
+
+  BatchPredictorOptions batching;
+  batching.fault_injector = &injector;
+  batching.max_queue = 8;
+  // Label prior from the training annotations backs the last rung.
+  batching.label_prior.assign(fixture.labels.num_classes(), 0.0);
+  for (const int label : fixture.dataset.labels()) {
+    batching.label_prior[static_cast<size_t>(label)] += 1.0;
+  }
+  BatchPredictor predictor(&registry, batching);
+
+  ReplayOptions options;
+  options.deadline_seconds = 0.25;
+  options.retry_budget = 2;
+  options.retry.initial_backoff_seconds = 0.0005;
+  options.retry.max_backoff_seconds = 0.002;
+  const auto report =
+      ReplayCorpus(fixture.corpus, fixture.labels, predictor, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The lifecycle invariant: every submitted request resolves exactly one
+  // way — evaluated (possibly degraded), shed, or deadline-exceeded.
+  const size_t submitted =
+      report->segments_closed - report->segments_outside_label_set;
+  EXPECT_EQ(report->segments_evaluated + report->shed +
+                report->deadline_exceeded,
+            submitted);
+  EXPECT_EQ(report->y_true.size(), report->segments_evaluated);
+  EXPECT_EQ(report->y_pred.size(), report->segments_evaluated);
+  // With these seeds the chaos actually bites somewhere.
+  EXPECT_GT(report->degraded + report->retries + report->shed +
+                report->deadline_exceeded,
+            0u);
 }
 
 }  // namespace

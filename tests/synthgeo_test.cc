@@ -129,7 +129,7 @@ TEST(TripSimulatorTest, ProducesTimeOrderedLabelledFixes) {
   request.start = kCenter;
   request.start_time = 1000.0;
   request.duration_s = 600.0;
-  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(), rng);
+  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(), rng).value();
   ASSERT_GT(trip.points.size(), 50u);
   for (size_t i = 0; i < trip.points.size(); ++i) {
     EXPECT_EQ(trip.points[i].mode, Mode::kBus);
@@ -140,6 +140,16 @@ TEST(TripSimulatorTest, ProducesTimeOrderedLabelledFixes) {
   }
   EXPECT_GE(trip.points.front().timestamp, request.start_time);
   EXPECT_EQ(trip.end_time, request.start_time + 600.0);
+}
+
+TEST(TripSimulatorTest, UnknownModeIsInvalidArgument) {
+  Rng rng(5);
+  TripRequest request;
+  request.mode = Mode::kUnknown;
+  request.start = kCenter;
+  const auto result = SimulateTrip(request, NeutralUser(), rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TripSimulatorTest, MeanSpeedTracksModeProfile) {
@@ -156,7 +166,7 @@ TEST(TripSimulatorTest, MeanSpeedTracksModeProfile) {
       request.start_time = 0.0;
       request.duration_s = 900.0;
       request.clean_gps = true;
-      total += SimulateTrip(request, user, rng).mean_true_speed_mps;
+      total += SimulateTrip(request, user, rng).value().mean_true_speed_mps;
     }
     return total / trips;
   };
@@ -183,7 +193,7 @@ TEST(TripSimulatorTest, CleanGpsIsSmootherThanNoisy) {
     request.clean_gps = clean;
     UserProfile user = NeutralUser(seed + 50);
     user.device_noise_factor = 2.0;
-    const SimulatedTrip trip = SimulateTrip(request, user, rng);
+    const SimulatedTrip trip = SimulateTrip(request, user, rng).value();
     const traj::PointFeatures f =
         traj::ComputePointFeatures(trip.points);
     return stats::StdDev(f.speed);
@@ -198,7 +208,8 @@ TEST(TripSimulatorTest, SubwayHasSignalLossGaps) {
   request.start = kCenter;
   request.start_time = 0.0;
   request.duration_s = 1800.0;
-  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(12), rng);
+  const SimulatedTrip trip =
+      SimulateTrip(request, NeutralUser(12), rng).value();
   double max_gap = 0.0;
   for (size_t i = 1; i < trip.points.size(); ++i) {
     max_gap = std::max(
@@ -217,8 +228,8 @@ TEST(TripSimulatorTest, DeterministicGivenRng) {
   const UserProfile user = NeutralUser(13);
   Rng rng1(14);
   Rng rng2(14);
-  const SimulatedTrip t1 = SimulateTrip(request, user, rng1);
-  const SimulatedTrip t2 = SimulateTrip(request, user, rng2);
+  const SimulatedTrip t1 = SimulateTrip(request, user, rng1).value();
+  const SimulatedTrip t2 = SimulateTrip(request, user, rng2).value();
   ASSERT_EQ(t1.points.size(), t2.points.size());
   for (size_t i = 0; i < t1.points.size(); ++i) {
     EXPECT_DOUBLE_EQ(t1.points[i].pos.lat_deg, t2.points[i].pos.lat_deg);
@@ -234,7 +245,8 @@ TEST(TripSimulatorTest, StopsProduceLowSpeedFixes) {
   request.start_time = 0.0;
   request.duration_s = 1500.0;
   request.clean_gps = true;
-  const SimulatedTrip trip = SimulateTrip(request, NeutralUser(16), rng);
+  const SimulatedTrip trip =
+      SimulateTrip(request, NeutralUser(16), rng).value();
   const traj::PointFeatures f = traj::ComputePointFeatures(trip.points);
   // The bus stop process leaves a visible share of near-zero speeds.
   int slow = 0;

@@ -50,6 +50,33 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Fault-injection smoke: a chaos replay must survive (exit 0, every
+# request accounted — the CLI itself fails on a lifecycle leak) AND the
+# chaos must actually bite: at least one request shed or degraded.
+echo "==> chaos smoke: serve-replay under --fault_spec"
+CHAOS_OUT="$BUILD_DIR/chaos-smoke"
+mkdir -p "$CHAOS_OUT"
+"$BUILD_DIR"/tools/trajkit features --users=6 --days=2 --seed=42 \
+  --out="$CHAOS_OUT/features.csv" >/dev/null
+"$BUILD_DIR"/tools/trajkit train --dataset="$CHAOS_OUT/features.csv" \
+  --trees=15 --model="$CHAOS_OUT/rf.model" >/dev/null
+"$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+  --model="$CHAOS_OUT/rf.model" \
+  --deadline_ms=100 --max_queue=16 --retries=2 \
+  --fault_spec="swap_stall:p=0.2,latency_ms=5;predict_fail:p=0.2;batch_delay:p=0.3,latency_ms=2;seed=3" \
+  --metrics_json="$CHAOS_OUT/metrics.json"
+python3 - "$CHAOS_OUT/metrics.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+shed = sum(v for k, v in counters.items() if k.startswith("serve.shed_total"))
+degraded = sum(
+    v for k, v in counters.items() if k.startswith("serve.degraded_total"))
+print(f"chaos smoke: shed={shed} degraded={degraded}")
+if shed + degraded == 0:
+    sys.exit("chaos smoke: fault spec injected nothing "
+             "(expected nonzero serve.shed_total or serve.degraded_total)")
+EOF
+
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan leg skipped (--skip-tsan)"
 else

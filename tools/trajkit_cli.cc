@@ -32,25 +32,38 @@
 //                     [--max_delay_ms=2] [--gap=SECONDS]
 //                     [--max_window=N]
 //                     [--subset=FILE.csv --method=importance --top_k=20]
+//                     [--deadline_ms=D] [--max_queue=N] [--retries=R]
+//                     [--fault_spec=SPEC]
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
 //       Replay a corpus through the online serving stack (streaming
 //       sessions -> incremental features -> micro-batched prediction) in
 //       global timestamp order and compare the accuracy against the
-//       offline pipeline on identically-segmented data. --metrics_json /
-//       --metrics_prom dump the process metrics registry (batch latency
-//       p50/p90/p99, session counters, active model version, pool stats)
-//       as JSON or Prometheus text.
+//       offline pipeline on identically-segmented data. --deadline_ms
+//       attaches a per-request deadline, --max_queue bounds the predictor
+//       queue (admission control sheds lowest-priority first), --retries
+//       grants each request a resubmission budget for transient failures,
+//       and --fault_spec injects deterministic chaos, e.g.
+//       "swap_stall:p=0.01,latency_ms=50;predict_fail:p=0.02;seed=1" (see
+//       serve/fault_injector.h). Every submitted request is accounted
+//       exactly once: evaluated (possibly degraded), shed, or
+//       deadline-exceeded — the command fails if the books don't balance.
+//       --metrics_json / --metrics_prom dump the process metrics registry
+//       (batch latency p50/p90/p99, shed/degraded/deadline counters,
+//       session counters, active model version, pool stats) as JSON or
+//       Prometheus text.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
 // are bit-identical at any thread count.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/harness_options.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -66,6 +79,7 @@
 #include "ml/random_forest.h"
 #include "obs/metrics.h"
 #include "serve/batch_predictor.h"
+#include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
 #include "serve/session_manager.h"
@@ -382,12 +396,39 @@ int RunServeReplay(const Flags& flags) {
   batching.max_batch_size =
       static_cast<size_t>(flags.GetInt("batch", 64));
   batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 2.0) * 1e-3;
+  batching.max_queue = static_cast<size_t>(flags.GetInt("max_queue", 0));
+
+  // Deterministic chaos (--fault_spec): the injector must outlive the
+  // predictor. Chaos runs also get the degradation chain's last rung, a
+  // label prior counted from the replay corpus annotations, so a request
+  // that exhausts its retry budget still resolves with an answer.
+  std::optional<serve::FaultInjector> injector;
+  const std::string fault_spec = flags.GetString("fault_spec", "");
+  if (!fault_spec.empty()) {
+    auto spec = serve::FaultSpec::Parse(fault_spec);
+    if (!spec.ok()) return Fail(spec.status(), "fault spec");
+    injector.emplace(spec.value());
+    batching.fault_injector = &*injector;
+    std::vector<double> prior(
+        static_cast<size_t>(labels->num_classes()), 0.0);
+    for (const traj::Trajectory& trajectory : corpus) {
+      for (const traj::TrajectoryPoint& point : trajectory.points) {
+        const int cls = labels->ClassOf(point.mode);
+        if (cls >= 0) prior[static_cast<size_t>(cls)] += 1.0;
+      }
+    }
+    batching.label_prior = std::move(prior);
+    std::printf("fault injection on: %s\n", fault_spec.c_str());
+  }
   serve::BatchPredictor predictor(&registry, batching);
 
   serve::ReplayOptions replay_options;
   replay_options.session.max_gap_seconds = flags.GetDouble("gap", 0.0);
   replay_options.session.max_segment_points =
       static_cast<size_t>(flags.GetInt("max_window", 0));
+  replay_options.deadline_seconds =
+      flags.GetDouble("deadline_ms", 0.0) * 1e-3;
+  replay_options.retry_budget = flags.GetInt("retries", 0);
   Stopwatch timer;
   auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
                                     replay_options);
@@ -415,16 +456,45 @@ int RunServeReplay(const Flags& flags) {
   std::printf("online accuracy:  %.4f (%zu/%zu)\n", report->accuracy(),
               report->correct, report->segments_evaluated);
 
+  // Lifecycle accounting: every submitted request must have resolved
+  // exactly one way — evaluated (possibly degraded), shed, or
+  // deadline-exceeded. A leak here means a request was dropped or double
+  // counted, which is a serving bug, so it fails the command.
+  const size_t submitted =
+      report->segments_closed - report->segments_outside_label_set;
+  const size_t accounted = report->segments_evaluated + report->shed +
+                           report->deadline_exceeded;
+  std::printf(
+      "lifecycle: %zu submitted = %zu evaluated (%zu degraded) + %zu shed "
+      "+ %zu deadline-exceeded; %zu retries\n",
+      submitted, report->segments_evaluated, report->degraded, report->shed,
+      report->deadline_exceeded, report->retries);
+  if (accounted != submitted) {
+    std::fprintf(stderr,
+                 "serve-replay: request accounting leak (%zu submitted, "
+                 "%zu accounted)\n",
+                 submitted, accounted);
+    return 1;
+  }
+
   // The metrics artifact reflects the serving replay itself, so dump it
   // before the offline-comparison pipeline adds its own samples.
   if (!DumpMetrics(flags)) return 1;
 
   // Offline comparison: the batch pipeline on the same corpus with the
   // same segmentation rules, predicted through the same serving model.
-  // The max-window rule has no offline counterpart, so skip when set.
+  // The max-window rule has no offline counterpart, so skip when set;
+  // chaos / deadline / shedding runs are not comparable either (requests
+  // may be answered degraded or not at all).
   if (replay_options.session.max_segment_points > 0) {
     std::printf("(--max_window set: offline comparison skipped — the "
                 "max-window rule has no offline counterpart)\n");
+    return 0;
+  }
+  if (injector.has_value() || replay_options.deadline_seconds > 0.0 ||
+      batching.max_queue > 0) {
+    std::printf("(chaos/deadline/admission flags set: offline comparison "
+                "skipped — online answers are intentionally degraded)\n");
     return 0;
   }
   core::PipelineOptions pipeline_options;
@@ -467,10 +537,11 @@ int RunServeReplay(const Flags& flags) {
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
-  // Every command honors --threads=N (0/absent keeps the process default,
-  // which itself honors the TRAJKIT_THREADS environment variable).
-  const int threads = flags.GetInt("threads", 0);
-  if (threads > 0) SetMaxThreads(threads);
+  // Every command honors the shared harness trio (common/harness_options):
+  // --threads=N bounds the worker pool (0/absent keeps the process
+  // default, which itself honors the TRAJKIT_THREADS environment
+  // variable); --metrics_json is read by the commands that dump metrics.
+  HarnessOptions::FromFlags(flags).ApplyThreads();
   if (flags.positional().empty()) {
     std::fputs(kUsage, stderr);
     return 2;
