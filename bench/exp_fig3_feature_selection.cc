@@ -85,7 +85,7 @@ int Run(int argc, char** argv) {
   const int max_features = flags.GetInt("max_features", 30);
   const std::string method = flags.GetString("method", "both");
   const std::string out_path =
-      flags.GetString("out", "fig3_feature_selection.csv");
+      flags.GetString("out", "results/fig3_feature_selection.csv");
 
   std::printf(
       "=== Figure 3: feature selection (user-oriented CV, Endo labels) "

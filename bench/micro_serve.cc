@@ -19,7 +19,10 @@
 //                   (served/shed/expired split and survivor p99).
 //
 // Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
-// --overload_deadline_ms, --threads_list=1,2,4,8, --timing_json=FILE.
+// --overload_deadline_ms, --threads_list=1,2,4,8, --timing_json=FILE,
+// plus the shared --trace_json/--trace_test/--trace_sample/--trace_buffer
+// (flight recorder off unless a trace output is requested, so the perf
+// gate measures the untraced path).
 //
 //   ./micro_serve --users=30 --days=4 --timing_json=BENCH_serve.json
 
@@ -56,6 +59,7 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const HarnessOptions harness = HarnessOptions::FromFlags(flags);
   harness.ApplyThreads();
+  harness.ConfigureTracing();
   TimingJson timings("micro_serve", harness);
 
   // Corpus + a forest trained offline on the same features.
@@ -275,6 +279,7 @@ int Main(int argc, char** argv) {
                    overload_p99);
   }
   timings.Write();
+  if (!harness.DumpTrace()) return 1;
   return 0;
 }
 

@@ -1,13 +1,15 @@
 #ifndef TRAJKIT_COMMON_HARNESS_OPTIONS_H_
 #define TRAJKIT_COMMON_HARNESS_OPTIONS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/flags.h"
 
 namespace trajkit {
 
-/// The flag trio every TrajKit executable (experiment harnesses,
+/// The shared flags every TrajKit executable (experiment harnesses,
 /// microbenchmarks, the CLI) accepts, parsed in one place instead of
 /// re-declared per harness:
 ///
@@ -15,22 +17,49 @@ namespace trajkit {
 ///                      process default, which honors TRAJKIT_THREADS)
 ///   --timing_json=F    machine-readable phase timings (bench::TimingJson)
 ///   --metrics_json=F   process metrics registry dump after the run
+///   --trace_json=F     request-trace dump (Chrome trace-event JSON for
+///                      chrome://tracing / Perfetto); also enables the
+///                      flight recorder for the run
+///   --trace_test=F     deterministic byte-stable trace dump (rank
+///                      timestamps); also enables the recorder
+///   --trace_sample=N   head sampling: export every Nth trace (default 1)
+///   --trace_buffer=M   per-thread flight-recorder capacity in events
+///                      (default 8192)
 struct HarnessOptions {
   int threads = 0;
   std::string timing_json;
   std::string metrics_json;
+  std::string trace_json;
+  std::string trace_test;
+  uint64_t trace_sample = 1;
+  size_t trace_buffer = 8192;
 
-  /// Reads the trio from parsed flags.
+  /// Reads the shared flags from parsed flags.
   static HarnessOptions FromFlags(const Flags& flags);
 
-  /// Parses the trio directly from argv and REMOVES the matched arguments
-  /// (for mains that hand the remaining argv to another flag parser, e.g.
-  /// google-benchmark, which rejects flags it does not know).
+  /// Parses the shared flags directly from argv and REMOVES the matched
+  /// arguments (for mains that hand the remaining argv to another flag
+  /// parser, e.g. google-benchmark, which rejects flags it does not know).
   static HarnessOptions FromArgv(int* argc, char** argv);
 
   /// Applies --threads (no-op for <= 0) and returns the effective pool
   /// budget. Call once, before any dataset/model work.
   int ApplyThreads() const;
+
+  /// True when any --trace_* output was requested.
+  bool tracing_requested() const {
+    return !trace_json.empty() || !trace_test.empty();
+  }
+
+  /// Configures the global RequestTracer from the --trace_* flags (no-op
+  /// when no trace output was requested — tracing stays disabled and the
+  /// serve path is bit-identical to an untraced run). Call before serving.
+  void ConfigureTracing() const;
+
+  /// Writes --trace_json / --trace_test from the global tracer if
+  /// requested. Returns false (with a stderr note) when a file cannot be
+  /// written.
+  bool DumpTrace() const;
 };
 
 }  // namespace trajkit

@@ -124,16 +124,26 @@ Histogram::Histogram(HistogramOptions options)
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+  exemplar_ids_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  exemplar_values_ = std::make_unique<std::atomic<double>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i] = 0;
+    exemplar_ids_[i] = 0;
+    exemplar_values_[i] = 0.0;
+  }
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value, uint64_t exemplar_trace_id) {
   // Prometheus `le` semantics: a value equal to a bound belongs to that
   // bound's bucket, hence lower_bound (first bound >= value).
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplar_values_[bucket].store(value, std::memory_order_relaxed);
+    exemplar_ids_[bucket].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, value);
   AtomicMin(min_, value);
@@ -146,10 +156,15 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.buckets.resize(bounds_.size() + 1);
   // Derive the total from the bucket reads themselves so a concurrent
   // Observe can never make quantile ranks exceed the bucket mass.
+  snap.exemplar_ids.resize(bounds_.size() + 1);
+  snap.exemplar_values.resize(bounds_.size() + 1);
   uint64_t total = 0;
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     total += snap.buckets[i];
+    snap.exemplar_ids[i] = exemplar_ids_[i].load(std::memory_order_relaxed);
+    snap.exemplar_values[i] =
+        exemplar_values_[i].load(std::memory_order_relaxed);
   }
   snap.count = total;
   snap.sum = sum_.load(std::memory_order_relaxed);
@@ -183,6 +198,21 @@ double HistogramSnapshot::Quantile(double q) const {
     return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
   }
   return max;
+}
+
+size_t HistogramSnapshot::QuantileBucketIndex(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  size_t last_nonempty = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    last_nonempty = b;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) return b;
+  }
+  return last_nonempty;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -224,6 +254,30 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 void MetricsRegistry::SetInfo(std::string_view name, std::string_view value) {
   std::lock_guard<std::mutex> lock(mu_);
   info_[std::string(name)] = std::string(value);
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::InfoValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = info_.find(name);
+  return it == info_.end() ? std::string() : it->second;
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -284,9 +338,20 @@ std::string MetricsRegistry::ToJson() const {
       } else {
         out += "\"+Inf\"";
       }
-      std::snprintf(buffer, sizeof(buffer), ", \"count\": %llu}",
+      std::snprintf(buffer, sizeof(buffer), ", \"count\": %llu",
                     static_cast<unsigned long long>(snap.buckets[b]));
       out += buffer;
+      // Exemplar fields appear only when an exemplar was recorded, so
+      // exemplar-free registries export byte-identically to before.
+      if (b < snap.exemplar_ids.size() && snap.exemplar_ids[b] != 0) {
+        std::snprintf(buffer, sizeof(buffer),
+                      ", \"exemplar_trace_id\": \"%llu\"",
+                      static_cast<unsigned long long>(snap.exemplar_ids[b]));
+        out += buffer;
+        out += ", \"exemplar_value\": " +
+               FormatDouble(snap.exemplar_values[b]);
+      }
+      out += "}";
     }
     out += "]}";
   }
@@ -331,9 +396,19 @@ std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
       cumulative += snap.buckets[b];
       out += metric + "_bucket{le=\"";
       out += b < snap.bounds.size() ? FormatDouble(snap.bounds[b]) : "+Inf";
-      std::snprintf(buffer, sizeof(buffer), "\"} %llu\n",
+      std::snprintf(buffer, sizeof(buffer), "\"} %llu",
                     static_cast<unsigned long long>(cumulative));
       out += buffer;
+      // OpenMetrics-style exemplar: `# {trace_id="N"} value`, emitted
+      // only when the bucket has one (keeps exemplar-free output
+      // byte-identical to the pre-exemplar format).
+      if (b < snap.exemplar_ids.size() && snap.exemplar_ids[b] != 0) {
+        std::snprintf(buffer, sizeof(buffer), " # {trace_id=\"%llu\"} ",
+                      static_cast<unsigned long long>(snap.exemplar_ids[b]));
+        out += buffer;
+        out += FormatDouble(snap.exemplar_values[b]);
+      }
+      out += "\n";
     }
     out += metric + "_sum " + FormatDouble(snap.sum) + "\n";
     std::snprintf(buffer, sizeof(buffer), "_count %llu\n",

@@ -72,11 +72,21 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0.
   double max = 0.0;  ///< 0 when count == 0.
+  /// Per-bucket exemplars: the last trace id Observe()d into the bucket
+  /// (0 = none) and the value it carried. Same size as `buckets`.
+  std::vector<uint64_t> exemplar_ids;
+  std::vector<double> exemplar_values;
 
   /// Interpolated quantile, q in [0, 1]: finds the bucket holding rank
   /// q*count and interpolates linearly between its edges, clamped to the
   /// observed [min, max]. Returns 0 when the histogram is empty.
   double Quantile(double q) const;
+
+  /// Index of the bucket Quantile(q) reads its value from — the one
+  /// holding rank q*count. With it, `exemplar_ids[QuantileBucketIndex(
+  /// 0.99)]` links the p99 estimate to a concrete dumpable trace.
+  /// Returns 0 when the histogram is empty.
+  size_t QuantileBucketIndex(double q) const;
 };
 
 /// Fixed-bucket histogram. Observe() is wait-free per bucket (relaxed
@@ -87,7 +97,14 @@ class Histogram {
  public:
   explicit Histogram(HistogramOptions options);
 
-  void Observe(double value);
+  void Observe(double value) { Observe(value, 0); }
+
+  /// Observe with an exemplar: when `exemplar_trace_id` != 0 the bucket
+  /// additionally remembers (trace id, value) as its last exemplar —
+  /// the per-request trace behind that latency. Callers pass an id only
+  /// for traces that will appear in the trace dump (sampled or
+  /// tail-kept), so exports never reference an unresolvable trace.
+  void Observe(double value, uint64_t exemplar_trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -98,6 +115,12 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1.
+  /// Per-bucket last exemplar, same length as buckets_. The (id, value)
+  /// pair is written value-first with relaxed stores: a torn read can
+  /// mismatch id and value across racing observations, which is fine
+  /// for monitoring (both halves are real observations).
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<double>[]> exemplar_values_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
@@ -126,6 +149,14 @@ class MetricsRegistry {
 
   /// Sets a string-valued info metric (e.g. the active model version).
   void SetInfo(std::string_view name, std::string_view value);
+
+  /// Read-only lookups that never create: nullptr / "" when the metric
+  /// does not exist. Used by status pages that render a subset of the
+  /// registry without materializing absent metrics.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+  std::string InfoValue(std::string_view name) const;
 
   /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count,sum,min,max,mean,p50,p90,p99,buckets:[{le,count}...]}},

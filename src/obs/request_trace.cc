@@ -1,0 +1,489 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+// ThreadSanitizer detection: GCC defines __SANITIZE_THREAD__, clang
+// answers __has_feature(thread_sanitizer).
+#if defined(__SANITIZE_THREAD__)
+#define TRAJKIT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TRAJKIT_TSAN 1
+#endif
+#endif
+
+namespace trajkit::obs {
+namespace {
+
+// Local printf-into-std::string helper. trajkit_obs sits below
+// trajkit_common in the link order, so this file cannot use
+// common/strings.h StrPrintf (same reason metrics.cc hand-rolls
+// snprintf).
+std::string StrPrintf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written < 0) return std::string();
+  if (static_cast<size_t>(written) < sizeof(buffer)) {
+    return std::string(buffer, static_cast<size_t>(written));
+  }
+  std::string big(static_cast<size_t>(written), '\0');
+  va_start(args, format);
+  std::vsnprintf(big.data(), big.size() + 1, format, args);
+  va_end(args);
+  return big;
+}
+
+/// Bumped whenever any tracer is constructed or reconfigured; the
+/// thread-local ring cache re-validates against it, so a cached ring
+/// pointer can never outlive the configuration that created it.
+std::atomic<uint64_t> g_trace_epoch{1};
+
+/// Dedup/sort key: every field except the display-only thread index.
+auto EventKey(const TraceEvent& e) {
+  return std::make_tuple(e.trace_id, static_cast<uint8_t>(e.phase),
+                         static_cast<uint8_t>(e.kind),
+                         std::string_view(e.name), e.start_ns, e.end_ns,
+                         e.arg);
+}
+
+void SortAndDedup(std::vector<TraceEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return EventKey(a) < EventKey(b);
+            });
+  events->erase(std::unique(events->begin(), events->end(),
+                            [](const TraceEvent& a, const TraceEvent& b) {
+                              return EventKey(a) == EventKey(b);
+                            }),
+                events->end());
+}
+
+}  // namespace
+
+/// One thread's slice of the flight recorder. Exactly one thread ever
+/// writes (the owner, matched by thread id); any number of threads may
+/// read concurrently. Every slot field is an atomic and each slot
+/// carries a seqlock-style sequence counter (odd while a write is in
+/// flight, even+unique once committed), so readers detect and discard
+/// torn slots instead of locking writers out.
+class RequestTracer::Ring {
+ public:
+  Ring(size_t capacity, int thread_index)
+      : thread_index_(thread_index),
+        owner_(std::this_thread::get_id()),
+        slots_(capacity == 0 ? 1 : capacity) {}
+
+  std::thread::id owner() const { return owner_; }
+
+  /// Owner-thread only: overwrite-oldest append.
+  void Push(TraceId id, const char* name, TraceEventKind kind,
+            TracePhase phase, uint64_t start_ns, uint64_t end_ns,
+            uint64_t arg) {
+    const uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos % slots_.size()];
+    slot.seq.store(2 * pos + 1, std::memory_order_release);
+    slot.trace_id.store(id, std::memory_order_relaxed);
+    slot.name.store(reinterpret_cast<uintptr_t>(name),
+                    std::memory_order_relaxed);
+    slot.meta.store(static_cast<uint32_t>(kind) |
+                        (static_cast<uint32_t>(phase) << 8),
+                    std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.end_ns.store(end_ns, std::memory_order_relaxed);
+    slot.arg.store(arg, std::memory_order_relaxed);
+    slot.seq.store(2 * (pos + 1), std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+  }
+
+  /// Any thread: appends every committed slot, skipping slots that a
+  /// concurrent Push touched mid-read (their sequence changed).
+  void CollectInto(std::vector<TraceEvent>* out) const {
+    for (const Slot& slot : slots_) {
+      const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before == 0 || (seq_before & 1) != 0) continue;
+      TraceEvent event;
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      event.name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      const uint32_t meta = slot.meta.load(std::memory_order_relaxed);
+      event.kind = static_cast<TraceEventKind>(meta & 0xff);
+      event.phase = static_cast<TracePhase>((meta >> 8) & 0xff);
+      event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      event.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      event.arg = slot.arg.load(std::memory_order_relaxed);
+      event.thread_index = thread_index_;
+#if defined(TRAJKIT_TSAN)
+      // TSan cannot model fences (-Werror=tsan). An acq_rel
+      // read-don't-modify-write on the sequence word is an
+      // ordering-equivalent re-check: its release half keeps the data
+      // loads above from sinking past it, and TSan models RMWs fully.
+      const uint64_t seq_after =
+          slot.seq.fetch_add(0, std::memory_order_acq_rel);
+#else
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+#endif
+      if (seq_after != seq_before) continue;
+      if (event.name == nullptr) continue;
+      out->push_back(event);
+    }
+  }
+
+ private:
+  struct Slot {
+    // mutable: the TSan-mode reader re-checks via fetch_add(0) from a
+    // const CollectInto.
+    mutable std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uintptr_t> name{0};
+    std::atomic<uint32_t> meta{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> end_ns{0};
+    std::atomic<uint64_t> arg{0};
+  };
+
+  const int thread_index_;
+  const std::thread::id owner_;
+  std::atomic<uint64_t> head_{0};
+  std::vector<Slot> slots_;
+};
+
+RequestTracer& RequestTracer::Global() {
+  static RequestTracer* tracer = new RequestTracer();
+  return *tracer;
+}
+
+RequestTracer::RequestTracer() : epoch_(std::chrono::steady_clock::now()) {
+  g_trace_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Also invalidates every thread-local cache entry pointing at this
+// tracer's rings before they are freed.
+RequestTracer::~RequestTracer() {
+  g_trace_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestTracer::Configure(const RequestTracerOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  if (options_.buffer_capacity == 0) options_.buffer_capacity = 1;
+  next_id_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  // Retire the old generation's rings: any straggler writer still
+  // holding a cached pointer keeps writing into valid (ignored) memory.
+  for (auto& ring : rings_) graveyard_.push_back(std::move(ring));
+  rings_.clear();
+  retained_.clear();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  g_trace_epoch.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(options_.enabled, std::memory_order_relaxed);
+}
+
+void RequestTracer::Reset() { Configure(RequestTracerOptions{}); }
+
+TraceId RequestTracer::Mint() {
+  if (!enabled()) return 0;
+  return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool RequestTracer::Sampled(TraceId id) const {
+  if (!enabled() || id == 0) return false;
+  const uint64_t every = options_.sample_every;
+  return every <= 1 || (id % every) == 0;
+}
+
+uint64_t RequestTracer::NowNs() const {
+  return ToNs(std::chrono::steady_clock::now());
+}
+
+uint64_t RequestTracer::ToNs(std::chrono::steady_clock::time_point tp) const {
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+          .count();
+  return delta < 0 ? 0 : static_cast<uint64_t>(delta);
+}
+
+RequestTracer::Ring* RequestTracer::ThisThreadRing() {
+  struct Cache {
+    uint64_t epoch = 0;
+    RequestTracer* owner = nullptr;
+    Ring* ring = nullptr;
+  };
+  thread_local Cache cache;
+  const uint64_t epoch = g_trace_epoch.load(std::memory_order_relaxed);
+  if (cache.ring != nullptr && cache.epoch == epoch && cache.owner == this) {
+    return cache.ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Ring* ring = nullptr;
+  const auto me = std::this_thread::get_id();
+  for (const auto& candidate : rings_) {
+    if (candidate->owner() == me) {
+      ring = candidate.get();
+      break;
+    }
+  }
+  if (ring == nullptr) {
+    rings_.push_back(std::make_unique<Ring>(
+        options_.buffer_capacity, static_cast<int>(rings_.size())));
+    ring = rings_.back().get();
+  }
+  cache = Cache{epoch, this, ring};
+  return ring;
+}
+
+void RequestTracer::RecordSpan(TraceId id, const char* name, TracePhase phase,
+                               uint64_t start_ns, uint64_t end_ns,
+                               uint64_t arg) {
+  if (!enabled() || id == 0) return;
+  ThisThreadRing()->Push(id, name, TraceEventKind::kSpan, phase, start_ns,
+                         end_ns, arg);
+}
+
+void RequestTracer::RecordInstant(TraceId id, const char* name,
+                                  TracePhase phase, uint64_t at_ns,
+                                  uint64_t arg) {
+  if (!enabled() || id == 0) return;
+  ThisThreadRing()->Push(id, name, TraceEventKind::kInstant, phase, at_ns,
+                         at_ns, arg);
+}
+
+void RequestTracer::RecordGlobalInstant(const char* name, uint64_t arg) {
+  if (!enabled()) return;
+  const uint64_t now = NowNs();
+  ThisThreadRing()->Push(0, name, TraceEventKind::kInstant,
+                         TracePhase::kSession, now, now, arg);
+}
+
+void RequestTracer::CollectRingEvents(std::vector<TraceEvent>* out) const {
+  for (const auto& ring : rings_) ring->CollectInto(out);
+}
+
+void RequestTracer::Retain(TraceId id) {
+  if (!enabled() || id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  CollectRingEvents(&events);
+  std::vector<TraceEvent> mine;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == id) mine.push_back(event);
+  }
+  for (auto& entry : retained_) {
+    if (entry.first == id) {
+      mine.insert(mine.end(), entry.second.begin(), entry.second.end());
+      SortAndDedup(&mine);
+      entry.second = std::move(mine);
+      return;
+    }
+  }
+  SortAndDedup(&mine);
+  retained_.emplace_back(id, std::move(mine));
+  while (retained_.size() > options_.retained_capacity &&
+         !retained_.empty()) {
+    retained_.pop_front();
+  }
+}
+
+bool RequestTracer::Exported(TraceId id) const {
+  if (Sampled(id)) return true;
+  if (!enabled() || id == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : retained_) {
+    if (entry.first == id) return true;
+  }
+  return false;
+}
+
+std::vector<TraceEvent> RequestTracer::SnapshotEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  CollectRingEvents(&events);
+  for (const auto& entry : retained_) {
+    events.insert(events.end(), entry.second.begin(), entry.second.end());
+  }
+  SortAndDedup(&events);
+  return events;
+}
+
+std::vector<TraceEvent> RequestTracer::ExportedEvents() const {
+  std::vector<TraceEvent> events = SnapshotEvents();
+  std::vector<TraceEvent> kept;
+  kept.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0 || Sampled(event.trace_id) ||
+        Exported(event.trace_id)) {
+      kept.push_back(event);
+    }
+  }
+  return kept;
+}
+
+namespace {
+
+/// Per-trace rollup used by both the Chrome "request log" events and
+/// the statusz retained-trace summaries.
+struct TraceSummary {
+  uint64_t first_ns = ~uint64_t{0};
+  size_t num_events = 0;
+  const char* outcome = "in_flight";
+  bool fault = false;
+  bool degraded = false;
+};
+
+void FoldEvent(const TraceEvent& event, TraceSummary* summary) {
+  summary->first_ns = std::min(summary->first_ns, event.start_ns);
+  summary->num_events++;
+  switch (event.phase) {
+    case TracePhase::kTerminal:
+      summary->outcome = event.name;
+      break;
+    case TracePhase::kFault:
+      summary->fault = true;
+      break;
+    case TracePhase::kDegraded:
+      summary->degraded = true;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string RequestTracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = ExportedEvents();
+  std::vector<TraceId> retained_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : retained_) retained_ids.push_back(entry.first);
+  }
+  // Per-trace summaries double as the request log: one "request" event
+  // per trace id, so every span's trace id resolves within the file.
+  std::vector<std::pair<TraceId, TraceSummary>> summaries;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0) continue;
+    if (summaries.empty() || summaries.back().first != event.trace_id) {
+      summaries.emplace_back(event.trace_id, TraceSummary{});
+    }
+    FoldEvent(event, &summaries.back().second);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event_json) {
+    out += first ? "\n" : ",\n";
+    out += event_json;
+    first = false;
+  };
+  for (const TraceEvent& event : events) {
+    const double ts_us = static_cast<double>(event.start_ns) / 1000.0;
+    if (event.kind == TraceEventKind::kSpan) {
+      const double dur_us =
+          static_cast<double>(event.end_ns - event.start_ns) / 1000.0;
+      append(StrPrintf(
+          "{\"name\":\"%s\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"trace_id\":\"%"
+          PRIu64 "\",\"arg\":%" PRIu64 "}}",
+          event.name, ts_us, dur_us, event.thread_index, event.trace_id,
+          event.arg));
+    } else if (event.trace_id == 0) {
+      append(StrPrintf(
+          "{\"name\":\"%s\",\"cat\":\"global\",\"ph\":\"i\",\"s\":\"g\","
+          "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"arg\":%" PRIu64
+          "}}",
+          event.name, ts_us, event.thread_index, event.arg));
+    } else {
+      append(StrPrintf(
+          "{\"name\":\"%s\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"t\","
+          "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"trace_id\":\"%"
+          PRIu64 "\",\"arg\":%" PRIu64 "}}",
+          event.name, ts_us, event.thread_index, event.trace_id, event.arg));
+    }
+  }
+  for (const auto& [id, summary] : summaries) {
+    const bool tail_kept =
+        std::find(retained_ids.begin(), retained_ids.end(), id) !=
+        retained_ids.end();
+    const double ts_us = summary.first_ns == ~uint64_t{0}
+                             ? 0.0
+                             : static_cast<double>(summary.first_ns) / 1000.0;
+    append(StrPrintf(
+        "{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"i\",\"s\":\"g\","
+        "\"ts\":%.3f,\"pid\":1,\"tid\":0,\"args\":{\"trace_id\":\"%" PRIu64
+        "\",\"outcome\":\"%s\",\"tail_kept\":%s,\"fault\":%s,"
+        "\"degraded\":%s,\"events\":%zu}}",
+        ts_us, id, summary.outcome, tail_kept ? "true" : "false",
+        summary.fault ? "true" : "false", summary.degraded ? "true" : "false",
+        summary.num_events));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string RequestTracer::ToTestFormat() const {
+  std::vector<TraceEvent> events = ExportedEvents();
+  std::vector<TraceId> retained_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : retained_) retained_ids.push_back(entry.first);
+  }
+  // Group by trace id (events are already sorted by id, then phase) and
+  // replace timestamps with within-trace ordering ranks: byte-identical
+  // output for identical request shapes at any worker-thread count.
+  std::string out = "# trajkit request trace test format v1\n";
+  out += StrPrintf("sample_every %" PRIu64 "\n", options_.sample_every);
+  size_t num_traces = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].trace_id == 0) continue;
+    if (i == 0 || events[i].trace_id != events[i - 1].trace_id)
+      num_traces++;
+  }
+  out += StrPrintf("traces %zu\n", num_traces);
+  size_t rank = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (event.trace_id == 0) continue;  // global landmarks: wall-time only
+    if (i == 0 || event.trace_id != events[i - 1].trace_id) {
+      const bool tail_kept =
+          std::find(retained_ids.begin(), retained_ids.end(),
+                    event.trace_id) != retained_ids.end();
+      out += StrPrintf("trace %" PRIu64 " tail_kept %d\n", event.trace_id,
+                       tail_kept ? 1 : 0);
+      rank = 0;
+    }
+    out += StrPrintf(
+        "  %zu %s %s\n", rank++,
+        event.kind == TraceEventKind::kSpan ? "span" : "instant", event.name);
+  }
+  out += "# end\n";
+  return out;
+}
+
+std::vector<RetainedTraceInfo> RequestTracer::RetainedTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RetainedTraceInfo> infos;
+  infos.reserve(retained_.size());
+  for (const auto& [id, events] : retained_) {
+    TraceSummary summary;
+    for (const TraceEvent& event : events) FoldEvent(event, &summary);
+    RetainedTraceInfo info;
+    info.id = id;
+    info.num_events = summary.num_events;
+    info.outcome = summary.outcome;
+    info.fault = summary.fault;
+    info.degraded = summary.degraded;
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+}  // namespace trajkit::obs

@@ -1,0 +1,213 @@
+#ifndef TRAJKIT_OBS_REQUEST_TRACE_H_
+#define TRAJKIT_OBS_REQUEST_TRACE_H_
+
+// Request-scoped tracing: the per-request complement to the aggregate
+// metrics in obs/metrics.h. A 64-bit TraceId is minted deterministically
+// when a request enters the serving stack (session close or Submit) and
+// travels with it through the BatchPredictor queue, the model predict,
+// and every degradation/retry/fault decision. Each hop records a span
+// (start/end pair) or an instant event into a lock-free per-thread ring
+// buffer — the "flight recorder": fixed capacity, overwrite-oldest, so
+// tracing an unbounded request stream costs bounded memory
+// (threads x buffer_capacity x sizeof(slot)).
+//
+// Retention is two-tier:
+//   * head sampling — every Nth trace id (id % sample_every == 0) is
+//     exported; ids are minted sequentially from 1 on the ingest path,
+//     so the sampled set is deterministic for a given corpus + seed at
+//     any worker-thread count;
+//   * tail keep — requests that end badly (DeadlineExceeded,
+//     ResourceExhausted/shed, degraded answer, fault-injected,
+//     Unavailable) are always retained: their ring entries are copied
+//     into a small bounded store at terminal-event time, before the
+//     ring can overwrite them. The export set is the union of both.
+//
+// Export formats:
+//   * ToChromeTraceJson(): Chrome trace-event JSON ("X" complete spans,
+//     "i" instants, plus one "request" summary event per trace acting
+//     as the request log) — loadable in chrome://tracing or Perfetto.
+//   * ToTestFormat(): a deterministic byte-stable dump with timestamps
+//     replaced by per-trace ordering ranks; used by tests to prove the
+//     recorded shape is identical at 1 and 8 worker threads.
+//
+// Thread-safety: writers are wait-free on their own ring (one atomic
+// head bump + relaxed field stores guarded by a per-slot seqlock);
+// readers (export, statusz) scan all rings concurrently and discard
+// slots whose sequence changed mid-read. Every slot field is a relaxed
+// std::atomic, so concurrent write-during-export is TSan-clean by
+// construction. Configure()/Reset() retire old rings to a graveyard
+// (never freed) so a racing writer can never touch freed memory.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trajkit::obs {
+
+/// Process-unique request identifier; 0 means "not traced".
+using TraceId = uint64_t;
+
+/// Where in the request lifecycle an event happened. The numeric order
+/// is the canonical within-trace ordering used by the deterministic
+/// test format, so values are part of the dump format — append only.
+enum class TracePhase : uint8_t {
+  kSession = 0,   // segment closed by the SessionManager
+  kSubmit = 1,    // request entered BatchPredictor::Submit
+  kQueue = 2,     // time spent queued (span: enqueue -> dispatch)
+  kBatch = 3,     // batch processing (span: dispatch -> answered)
+  kPredict = 4,   // model inference inside the batch (span)
+  kFault = 5,     // injected fault touched this request (instant)
+  kDegraded = 6,  // answer served from a degradation rung (instant)
+  kRetry = 7,     // caller resubmitted after a retryable error (instant)
+  kTerminal = 8,  // final outcome: done/shed/deadline_exceeded/... (instant)
+};
+
+/// Span (has duration) vs instant (point in time).
+enum class TraceEventKind : uint8_t { kSpan = 0, kInstant = 1 };
+
+/// One decoded flight-recorder entry. `name` always points at a string
+/// literal (writers only pass static strings), so decoded events are
+/// trivially copyable and never dangle.
+struct TraceEvent {
+  TraceId trace_id = 0;
+  const char* name = "";
+  TraceEventKind kind = TraceEventKind::kInstant;
+  TracePhase phase = TracePhase::kTerminal;
+  uint64_t start_ns = 0;  // relative to the tracer epoch
+  uint64_t end_ns = 0;    // == start_ns for instants
+  uint64_t arg = 0;       // small payload (batch size, retry budget, ...)
+  int thread_index = 0;   // which ring recorded it (export display only)
+};
+
+/// Summary of one tail-kept trace, for the statusz page.
+struct RetainedTraceInfo {
+  TraceId id = 0;
+  size_t num_events = 0;
+  const char* outcome = "in_flight";  // terminal event name, if recorded
+  bool fault = false;
+  bool degraded = false;
+};
+
+struct RequestTracerOptions {
+  bool enabled = false;
+  /// Head sampling: export traces whose id % sample_every == 0
+  /// (1 = every trace). Tail-kept traces are exported regardless.
+  uint64_t sample_every = 1;
+  /// Per-thread ring capacity in events (power of two not required).
+  size_t buffer_capacity = 8192;
+  /// Max tail-kept traces retained; oldest evicted first.
+  size_t retained_capacity = 256;
+};
+
+/// The process-wide flight recorder. All serving-stack hooks go through
+/// RequestTracer::Global(); when tracing is disabled (the default) every
+/// hook is a single relaxed bool load, and Mint() returns 0 so no
+/// downstream code records anything — disabled runs are bit-identical
+/// to an untraced build.
+class RequestTracer {
+ public:
+  static RequestTracer& Global();
+
+  RequestTracer();
+  ~RequestTracer();  // out of line: Ring is incomplete here
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  /// (Re)configures the tracer: clears retained traces, retires all
+  /// rings, restarts ids from 1, and re-arms the epoch. Not safe to
+  /// call concurrently with writers still inside a hook; call it from
+  /// the driver thread before serving starts (the CLI/bench do).
+  void Configure(const RequestTracerOptions& options);
+
+  /// Configure() back to the disabled default state.
+  void Reset();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  const RequestTracerOptions& options() const { return options_; }
+
+  /// Mints the next sequential TraceId (1, 2, 3, ...) or returns 0 when
+  /// tracing is disabled. Call only on the deterministic ingest path —
+  /// ids double as the head-sampling key, so minting order must not
+  /// depend on worker-thread interleaving.
+  TraceId Mint();
+
+  /// True when head sampling exports this id. id 0 is never sampled.
+  bool Sampled(TraceId id) const;
+
+  /// Nanoseconds since the tracer epoch (Configure time).
+  uint64_t NowNs() const;
+  uint64_t ToNs(std::chrono::steady_clock::time_point tp) const;
+
+  /// Records a completed span [start_ns, end_ns] for `id`. `name` must
+  /// be a string literal. No-op when id == 0 or tracing is disabled.
+  void RecordSpan(TraceId id, const char* name, TracePhase phase,
+                  uint64_t start_ns, uint64_t end_ns, uint64_t arg = 0);
+
+  /// Records a point event at `at_ns` for `id` (same literal contract).
+  void RecordInstant(TraceId id, const char* name, TracePhase phase,
+                     uint64_t at_ns, uint64_t arg = 0);
+
+  /// Records a process-scoped instant (trace id 0): model hot-swaps and
+  /// other global landmarks. Exported to Chrome JSON, excluded from the
+  /// deterministic test format.
+  void RecordGlobalInstant(const char* name, uint64_t arg = 0);
+
+  /// Tail-keep override: copies every ring entry for `id` into the
+  /// bounded retained store (deduplicated, oldest trace evicted beyond
+  /// retained_capacity). Call at terminal-event time, after the last
+  /// RecordInstant for the trace.
+  void Retain(TraceId id);
+
+  /// True when `id` will appear in the export set (head-sampled or
+  /// already tail-kept). Used to attach histogram exemplars only for
+  /// traces that a dump can actually resolve.
+  bool Exported(TraceId id) const;
+
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto loadable).
+  std::string ToChromeTraceJson() const;
+
+  /// Deterministic byte-stable dump: traces sorted by id, events sorted
+  /// by (phase, name, kind), timestamps replaced by ordering ranks.
+  std::string ToTestFormat() const;
+
+  /// Tail-kept traces, oldest first (statusz shows the last K).
+  std::vector<RetainedTraceInfo> RetainedTraces() const;
+
+  /// All currently decodable events (rings + retained), deduplicated.
+  /// Exposed for tests and the statusz page.
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+ private:
+  class Ring;
+
+  Ring* ThisThreadRing();
+  void CollectRingEvents(std::vector<TraceEvent>* out) const;
+  /// Rings + retained store, deduplicated, restricted to the export set
+  /// (head-sampled or tail-kept; trace id 0 always).
+  std::vector<TraceEvent> ExportedEvents() const;
+
+  std::atomic<bool> enabled_{false};
+  RequestTracerOptions options_;
+  std::atomic<uint64_t> next_id_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  /// Bumped by Configure()/Reset(); thread-local ring pointers carry the
+  /// generation they were created under and re-acquire on mismatch.
+  std::atomic<uint64_t> generation_{1};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;      // live, current generation
+  std::vector<std::unique_ptr<Ring>> graveyard_;  // retired, never freed
+  /// Tail-kept traces in retention order (FIFO eviction).
+  std::deque<std::pair<TraceId, std::vector<TraceEvent>>> retained_;
+};
+
+}  // namespace trajkit::obs
+
+#endif  // TRAJKIT_OBS_REQUEST_TRACE_H_

@@ -5,9 +5,23 @@
 
 #include "common/retry.h"
 #include "common/strings.h"
+#include "obs/request_trace.h"
 #include "serve/fault_injector.h"
 
 namespace trajkit::serve {
+
+namespace {
+
+/// Records a request's terminal outcome and, for bad outcomes, tail-keeps
+/// its trace so the flight recorder cannot overwrite it before export.
+void TraceTerminal(obs::RequestTracer& tracer, uint64_t trace_id,
+                   const char* outcome, uint64_t at_ns, bool tail_keep) {
+  if (trace_id == 0) return;
+  tracer.RecordInstant(trace_id, outcome, obs::TracePhase::kTerminal, at_ns);
+  if (tail_keep) tracer.Retain(trace_id);
+}
+
+}  // namespace
 
 BatchPredictor::BatchPredictor(const ModelRegistry* registry,
                                BatchPredictorOptions options)
@@ -54,6 +68,21 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   request.enqueue = std::chrono::steady_clock::now();
   std::future<Result<Prediction>> future = request.promise.get_future();
 
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  const bool traced = tracer.enabled();
+  if (traced && request.context.trace_id == 0) {
+    request.context.trace_id = tracer.Mint();
+  }
+  const uint64_t trace_id = request.context.trace_id;
+  const uint64_t enqueue_ns = traced ? tracer.ToNs(request.enqueue) : 0;
+  if (traced) {
+    tracer.RecordInstant(trace_id, "submit", obs::TracePhase::kSubmit,
+                         enqueue_ns, static_cast<uint64_t>(
+                             request.context.priority < 0
+                                 ? 0
+                                 : request.context.priority));
+  }
+
   // Fast-fail a request that arrives already expired: it would only be
   // swept later without ever being batchable.
   if (request.context.has_deadline() &&
@@ -65,12 +94,17 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
       ++counters_.deadline_exceeded;
     }
     metric_deadline_exceeded_.Increment();
+    if (traced) {
+      TraceTerminal(tracer, trace_id, "deadline_exceeded", tracer.NowNs(),
+                    /*tail_keep=*/true);
+    }
     return future;
   }
 
   size_t depth = 0;
   bool shed_incoming = false;
   bool shed_victim = false;
+  uint64_t victim_trace_id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (options_.max_queue > 0 && pending_.size() >= options_.max_queue) {
@@ -84,6 +118,7 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
           });
       if (victim != pending_.end() &&
           victim->context.priority < request.context.priority) {
+        victim_trace_id = victim->context.trace_id;
         victim->promise.set_value(Status::ResourceExhausted(StrPrintf(
             "shed: preempted by priority-%d request (queue full at %zu)",
             request.context.priority, pending_.size())));
@@ -108,9 +143,19 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   }
   if (shed_incoming) {
     metric_shed_.Of("queue_full").Increment();
+    if (traced) {
+      TraceTerminal(tracer, trace_id, "shed", tracer.NowNs(),
+                    /*tail_keep=*/true);
+    }
     return future;
   }
-  if (shed_victim) metric_shed_.Of("preempted").Increment();
+  if (shed_victim) {
+    metric_shed_.Of("preempted").Increment();
+    if (traced) {
+      TraceTerminal(tracer, victim_trace_id, "shed", tracer.NowNs(),
+                    /*tail_keep=*/true);
+    }
+  }
   cv_.notify_one();
   // Metrics after the notify so the worker's wakeup is not delayed.
   metric_queue_depth_.Set(static_cast<double>(depth));
@@ -143,10 +188,14 @@ BatchPredictor::Counters BatchPredictor::counters() const {
 void BatchPredictor::SweepExpiredLocked(
     std::chrono::steady_clock::time_point now) {
   if (now < min_deadline_) return;
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  const bool traced = tracer.enabled();
+  const uint64_t now_ns = traced ? tracer.ToNs(now) : 0;
   auto new_min = std::chrono::steady_clock::time_point::max();
   size_t expired = 0;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->context.deadline <= now) {
+      const uint64_t trace_id = it->context.trace_id;
       it->promise.set_value(Status::DeadlineExceeded(StrPrintf(
           "deadline passed while queued (waited %.3f ms)",
           std::chrono::duration<double, std::milli>(now - it->enqueue)
@@ -154,6 +203,10 @@ void BatchPredictor::SweepExpiredLocked(
       ++counters_.deadline_exceeded;
       ++expired;
       it = pending_.erase(it);
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "deadline_exceeded", now_ns,
+                      /*tail_keep=*/true);
+      }
     } else {
       new_min = std::min(new_min, it->context.deadline);
       ++it;
@@ -232,7 +285,17 @@ bool BatchPredictor::AnswerWithLabelPrior(
   }
   prediction.latency_seconds =
       std::chrono::duration<double>(done - request.enqueue).count();
-  metric_latency_.Observe(prediction.latency_seconds);
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  const uint64_t trace_id = request.context.trace_id;
+  uint64_t exemplar_id = 0;
+  if (tracer.enabled() && trace_id != 0) {
+    const uint64_t done_ns = tracer.ToNs(done);
+    tracer.RecordInstant(trace_id, "degraded/majority_class",
+                         obs::TracePhase::kDegraded, done_ns);
+    TraceTerminal(tracer, trace_id, "done", done_ns, /*tail_keep=*/true);
+    exemplar_id = trace_id;  // tail-kept, so the dump can resolve it
+  }
+  metric_latency_.Observe(prediction.latency_seconds, exemplar_id);
   metric_degraded_.Of("majority_class").Increment();
   request.promise.set_value(std::move(prediction));
   return true;
@@ -257,14 +320,49 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   // Deadline re-check at processing start: a request can expire between
   // dispatch and here (notably under an injected batch delay).
   const auto start = std::chrono::steady_clock::now();
+
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  const bool traced = tracer.enabled();
+  const uint64_t start_ns = traced ? tracer.ToNs(start) : 0;
+  bool fault_hit = false;
+  if (traced) {
+    for (const Request& request : batch) {
+      const uint64_t trace_id = request.context.trace_id;
+      if (trace_id == 0) continue;
+      // Queue span: enqueue -> batch-processing start (includes any
+      // injected batch delay, which is exactly what the caller waited).
+      tracer.RecordSpan(trace_id, "queue", obs::TracePhase::kQueue,
+                        tracer.ToNs(request.enqueue), start_ns,
+                        static_cast<uint64_t>(batch.size()));
+      if (faults.delay_seconds > 0.0) {
+        tracer.RecordInstant(trace_id, "fault/batch_delay",
+                             obs::TracePhase::kFault, start_ns);
+      }
+      if (faults.stall_registry) {
+        tracer.RecordInstant(trace_id, "fault/swap_stall",
+                             obs::TracePhase::kFault, start_ns);
+      }
+      if (faults.fail_predict) {
+        tracer.RecordInstant(trace_id, "fault/predict_fail",
+                             obs::TracePhase::kFault, start_ns);
+      }
+    }
+    fault_hit = faults.any();
+  }
+
   std::vector<Request> live;
   live.reserve(batch.size());
   size_t expired = 0;
   for (Request& request : batch) {
     if (request.context.has_deadline() && request.context.deadline <= start) {
+      const uint64_t trace_id = request.context.trace_id;
       request.promise.set_value(Status::DeadlineExceeded(
           "deadline passed before the batch was processed"));
       ++expired;
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "deadline_exceeded", start_ns,
+                      /*tail_keep=*/true);
+      }
     } else {
       live.push_back(std::move(request));
     }
@@ -299,9 +397,14 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
         ++degraded;
         continue;
       }
+      const uint64_t trace_id = request.context.trace_id;
       request.promise.set_value(
           Status::Unavailable("injected transient predict failure"));
       ++unavailable;
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "unavailable", start_ns,
+                      /*tail_keep=*/true);
+      }
     }
     metric_unavailable_.Increment(static_cast<uint64_t>(unavailable));
     std::lock_guard<std::mutex> lock(mu_);
@@ -336,20 +439,32 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   row_to_request.reserve(live.size());
   for (size_t i = 0; i < live.size(); ++i) {
     if (live[i].features.size() != expected) {
+      const uint64_t trace_id = live[i].context.trace_id;
       live[i].promise.set_value(Status::InvalidArgument(StrPrintf(
           "feature vector has %zu values, model '%s' expects %zu",
           live[i].features.size(), model->version.c_str(), expected)));
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "failed", start_ns,
+                      /*tail_keep=*/true);
+      }
       continue;
     }
     rows.push_back(std::move(live[i].features));
     row_to_request.push_back(i);
   }
   if (rows.empty()) return;
+  const auto predict_start = std::chrono::steady_clock::now();
   Result<std::vector<Prediction>> predictions = model->PredictBatch(rows);
   const auto done = std::chrono::steady_clock::now();
+  const uint64_t done_ns = traced ? tracer.ToNs(done) : 0;
   if (!predictions.ok()) {
     for (const size_t i : row_to_request) {
+      const uint64_t trace_id = live[i].context.trace_id;
       live[i].promise.set_value(predictions.status());
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "failed", done_ns,
+                      /*tail_keep=*/true);
+      }
     }
     return;
   }
@@ -362,13 +477,32 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
     std::lock_guard<std::mutex> lock(mu_);
     counters_.degraded += row_to_request.size();
   }
+  const uint64_t predict_start_ns = traced ? tracer.ToNs(predict_start) : 0;
   std::vector<Prediction>& values = predictions.value();
   for (size_t r = 0; r < row_to_request.size(); ++r) {
     Request& request = live[row_to_request[r]];
     values[r].degradation = level;
     values[r].latency_seconds =
         std::chrono::duration<double>(done - request.enqueue).count();
-    metric_latency_.Observe(values[r].latency_seconds);
+    uint64_t exemplar_id = 0;
+    const uint64_t trace_id = request.context.trace_id;
+    if (traced && trace_id != 0) {
+      tracer.RecordSpan(trace_id, "batch", obs::TracePhase::kBatch, start_ns,
+                        done_ns, static_cast<uint64_t>(live.size()));
+      tracer.RecordSpan(trace_id, "predict", obs::TracePhase::kPredict,
+                        predict_start_ns, done_ns,
+                        static_cast<uint64_t>(rows.size()));
+      if (level == DegradationLevel::kPreviousModel) {
+        tracer.RecordInstant(trace_id, "degraded/previous_model",
+                             obs::TracePhase::kDegraded, done_ns);
+      }
+      const bool tail_keep = level != DegradationLevel::kNone || fault_hit;
+      TraceTerminal(tracer, trace_id, "done", done_ns, tail_keep);
+      // Exemplars must resolve inside the trace dump: attach the id only
+      // when this trace is exported (head-sampled or just tail-kept).
+      if (tail_keep || tracer.Sampled(trace_id)) exemplar_id = trace_id;
+    }
+    metric_latency_.Observe(values[r].latency_seconds, exemplar_id);
     request.promise.set_value(std::move(values[r]));
   }
 }

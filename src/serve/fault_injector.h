@@ -60,6 +60,12 @@ class FaultInjector {
     bool stall_registry = false;   ///< Registry unusable for this batch.
     bool fail_predict = false;     ///< Forest pass resolves Unavailable.
     double delay_seconds = 0.0;    ///< Sleep before processing the batch.
+
+    /// True when any fault fired for this batch — its requests count as
+    /// fault-injected (request traces tail-keep them).
+    bool any() const {
+      return stall_registry || fail_predict || delay_seconds > 0.0;
+    }
   };
   BatchFaults Next();
 

@@ -6,6 +6,7 @@
 #include "common/csv.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 
 namespace trajkit::serve {
 
@@ -219,6 +220,9 @@ Status ModelRegistry::Activate(std::string_view version) {
       .Increment();
   obs::MetricsRegistry::Global().SetInfo("serve.registry.active_version",
                                          active_->version);
+  // Process-scoped trace landmark: a hot swap shows up on the timeline
+  // next to the request spans it may have affected.
+  obs::RequestTracer::Global().RecordGlobalInstant("registry_swap");
   return Status::Ok();
 }
 

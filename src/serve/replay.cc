@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/request_trace.h"
 
 namespace trajkit::serve {
 namespace {
@@ -49,6 +50,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   struct InFlight {
     int true_class = -1;
     int budget = 0;
+    uint64_t trace_id = 0;
     std::vector<double> features;
     std::future<Result<Prediction>> future;
   };
@@ -75,9 +77,14 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       InFlight item;
       item.true_class = true_class;
       item.budget = options.retry_budget;
+      item.trace_id = segment.trace_id;
       if (item.budget > 0) item.features = segment.features;
+      RequestContext context = make_context();
+      // Propagate the trace minted at segment close, so the session hop
+      // and the prediction hop share one request trace.
+      context.trace_id = segment.trace_id;
       item.future = predictor.Submit(
-          PredictRequest(std::move(segment.features), make_context()));
+          PredictRequest(std::move(segment.features), context));
       in_flight.push_back(std::move(item));
     }
     closed.clear();
@@ -120,6 +127,12 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
         const Prediction& prediction = result.value();
         if (prediction.degradation != DegradationLevel::kNone) {
           ++report.degraded;
+          if (prediction.degradation == DegradationLevel::kPreviousModel) {
+            ++report.degraded_previous_model;
+          } else if (prediction.degradation ==
+                     DegradationLevel::kMajorityClass) {
+            ++report.degraded_majority_class;
+          }
         }
         ++report.segments_evaluated;
         report.y_true.push_back(item.true_class);
@@ -139,8 +152,16 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       if (IsRetryableStatus(status) && item.budget > 0) {
         --item.budget;
         ++report.retries;
+        obs::RequestTracer& tracer = obs::RequestTracer::Global();
+        if (tracer.enabled() && item.trace_id != 0) {
+          tracer.RecordInstant(item.trace_id, "retry", obs::TracePhase::kRetry,
+                               tracer.NowNs(),
+                               static_cast<uint64_t>(item.budget));
+        }
         RequestContext context = make_context();
         context.retry_budget = item.budget;
+        // The resubmission continues the same logical request: same trace.
+        context.trace_id = item.trace_id;
         // Keep the payload only while further retries are still possible.
         std::vector<double> features;
         if (item.budget > 0) {

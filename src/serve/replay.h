@@ -52,6 +52,11 @@ struct ReplayReport {
   /// Requests answered below DegradationLevel::kNone (previous-good model
   /// or label-prior majority class); these still count as evaluated.
   size_t degraded = 0;
+  /// Per-rung breakdown of `degraded` (degraded == previous_model +
+  /// majority_class): CI asserts each rung of the chain is exercised,
+  /// not just the total.
+  size_t degraded_previous_model = 0;
+  size_t degraded_majority_class = 0;
   /// Resubmissions performed after transient (Unavailable) failures.
   size_t retries = 0;
   /// True class / predicted class per evaluated segment, in close order.

@@ -28,6 +28,11 @@ struct RequestContext {
   /// the retryable error (the caller will resubmit, see common/retry.h);
   /// 0 falls back to the degraded cheap path when one is configured.
   int retry_budget = 0;
+  /// Request-scoped trace id (obs/request_trace.h). 0 = untraced; when
+  /// tracing is enabled and the caller leaves it 0, Submit() mints one.
+  /// Callers that resubmit (retries) or mint upstream (session close)
+  /// set it so all hops of one logical request share a single trace.
+  uint64_t trace_id = 0;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

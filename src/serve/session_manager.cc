@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/request_trace.h"
 
 namespace trajkit::serve {
 
@@ -83,6 +84,17 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
     segment.reason = reason;
     segment.features = std::move(features).value();
     if (options_.keep_points) segment.points = session->points;
+    // Mint the request trace here: segments are closed on the (single)
+    // ingest thread in deterministic order, so trace ids — and with them
+    // the head-sampling decision — are reproducible at any worker-thread
+    // count.
+    obs::RequestTracer& tracer = obs::RequestTracer::Global();
+    if (tracer.enabled()) {
+      segment.trace_id = tracer.Mint();
+      tracer.RecordInstant(segment.trace_id, "segment_close",
+                           obs::TracePhase::kSession, tracer.NowNs(),
+                           static_cast<uint64_t>(reason));
+    }
     closed->push_back(std::move(segment));
     ++stats_.segments_emitted;
     metric_emitted_.Increment();

@@ -75,6 +75,10 @@ struct ClosedSegment {
   double end_time = 0.0;
   size_t num_points = 0;
   CloseReason reason = CloseReason::kFlush;
+  /// Request trace id minted at close time when tracing is enabled
+  /// (obs/request_trace.h); 0 otherwise. Replay propagates it into the
+  /// PredictRequest so segment close and prediction share one trace.
+  uint64_t trace_id = 0;
   /// The 70 trajectory features (bit-identical to the batch extractor).
   std::vector<double> features;
   /// Raw points; populated only when SessionOptions::keep_points.

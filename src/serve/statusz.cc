@@ -1,0 +1,138 @@
+#include "serve/statusz.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace trajkit::serve {
+namespace {
+
+uint64_t CounterValue(const obs::MetricsRegistry& metrics,
+                      std::string_view name) {
+  const obs::Counter* counter = metrics.FindCounter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+double GaugeValue(const obs::MetricsRegistry& metrics,
+                  std::string_view name) {
+  const obs::Gauge* gauge = metrics.FindGauge(name);
+  return gauge == nullptr ? 0.0 : gauge->value();
+}
+
+void Appendf(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out += buffer;
+}
+
+void AppendQuantileLine(std::string& out, const char* label, double q,
+                        const obs::HistogramSnapshot& snap) {
+  const size_t bucket = snap.QuantileBucketIndex(q);
+  Appendf(out, "  %s: %.3f ms", label, snap.Quantile(q) * 1e3);
+  if (bucket < snap.exemplar_ids.size() && snap.exemplar_ids[bucket] != 0) {
+    Appendf(out, "  (exemplar trace %" PRIu64 ", %.3f ms)",
+            snap.exemplar_ids[bucket], snap.exemplar_values[bucket] * 1e3);
+  }
+  out += "\n";
+}
+
+}  // namespace
+
+std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
+                             const obs::RequestTracer& tracer,
+                             const StatusPageOptions& options) {
+  std::string out = "==== trajkit statusz ====\n";
+
+  out += "model\n";
+  const std::string version = metrics.InfoValue("serve.registry.active_version");
+  Appendf(out, "  active_version: %s\n",
+          version.empty() ? "(none)" : version.c_str());
+  Appendf(out, "  registered: %.0f\n",
+          GaugeValue(metrics, "serve.registry.models"));
+  Appendf(out, "  swaps: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.registry.swaps"));
+
+  out += "queue\n";
+  Appendf(out, "  depth: %.0f\n",
+          GaugeValue(metrics, "serve.batch_predictor.queue_depth"));
+  Appendf(out, "  requests: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.batch_predictor.requests"));
+  Appendf(out, "  batches: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.batch_predictor.batches"));
+
+  out += "lifecycle\n";
+  const uint64_t shed_queue_full =
+      CounterValue(metrics, "serve.shed_total.queue_full");
+  const uint64_t shed_preempted =
+      CounterValue(metrics, "serve.shed_total.preempted");
+  Appendf(out,
+          "  shed: %" PRIu64 " (queue_full=%" PRIu64 ", preempted=%" PRIu64
+          ")\n",
+          shed_queue_full + shed_preempted, shed_queue_full, shed_preempted);
+  const uint64_t degraded_previous =
+      CounterValue(metrics, "serve.degraded_total.previous_model");
+  const uint64_t degraded_majority =
+      CounterValue(metrics, "serve.degraded_total.majority_class");
+  Appendf(out,
+          "  degraded: %" PRIu64 " (previous_model=%" PRIu64
+          ", majority_class=%" PRIu64 ")\n",
+          degraded_previous + degraded_majority, degraded_previous,
+          degraded_majority);
+  Appendf(out, "  deadline_exceeded: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.deadline_exceeded_total"));
+  Appendf(out, "  unavailable: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.unavailable_total"));
+
+  out += "faults injected\n";
+  Appendf(out, "  swap_stall: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.faults.injected.swap_stall"));
+  Appendf(out, "  predict_fail: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.faults.injected.predict_fail"));
+  Appendf(out, "  batch_delay: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.faults.injected.batch_delay"));
+
+  out += "latency (serve.batch_predictor.latency_seconds)\n";
+  const obs::Histogram* latency =
+      metrics.FindHistogram("serve.batch_predictor.latency_seconds");
+  if (latency == nullptr || latency->count() == 0) {
+    out += "  (no observations)\n";
+  } else {
+    const obs::HistogramSnapshot snap = latency->snapshot();
+    Appendf(out, "  count: %" PRIu64 "  mean: %.3f ms\n", snap.count,
+            snap.count == 0
+                ? 0.0
+                : snap.sum / static_cast<double>(snap.count) * 1e3);
+    AppendQuantileLine(out, "p50", 0.50, snap);
+    AppendQuantileLine(out, "p90", 0.90, snap);
+    AppendQuantileLine(out, "p99", 0.99, snap);
+  }
+
+  const std::vector<obs::RetainedTraceInfo> retained =
+      tracer.RetainedTraces();
+  if (!tracer.enabled()) {
+    out += "retained traces: (tracing disabled)\n";
+  } else if (retained.empty()) {
+    out += "retained traces: none (no bad outcomes tail-kept)\n";
+  } else {
+    const size_t show =
+        retained.size() < options.max_retained_traces
+            ? retained.size()
+            : options.max_retained_traces;
+    Appendf(out, "retained traces (%zu tail-kept, showing last %zu)\n",
+            retained.size(), show);
+    for (size_t i = retained.size() - show; i < retained.size(); ++i) {
+      const obs::RetainedTraceInfo& info = retained[i];
+      Appendf(out, "  trace %" PRIu64 "  events=%zu  outcome=%s", info.id,
+              info.num_events, info.outcome);
+      if (info.fault) out += "  fault";
+      if (info.degraded) out += "  degraded";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace trajkit::serve

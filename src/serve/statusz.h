@@ -1,0 +1,34 @@
+#ifndef TRAJKIT_SERVE_STATUSZ_H_
+#define TRAJKIT_SERVE_STATUSZ_H_
+
+// The /statusz-style text status page of the serving stack: one screen
+// answering "what is this server doing right now" — active model
+// version, queue depth, lifecycle counters (shed / degraded / faults),
+// latency quantiles with their exemplar trace ids, and the last K
+// tail-kept request traces from the flight recorder. Rendered from the
+// metrics registry + request tracer, so it works in any process that
+// serves (the `trajkit statusz` subcommand renders it after a synthetic
+// replay; a long-running server would render it on demand).
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+
+namespace trajkit::serve {
+
+struct StatusPageOptions {
+  /// How many of the most recent tail-kept traces to list.
+  size_t max_retained_traces = 8;
+};
+
+/// Renders the status page from `metrics` + `tracer`. Metrics that were
+/// never touched in this process are omitted (lookups never create).
+std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
+                             const obs::RequestTracer& tracer,
+                             const StatusPageOptions& options = {});
+
+}  // namespace trajkit::serve
+
+#endif  // TRAJKIT_SERVE_STATUSZ_H_

@@ -114,6 +114,63 @@ TEST(HistogramTest, ConcurrentObservesKeepTotalMass) {
   EXPECT_EQ(mass, snap.count);
 }
 
+TEST(HistogramTest, ExemplarsTrackLastTraceIdPerBucket) {
+  Histogram histogram(Bounds({1.0, 2.0}));
+  histogram.Observe(0.5);        // plain Observe: no exemplar
+  histogram.Observe(0.7, 11);    // bucket le=1
+  histogram.Observe(1.5, 12);    // bucket le=2
+  histogram.Observe(1.6, 13);    // bucket le=2: last exemplar wins
+  histogram.Observe(5.0, 14);    // +Inf bucket
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.exemplar_ids.size(), 3u);
+  EXPECT_EQ(snap.exemplar_ids[0], 11u);
+  EXPECT_DOUBLE_EQ(snap.exemplar_values[0], 0.7);
+  EXPECT_EQ(snap.exemplar_ids[1], 13u);
+  EXPECT_DOUBLE_EQ(snap.exemplar_values[1], 1.6);
+  EXPECT_EQ(snap.exemplar_ids[2], 14u);
+  // An untraced observation (id 0) never clobbers a bucket's exemplar —
+  // exemplars must always point at a resolvable trace.
+  histogram.Observe(0.9, 0);
+  EXPECT_EQ(histogram.snapshot().exemplar_ids[0], 11u);
+}
+
+TEST(HistogramTest, QuantileBucketIndexLocatesTheQuantileMass) {
+  Histogram histogram(Bounds({10.0, 20.0, 30.0}));
+  histogram.Observe(5.0, 1);
+  histogram.Observe(15.0, 2);
+  histogram.Observe(15.0, 3);
+  histogram.Observe(25.0, 4);
+  const HistogramSnapshot snap = histogram.snapshot();
+  // Same bucket walk as Quantile(): p50 rank 2 of 4 lands in the (10, 20]
+  // bucket; p99 rank 3.96 in (20, 30]; p0 pins to the first non-empty.
+  EXPECT_EQ(snap.QuantileBucketIndex(0.50), 1u);
+  EXPECT_EQ(snap.QuantileBucketIndex(0.99), 2u);
+  EXPECT_EQ(snap.QuantileBucketIndex(0.0), 0u);
+  // The exemplar the index selects is the p99 witness: trace 4.
+  EXPECT_EQ(snap.exemplar_ids[snap.QuantileBucketIndex(0.99)], 4u);
+  // Empty snapshot: index 0 (callers check exemplar_ids[0] == 0).
+  EXPECT_EQ(HistogramSnapshot{}.QuantileBucketIndex(0.99), 0u);
+}
+
+TEST(MetricsRegistryTest, ExemplarsAppearInExportsOnlyWhenRecorded) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("h", Bounds({1.0}));
+  histogram.Observe(0.5);
+  // Exemplar-free: byte-identical to the pre-exemplar export shape.
+  EXPECT_EQ(registry.ToJson().find("exemplar"), std::string::npos);
+  EXPECT_EQ(registry.ToPrometheusText().find("trace_id"),
+            std::string::npos);
+  histogram.Observe(0.25, 42);
+  EXPECT_NE(registry.ToJson().find(
+                "\"exemplar_trace_id\": \"42\", \"exemplar_value\": 0.25"),
+            std::string::npos)
+      << registry.ToJson();
+  // OpenMetrics-style bucket exemplar.
+  EXPECT_NE(registry.ToPrometheusText().find("# {trace_id=\"42\"} 0.25"),
+            std::string::npos)
+      << registry.ToPrometheusText();
+}
+
 TEST(MetricsRegistryTest, HandlesAreStable) {
   MetricsRegistry registry;
   Counter& a = registry.GetCounter("x");
@@ -141,6 +198,28 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(registry.GetCounter("shared").value(),
             static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, FindLookupsNeverCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  EXPECT_EQ(registry.InfoValue("missing"), "");
+  // The lookups did not materialize anything: the export stays empty.
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+
+  registry.GetCounter("c").Increment(5);
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h").Observe(0.1);
+  registry.SetInfo("k", "v");
+  ASSERT_NE(registry.FindCounter("c"), nullptr);
+  EXPECT_EQ(registry.FindCounter("c")->value(), 5u);
+  ASSERT_NE(registry.FindGauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindGauge("g")->value(), 1.5);
+  ASSERT_NE(registry.FindHistogram("h"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("h")->count(), 1u);
+  EXPECT_EQ(registry.InfoValue("k"), "v");
 }
 
 /// A registry with one metric of each kind and hand-computable values —

@@ -1,0 +1,305 @@
+// Tests for the request-scoped flight recorder (obs/request_trace.h):
+// deterministic id minting and head sampling, span/instant round trips,
+// tail-keep retention surviving ring overwrite, the deterministic test
+// format, Chrome trace-event export, and the seqlock ring under
+// concurrent writers + readers (run under TSan via the `concurrency`
+// ctest label — a data race in the recorder is a hard failure).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/request_trace.h"
+
+namespace trajkit::obs {
+namespace {
+
+RequestTracerOptions Enabled(uint64_t sample_every = 1,
+                             size_t buffer_capacity = 1024,
+                             size_t retained_capacity = 256) {
+  RequestTracerOptions options;
+  options.enabled = true;
+  options.sample_every = sample_every;
+  options.buffer_capacity = buffer_capacity;
+  options.retained_capacity = retained_capacity;
+  return options;
+}
+
+TEST(RequestTracerTest, DisabledByDefaultRecordsNothing) {
+  RequestTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.Mint(), 0u);
+  EXPECT_FALSE(tracer.Sampled(1));
+  tracer.RecordInstant(1, "submit", TracePhase::kSubmit, 10);
+  tracer.RecordSpan(1, "queue", TracePhase::kQueue, 10, 20);
+  tracer.RecordGlobalInstant("registry_swap");
+  tracer.Retain(1);
+  EXPECT_TRUE(tracer.SnapshotEvents().empty());
+  EXPECT_TRUE(tracer.RetainedTraces().empty());
+}
+
+TEST(RequestTracerTest, MintsSequentialIdsFromOne) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled());
+  EXPECT_EQ(tracer.Mint(), 1u);
+  EXPECT_EQ(tracer.Mint(), 2u);
+  EXPECT_EQ(tracer.Mint(), 3u);
+  // Reconfiguring restarts the sequence — the sampled set for a given
+  // corpus is reproducible run over run.
+  tracer.Configure(Enabled());
+  EXPECT_EQ(tracer.Mint(), 1u);
+}
+
+TEST(RequestTracerTest, HeadSamplingKeepsEveryNth) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/3));
+  EXPECT_FALSE(tracer.Sampled(0));  // 0 = untraced, never sampled
+  EXPECT_FALSE(tracer.Sampled(1));
+  EXPECT_FALSE(tracer.Sampled(2));
+  EXPECT_TRUE(tracer.Sampled(3));
+  EXPECT_TRUE(tracer.Sampled(6));
+  tracer.Configure(Enabled(/*sample_every=*/1));
+  EXPECT_TRUE(tracer.Sampled(1));
+  EXPECT_TRUE(tracer.Sampled(2));
+}
+
+TEST(RequestTracerTest, EventsRoundTripThroughTheRing) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled());
+  const TraceId id = tracer.Mint();
+  tracer.RecordInstant(id, "submit", TracePhase::kSubmit, 100, /*arg=*/2);
+  tracer.RecordSpan(id, "queue", TracePhase::kQueue, 100, 250, /*arg=*/7);
+  const std::vector<TraceEvent> events = tracer.SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by (trace_id, phase): submit (kSubmit=1) before queue (kQueue=2).
+  EXPECT_STREQ(events[0].name, "submit");
+  EXPECT_EQ(events[0].kind, TraceEventKind::kInstant);
+  EXPECT_EQ(events[0].phase, TracePhase::kSubmit);
+  EXPECT_EQ(events[0].start_ns, 100u);
+  EXPECT_EQ(events[0].end_ns, 100u);
+  EXPECT_EQ(events[0].arg, 2u);
+  EXPECT_STREQ(events[1].name, "queue");
+  EXPECT_EQ(events[1].kind, TraceEventKind::kSpan);
+  EXPECT_EQ(events[1].start_ns, 100u);
+  EXPECT_EQ(events[1].end_ns, 250u);
+  EXPECT_EQ(events[1].arg, 7u);
+}
+
+TEST(RequestTracerTest, RingOverwritesOldestAtCapacity) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/1, /*buffer_capacity=*/4));
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.RecordInstant(1, "submit", TracePhase::kSubmit, 100 + i);
+  }
+  // Only the last 4 timestamps survive.
+  const std::vector<TraceEvent> events = tracer.SnapshotEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().start_ns, 106u);
+  EXPECT_EQ(events.back().start_ns, 109u);
+}
+
+TEST(RequestTracerTest, TailKeepSurvivesRingOverwrite) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/1, /*buffer_capacity=*/8));
+  tracer.RecordInstant(1, "submit", TracePhase::kSubmit, 10);
+  tracer.RecordInstant(1, "deadline_exceeded", TracePhase::kTerminal, 20);
+  tracer.Retain(1);
+  // Flood the ring: trace 1's live entries are overwritten...
+  for (uint64_t i = 0; i < 64; ++i) {
+    tracer.RecordInstant(2 + i, "submit", TracePhase::kSubmit, 100 + i);
+  }
+  // ...but the retained copy still exports, flagged tail_kept.
+  const std::string dump = tracer.ToTestFormat();
+  EXPECT_NE(dump.find("trace 1 tail_kept 1\n"
+                      "  0 instant submit\n"
+                      "  1 instant deadline_exceeded\n"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(RequestTracerTest, SamplingFiltersExportButTailKeepOverrides) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/2));
+  for (TraceId id = 1; id <= 4; ++id) {
+    tracer.RecordInstant(id, "submit", TracePhase::kSubmit, id * 10);
+    tracer.RecordInstant(id, "done", TracePhase::kTerminal, id * 10 + 5);
+  }
+  // Head sampling alone: ids 2 and 4.
+  std::string dump = tracer.ToTestFormat();
+  EXPECT_EQ(dump.find("trace 1 "), std::string::npos);
+  EXPECT_NE(dump.find("trace 2 tail_kept 0"), std::string::npos);
+  EXPECT_EQ(dump.find("trace 3 "), std::string::npos);
+  EXPECT_NE(dump.find("trace 4 tail_kept 0"), std::string::npos);
+  EXPECT_NE(dump.find("traces 2\n"), std::string::npos);
+  EXPECT_FALSE(tracer.Exported(3));
+
+  // Trace 3 ends badly: tail-keep forces it into the export set.
+  tracer.Retain(3);
+  EXPECT_TRUE(tracer.Exported(3));
+  dump = tracer.ToTestFormat();
+  EXPECT_NE(dump.find("trace 3 tail_kept 1"), std::string::npos);
+  EXPECT_NE(dump.find("traces 3\n"), std::string::npos);
+}
+
+TEST(RequestTracerTest, TestFormatOrdersByPhaseAndIsByteStable) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled());
+  const TraceId id = tracer.Mint();
+  // Recorded deliberately out of lifecycle order; the dump ranks by
+  // phase, not by recording order or timestamp.
+  tracer.RecordInstant(id, "done", TracePhase::kTerminal, 900);
+  tracer.RecordSpan(id, "predict", TracePhase::kPredict, 500, 800);
+  tracer.RecordInstant(id, "submit", TracePhase::kSubmit, 100);
+  tracer.RecordSpan(id, "queue", TracePhase::kQueue, 100, 400);
+  const std::string expected =
+      "# trajkit request trace test format v1\n"
+      "sample_every 1\n"
+      "traces 1\n"
+      "trace 1 tail_kept 0\n"
+      "  0 instant submit\n"
+      "  1 span queue\n"
+      "  2 span predict\n"
+      "  3 instant done\n"
+      "# end\n";
+  EXPECT_EQ(tracer.ToTestFormat(), expected);
+  // Byte-stable: a second export of unchanged state is identical.
+  EXPECT_EQ(tracer.ToTestFormat(), expected);
+}
+
+TEST(RequestTracerTest, ChromeJsonCarriesSpansInstantsAndRequestLog) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled());
+  const TraceId id = tracer.Mint();
+  tracer.RecordInstant(id, "submit", TracePhase::kSubmit, 1000);
+  tracer.RecordSpan(id, "queue", TracePhase::kQueue, 1000, 251000);
+  tracer.RecordInstant(id, "fault/predict_fail", TracePhase::kFault, 2000);
+  tracer.RecordInstant(id, "done", TracePhase::kTerminal, 260000);
+  tracer.RecordGlobalInstant("registry_swap");
+  const std::string json = tracer.ToChromeTraceJson();
+  // Complete span with microsecond ts/dur.
+  EXPECT_NE(json.find("{\"name\":\"queue\",\"cat\":\"serve\",\"ph\":\"X\","
+                      "\"ts\":1.000,\"dur\":250.000"),
+            std::string::npos)
+      << json;
+  // Thread-scoped instant.
+  EXPECT_NE(json.find("{\"name\":\"submit\",\"cat\":\"serve\",\"ph\":\"i\","
+                      "\"s\":\"t\""),
+            std::string::npos);
+  // Global landmark (trace id 0).
+  EXPECT_NE(json.find("{\"name\":\"registry_swap\",\"cat\":\"global\","
+                      "\"ph\":\"i\",\"s\":\"g\""),
+            std::string::npos);
+  // The request log: one summary event per trace, outcome + flags.
+  EXPECT_NE(json.find("{\"name\":\"request\",\"cat\":\"request\","),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"1\",\"outcome\":\"done\","
+                      "\"tail_kept\":false,\"fault\":true,"
+                      "\"degraded\":false,\"events\":4"),
+            std::string::npos)
+      << json;
+}
+
+TEST(RequestTracerTest, RetainedTraceSummariesFoldOutcomeAndFlags) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/1, /*buffer_capacity=*/64,
+                           /*retained_capacity=*/2));
+  for (TraceId id = 1; id <= 3; ++id) {
+    tracer.RecordInstant(id, "submit", TracePhase::kSubmit, id * 10);
+    tracer.RecordInstant(id, "degraded/majority_class",
+                         TracePhase::kDegraded, id * 10 + 1);
+    tracer.RecordInstant(id, "shed", TracePhase::kTerminal, id * 10 + 2);
+    tracer.Retain(id);
+  }
+  // retained_capacity=2: the oldest trace was evicted FIFO.
+  const std::vector<RetainedTraceInfo> retained = tracer.RetainedTraces();
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0].id, 2u);
+  EXPECT_EQ(retained[1].id, 3u);
+  EXPECT_EQ(retained[1].num_events, 3u);
+  EXPECT_STREQ(retained[1].outcome, "shed");
+  EXPECT_FALSE(retained[1].fault);
+  EXPECT_TRUE(retained[1].degraded);
+}
+
+TEST(RequestTracerTest, ConfigureClearsStateAndRetiresRings) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled());
+  tracer.RecordInstant(tracer.Mint(), "submit", TracePhase::kSubmit, 1);
+  tracer.Retain(1);
+  EXPECT_FALSE(tracer.SnapshotEvents().empty());
+  tracer.Configure(Enabled());
+  // Old rings are retired (not collected) and retention is cleared.
+  EXPECT_TRUE(tracer.SnapshotEvents().empty());
+  EXPECT_TRUE(tracer.RetainedTraces().empty());
+  // The recorder still works after the swap — the thread-local ring
+  // cache must re-acquire a current-generation ring, not the retired one.
+  tracer.RecordInstant(tracer.Mint(), "submit", TracePhase::kSubmit, 2);
+  EXPECT_EQ(tracer.SnapshotEvents().size(), 1u);
+  tracer.Reset();
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_TRUE(tracer.SnapshotEvents().empty());
+}
+
+// The TSan target: writers hammer their per-thread rings (wrapping them
+// many times over) while readers concurrently export and tail-keep. Any
+// non-atomic slot access or unfenced seqlock read is a hard failure.
+TEST(RequestTracerConcurrencyTest, WritersAndExportersRaceCleanly) {
+  RequestTracer tracer;
+  tracer.Configure(Enabled(/*sample_every=*/1, /*buffer_capacity=*/64));
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        const TraceId id = tracer.Mint();
+        tracer.RecordInstant(id, "submit", TracePhase::kSubmit,
+                             static_cast<uint64_t>(i));
+        tracer.RecordSpan(id, "queue", TracePhase::kQueue,
+                          static_cast<uint64_t>(i),
+                          static_cast<uint64_t>(i) + 5);
+        if (i % 1000 == 0) {
+          tracer.RecordInstant(id, "deadline_exceeded",
+                               TracePhase::kTerminal,
+                               static_cast<uint64_t>(i) + 6);
+          tracer.Retain(id);
+        }
+      }
+    });
+  }
+  std::thread reader([&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<TraceEvent> events = tracer.SnapshotEvents();
+      // Decoded events must never be torn: the name is always one of the
+      // literals above and spans keep start <= end.
+      for (const TraceEvent& event : events) {
+        ASSERT_NE(event.name, nullptr);
+        const std::string_view name(event.name);
+        ASSERT_TRUE(name == "submit" || name == "queue" ||
+                    name == "deadline_exceeded")
+            << name;
+        ASSERT_LE(event.start_ns, event.end_ns);
+      }
+      (void)tracer.ToChromeTraceJson();
+      (void)tracer.ToTestFormat();
+      (void)tracer.RetainedTraces();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Every writer minted unique ids.
+  EXPECT_EQ(tracer.Mint(),
+            static_cast<uint64_t>(kWriters) * kEventsPerWriter + 1);
+  // All tail-kept traces survived (4 writers x 20 retains, under the
+  // retained capacity).
+  EXPECT_EQ(tracer.RetainedTraces().size(),
+            static_cast<size_t>(kWriters) * (kEventsPerWriter / 1000));
+}
+
+}  // namespace
+}  // namespace trajkit::obs

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <set>
@@ -15,16 +16,19 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "core/label_sets.h"
 #include "core/pipeline.h"
 #include "ml/random_forest.h"
+#include "obs/request_trace.h"
 #include "serve/batch_predictor.h"
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
 #include "serve/session_manager.h"
+#include "serve/statusz.h"
 #include "synthgeo/generator.h"
 #include "traj/point_features.h"
 #include "traj/segmentation.h"
@@ -909,6 +913,34 @@ TEST(BatchPredictorTest, DeprecatedFeaturesOverloadStillServes) {
   EXPECT_EQ(result.value().degradation, DegradationLevel::kNone);
 }
 
+TEST(BatchPredictorTest, DeprecatedSubmitRoutesAnInfiniteDeadline) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  // Park the worker: the batch never fills and the flush delay is far
+  // beyond the test, so the request sits in the queue. If the deprecated
+  // overload attached anything but an infinite deadline (in particular a
+  // zero/epoch one), the sweep would expire it while parked.
+  BatchPredictorOptions options;
+  options.max_batch_size = 1000;
+  options.max_delay_seconds = 60.0;
+  BatchPredictor predictor(&registry, options);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto future = predictor.Submit(FixtureRow(0));
+#pragma GCC diagnostic pop
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "request resolved while the worker was parked";
+  EXPECT_EQ(predictor.counters().deadline_exceeded, 0u);
+  predictor.Flush();
+  const auto result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
+  EXPECT_EQ(predictor.counters().deadline_exceeded, 0u);
+}
+
 // ------------------------------------------------------ Fault injector --
 
 TEST(FaultSpecTest, ParsesClausesAndSeed) {
@@ -1008,6 +1040,155 @@ TEST(ReplayTest, ChaosReplayAccountsEveryRequest) {
   EXPECT_GT(report->degraded + report->retries + report->shed +
                 report->deadline_exceeded,
             0u);
+  // The per-rung split sums to the total (the CLI accounting line and
+  // the CI chaos assertion read these fields).
+  EXPECT_EQ(report->degraded_previous_model + report->degraded_majority_class,
+            report->degraded);
+}
+
+// ------------------------------------------------- Request tracing --
+
+/// Scoped enable/disable of the global flight recorder, so a failing
+/// test can't leave tracing on for the rest of the binary.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(uint64_t sample_every = 1,
+                        size_t buffer_capacity = 1 << 16) {
+    obs::RequestTracerOptions options;
+    options.enabled = true;
+    options.sample_every = sample_every;
+    options.buffer_capacity = buffer_capacity;
+    obs::RequestTracer::Global().Configure(options);
+  }
+  ~ScopedTracer() { obs::RequestTracer::Global().Reset(); }
+};
+
+TEST(RequestTracingTest, TraceIdFlowsSubmitToPredictToTerminal) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ScopedTracer tracing;
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  {
+    BatchPredictor predictor(&registry);
+    PredictRequest request(FixtureRow(0));
+    EXPECT_EQ(request.context.trace_id, 0u);  // Submit mints
+    const auto result = predictor.Submit(std::move(request)).get();
+    ASSERT_TRUE(result.ok());
+  }  // join the worker so every event is recorded before the snapshot
+  std::set<std::string> names;
+  for (const obs::TraceEvent& event : tracer.SnapshotEvents()) {
+    if (event.trace_id == 1) names.insert(event.name);
+  }
+  // The full lifecycle of trace 1, end to end.
+  EXPECT_TRUE(names.count("submit"));
+  EXPECT_TRUE(names.count("queue"));
+  EXPECT_TRUE(names.count("batch"));
+  EXPECT_TRUE(names.count("predict"));
+  EXPECT_TRUE(names.count("done"));
+  EXPECT_TRUE(tracer.Exported(1));
+}
+
+TEST(RequestTracingTest, BadOutcomesAreTailKeptEvenWhenNotSampled) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  // Head sampling set far above the request count: nothing is sampled,
+  // so only the tail-keep override can export anything.
+  ScopedTracer tracing(/*sample_every=*/1u << 20);
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  FaultSpec spec;
+  spec.predict_fail_p = 1.0;  // every batch fails its predict
+  FaultInjector injector(spec);
+  BatchPredictorOptions options;
+  options.fault_injector = &injector;
+  options.label_prior = {2.0, 1.0};
+  {
+    BatchPredictor predictor(&registry, options);
+    // No retry budget: the predictor degrades to the label prior.
+    const auto result =
+        predictor.Submit(PredictRequest(FixtureRow(0))).get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().degradation, DegradationLevel::kMajorityClass);
+  }
+  EXPECT_FALSE(tracer.Sampled(1));
+  EXPECT_TRUE(tracer.Exported(1));  // tail-kept despite sampling
+  const std::vector<obs::RetainedTraceInfo> retained =
+      tracer.RetainedTraces();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].id, 1u);
+  EXPECT_STREQ(retained[0].outcome, "done");
+  EXPECT_TRUE(retained[0].fault);
+  EXPECT_TRUE(retained[0].degraded);
+  const std::string dump = tracer.ToTestFormat();
+  EXPECT_NE(dump.find("trace 1 tail_kept 1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("instant degraded/majority_class"),
+            std::string::npos)
+      << dump;
+}
+
+/// One fault-free replay of the shared fixture with tracing on; returns
+/// the deterministic trace dump. The predictor is destroyed (worker
+/// joined) before the dump so every event has been recorded.
+std::string TracedReplayDump(int threads) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  SetMaxThreads(threads);
+  ScopedTracer tracing(/*sample_every=*/2);
+  ModelRegistry registry;
+  TRAJKIT_CHECK(registry.RegisterAndActivate(fixture.model).ok());
+  {
+    BatchPredictor predictor(&registry);
+    const auto report =
+        ReplayCorpus(fixture.corpus, fixture.labels, predictor, {});
+    TRAJKIT_CHECK(report.ok());
+    TRAJKIT_CHECK(report->segments_evaluated > 0);
+  }
+  return obs::RequestTracer::Global().ToTestFormat();
+}
+
+TEST(RequestTracingTest, TestFormatDumpIsThreadCountInvariant) {
+  const int prior_threads = MaxThreads();
+  const std::string at_one_thread = TracedReplayDump(1);
+  const std::string at_eight_threads = TracedReplayDump(8);
+  SetMaxThreads(prior_threads);
+  // Byte-identical: trace ids are minted on the single-threaded ingest
+  // path and the dump replaces timestamps with lifecycle ranks, so
+  // worker interleaving and batch composition cannot leak in.
+  EXPECT_EQ(at_one_thread, at_eight_threads);
+  // And it actually traced something, head-sampled at every 2nd id.
+  EXPECT_NE(at_one_thread.find("sample_every 2"), std::string::npos);
+  EXPECT_NE(at_one_thread.find("trace 2 tail_kept 0"), std::string::npos)
+      << at_one_thread;
+  EXPECT_EQ(at_one_thread.find("trace 1 "), std::string::npos);
+  EXPECT_NE(at_one_thread.find("span predict"), std::string::npos);
+}
+
+TEST(StatuszTest, RendersEverySectionFromRegistryAndTracer) {
+  obs::MetricsRegistry metrics;
+  metrics.SetInfo("serve.registry.active_version", "test-v7");
+  metrics.GetGauge("serve.registry.models").Set(2);
+  metrics.GetCounter("serve.batch_predictor.requests").Increment(10);
+  metrics.GetCounter("serve.degraded_total.previous_model").Increment(3);
+  metrics.GetHistogram("serve.batch_predictor.latency_seconds")
+      .Observe(0.001, /*exemplar_trace_id=*/9);
+
+  ScopedTracer tracing;
+  obs::RequestTracer& tracer = obs::RequestTracer::Global();
+  const obs::TraceId id = tracer.Mint();
+  tracer.RecordInstant(id, "submit", obs::TracePhase::kSubmit, 10);
+  tracer.RecordInstant(id, "shed", obs::TracePhase::kTerminal, 20);
+  tracer.Retain(id);
+
+  const std::string page = RenderStatusPage(metrics, tracer);
+  EXPECT_NE(page.find("==== trajkit statusz ===="), std::string::npos);
+  EXPECT_NE(page.find("active_version: test-v7"), std::string::npos);
+  EXPECT_NE(page.find("requests: 10"), std::string::npos);
+  EXPECT_NE(page.find("previous_model=3"), std::string::npos);
+  EXPECT_NE(page.find("exemplar trace 9"), std::string::npos) << page;
+  EXPECT_NE(page.find("trace 1  events=2  outcome=shed"), std::string::npos)
+      << page;
+  // Missing metrics render as zeros, not crashes (lookups never create).
+  EXPECT_NE(page.find("swap_stall: 0"), std::string::npos);
 }
 
 }  // namespace

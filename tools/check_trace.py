@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validates a --trace_json Chrome trace-event dump in CI.
+
+Usage: check_trace.py TRACE.json [--require-tail-kept-fault]
+
+Checks, in order:
+  1. The file is valid JSON with a non-empty traceEvents array.
+  2. Every request-scoped event (cat "serve") carries a trace id that
+     resolves in the request log — the per-trace "request" summary
+     events the tracer appends (cat "request").
+  3. The serving lifecycle is actually visible: submit instants plus
+     queue/batch/predict complete spans ("ph": "X") all appear.
+  4. With --require-tail-kept-fault (the chaos-smoke mode): at least one
+     request in the log is both fault-injected and tail-kept, proving
+     the tail-keep override retained a bad-outcome trace independently
+     of head sampling.
+
+Exits nonzero with a one-line reason on the first violated check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(reason: str) -> None:
+    sys.exit(f"check_trace: {reason}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-tail-kept-fault",
+        action="store_true",
+        help="require >=1 request that is both fault-injected and tail-kept",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {args.trace}: {error}")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is missing or empty")
+
+    # The request log: one summary event per exported trace.
+    requests = {}
+    for event in events:
+        if event.get("cat") == "request":
+            request_args = event.get("args", {})
+            requests[request_args.get("trace_id")] = request_args
+    if not requests:
+        fail("no request-log events (cat 'request') in the dump")
+
+    # Every serve-scoped span/instant must resolve in the request log.
+    serve_events = [e for e in events if e.get("cat") == "serve"]
+    if not serve_events:
+        fail("no request-scoped events (cat 'serve') in the dump")
+    unresolved = sorted(
+        {
+            e.get("args", {}).get("trace_id")
+            for e in serve_events
+            if e.get("args", {}).get("trace_id") not in requests
+        }
+    )
+    if unresolved:
+        fail(f"trace ids without a request-log entry: {unresolved[:10]}")
+
+    span_names = {e["name"] for e in serve_events if e.get("ph") == "X"}
+    instant_names = {e["name"] for e in serve_events if e.get("ph") == "i"}
+    if "submit" not in instant_names:
+        fail("no 'submit' instants recorded")
+    missing_spans = {"queue", "batch", "predict"} - span_names
+    if missing_spans:
+        fail(f"lifecycle spans missing from the dump: {sorted(missing_spans)}")
+
+    tail_kept_faults = [
+        a for a in requests.values() if a.get("tail_kept") and a.get("fault")
+    ]
+    if args.require_tail_kept_fault and not tail_kept_faults:
+        fail("no fault-injected request was tail-kept")
+
+    print(
+        f"check_trace: OK — {len(events)} events, {len(requests)} traces, "
+        f"{len(tail_kept_faults)} tail-kept fault-injected"
+    )
+
+
+if __name__ == "__main__":
+    main()

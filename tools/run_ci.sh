@@ -52,7 +52,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Fault-injection smoke: a chaos replay must survive (exit 0, every
 # request accounted — the CLI itself fails on a lifecycle leak) AND the
-# chaos must actually bite: at least one request shed or degraded.
+# chaos must actually bite: at least one request shed or degraded, with
+# the last-good-snapshot rung (previous_model) demonstrably exercised.
+# The same run dumps the flight recorder; tools/check_trace.py proves
+# the Chrome trace is loadable, every span's trace id resolves in the
+# request log, and a fault-injected request was tail-kept.
 echo "==> chaos smoke: serve-replay under --fault_spec"
 CHAOS_OUT="$BUILD_DIR/chaos-smoke"
 mkdir -p "$CHAOS_OUT"
@@ -64,18 +68,31 @@ mkdir -p "$CHAOS_OUT"
   --model="$CHAOS_OUT/rf.model" \
   --deadline_ms=100 --max_queue=16 --retries=2 \
   --fault_spec="swap_stall:p=0.2,latency_ms=5;predict_fail:p=0.2;batch_delay:p=0.3,latency_ms=2;seed=3" \
-  --metrics_json="$CHAOS_OUT/metrics.json"
+  --metrics_json="$CHAOS_OUT/metrics.json" \
+  --trace_json="$CHAOS_OUT/trace.json" | tee "$CHAOS_OUT/replay.log"
+grep -E "lifecycle: .* degraded: previous_model=" "$CHAOS_OUT/replay.log" \
+  >/dev/null || {
+    echo "chaos smoke: accounting line lost its per-rung counts" >&2
+    exit 1
+  }
 python3 - "$CHAOS_OUT/metrics.json" <<'EOF'
 import json, sys
 counters = json.load(open(sys.argv[1])).get("counters", {})
 shed = sum(v for k, v in counters.items() if k.startswith("serve.shed_total"))
 degraded = sum(
     v for k, v in counters.items() if k.startswith("serve.degraded_total"))
-print(f"chaos smoke: shed={shed} degraded={degraded}")
+previous_model = counters.get("serve.degraded_total.previous_model", 0)
+print(f"chaos smoke: shed={shed} degraded={degraded} "
+      f"previous_model={previous_model}")
 if shed + degraded == 0:
     sys.exit("chaos smoke: fault spec injected nothing "
              "(expected nonzero serve.shed_total or serve.degraded_total)")
+if previous_model == 0:
+    sys.exit("chaos smoke: the last-good-snapshot rung was never "
+             "exercised (serve.degraded_total.previous_model == 0)")
 EOF
+python3 tools/check_trace.py "$CHAOS_OUT/trace.json" \
+  --require-tail-kept-fault
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan leg skipped (--skip-tsan)"
@@ -84,7 +101,7 @@ else
   cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread \
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target parallel_test serve_test obs_test
+    --target parallel_test serve_test obs_test request_trace_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \

@@ -35,6 +35,8 @@
 //                     [--deadline_ms=D] [--max_queue=N] [--retries=R]
 //                     [--fault_spec=SPEC]
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
+//                     [--trace_json=FILE] [--trace_test=FILE]
+//                     [--trace_sample=N] [--trace_buffer=M]
 //       Replay a corpus through the online serving stack (streaming
 //       sessions -> incremental features -> micro-batched prediction) in
 //       global timestamp order and compare the accuracy against the
@@ -50,7 +52,23 @@
 //       --metrics_json / --metrics_prom dump the process metrics registry
 //       (batch latency p50/p90/p99, shed/degraded/deadline counters,
 //       session counters, active model version, pool stats) as JSON or
-//       Prometheus text.
+//       Prometheus text. --trace_json enables request-scoped tracing and
+//       dumps the flight recorder as Chrome trace-event JSON (load in
+//       chrome://tracing or Perfetto); --trace_test writes the
+//       deterministic rank-timestamp dump, --trace_sample=N head-samples
+//       every Nth request (bad outcomes are always tail-kept), and
+//       --trace_buffer=M sizes the per-thread ring (events).
+//
+//   trajkit statusz   [--users=N] [--days=D] [--seed=S] [--trees=T]
+//                     [--batch=..] [--deadline_ms=..] [--max_queue=..]
+//                     [--retries=..] [--fault_spec=SPEC | --fault_spec=]
+//                     [--metrics_json/--metrics_prom/--trace_json/...]
+//       Self-contained serving demo that prints the text status page:
+//       train a small forest on a synthetic corpus, replay it through the
+//       serving stack (chaos on by default so every section is
+//       populated; --fault_spec= turns it off), then render active model
+//       version, queue depth, shed/degraded/fault counters, latency
+//       quantiles with exemplar trace ids, and the last tail-kept traces.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
@@ -78,11 +96,13 @@
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "serve/batch_predictor.h"
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
 #include "serve/session_manager.h"
+#include "serve/statusz.h"
 #include "synthgeo/generator.h"
 #include "traj/trajectory_features.h"
 
@@ -91,7 +111,8 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: trajkit "
-    "<generate|features|train|evaluate|predict|serve-replay> [--flags]\n"
+    "<generate|features|train|evaluate|predict|serve-replay|statusz> "
+    "[--flags]\n"
     "run `trajkit <command> --help` or see the file header for details\n";
 
 int Fail(const Status& status, const char* what) {
@@ -346,6 +367,11 @@ int RunServeReplay(const Flags& flags) {
     return 2;
   }
 
+  // Tracing must be armed before the registry activates the model so the
+  // "registry_swap" landmark lands in the recorder.
+  const HarnessOptions harness = HarnessOptions::FromFlags(flags);
+  harness.ConfigureTracing();
+
   // Corpus: real directory or synthetic (same convention as `features`).
   std::vector<traj::Trajectory> corpus;
   const std::string data = flags.GetString("data", "");
@@ -465,10 +491,12 @@ int RunServeReplay(const Flags& flags) {
   const size_t accounted = report->segments_evaluated + report->shed +
                            report->deadline_exceeded;
   std::printf(
-      "lifecycle: %zu submitted = %zu evaluated (%zu degraded) + %zu shed "
+      "lifecycle: %zu submitted = %zu evaluated (%zu degraded: "
+      "previous_model=%zu, majority_class=%zu) + %zu shed "
       "+ %zu deadline-exceeded; %zu retries\n",
-      submitted, report->segments_evaluated, report->degraded, report->shed,
-      report->deadline_exceeded, report->retries);
+      submitted, report->segments_evaluated, report->degraded,
+      report->degraded_previous_model, report->degraded_majority_class,
+      report->shed, report->deadline_exceeded, report->retries);
   if (accounted != submitted) {
     std::fprintf(stderr,
                  "serve-replay: request accounting leak (%zu submitted, "
@@ -477,9 +505,10 @@ int RunServeReplay(const Flags& flags) {
     return 1;
   }
 
-  // The metrics artifact reflects the serving replay itself, so dump it
-  // before the offline-comparison pipeline adds its own samples.
+  // The metrics/trace artifacts reflect the serving replay itself, so
+  // dump them before the offline-comparison pipeline adds its own samples.
   if (!DumpMetrics(flags)) return 1;
+  if (!harness.DumpTrace()) return 1;
 
   // Offline comparison: the batch pipeline on the same corpus with the
   // same segmentation rules, predicted through the same serving model.
@@ -535,6 +564,104 @@ int RunServeReplay(const Flags& flags) {
   return 0;
 }
 
+/// `trajkit statusz`: a self-contained serving demo that renders the
+/// text status page. Everything runs in-process on a synthetic corpus —
+/// generate, train a small forest, replay through the serving stack
+/// (chaos + deadlines on by default so every section of the page is
+/// populated), then print serve::RenderStatusPage. Pass --fault_spec=
+/// (empty) for a clean, fault-free page.
+int RunStatusz(const Flags& flags) {
+  // The flight recorder is always on for statusz — the page's "retained
+  // traces" section is the point — honoring --trace_sample/--trace_buffer.
+  const HarnessOptions harness = HarnessOptions::FromFlags(flags);
+  {
+    obs::RequestTracerOptions tracer_options;
+    tracer_options.enabled = true;
+    tracer_options.sample_every =
+        harness.trace_sample == 0 ? 1 : harness.trace_sample;
+    tracer_options.buffer_capacity =
+        harness.trace_buffer == 0 ? 8192 : harness.trace_buffer;
+    obs::RequestTracer::Global().Configure(tracer_options);
+  }
+
+  synthgeo::GeneratorOptions generator_options;
+  generator_options.num_users = flags.GetInt("users", 6);
+  generator_options.days_per_user = flags.GetInt("days", 2);
+  generator_options.seed = flags.GetUint64("seed", 7);
+  synthgeo::GeoLifeLikeGenerator generator(generator_options);
+  const std::vector<traj::Trajectory> corpus = generator.Generate();
+
+  auto labels = LabelSetFromFlags(flags);
+  if (!labels.ok()) return Fail(labels.status(), "label set");
+
+  const core::Pipeline pipeline{core::PipelineOptions{}};
+  auto dataset = pipeline.BuildDataset(corpus, labels.value());
+  if (!dataset.ok()) return Fail(dataset.status(), "pipeline");
+
+  ml::RandomForestParams params;
+  params.n_estimators = flags.GetInt("trees", 15);
+  params.seed = flags.GetUint64("seed", 42);
+  ml::RandomForest forest(params);
+  const Status fit = forest.Fit(dataset.value());
+  if (!fit.ok()) return Fail(fit, "training");
+
+  serve::ModelRegistry registry;
+  {
+    auto model = serve::MakeServingModel("statusz-v1", std::move(forest),
+                                         traj::kNumTrajectoryFeatures, {});
+    if (!model.ok()) return Fail(model.status(), "serving model");
+    const Status status =
+        registry.RegisterAndActivate(std::move(model).value());
+    if (!status.ok()) return Fail(status, "registry");
+  }
+
+  serve::BatchPredictorOptions batching;
+  batching.max_batch_size =
+      static_cast<size_t>(flags.GetInt("batch", 16));
+  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 1.0) * 1e-3;
+  batching.max_queue = static_cast<size_t>(flags.GetInt("max_queue", 32));
+
+  // Chaos defaults on so the faults / degraded / retained-traces sections
+  // show live numbers; --fault_spec= (empty value) turns it off.
+  std::string fault_spec =
+      "swap_stall:p=0.15,latency_ms=2;predict_fail:p=0.15;"
+      "batch_delay:p=0.2,latency_ms=1;seed=11";
+  if (flags.Has("fault_spec")) fault_spec = flags.GetString("fault_spec", "");
+  std::optional<serve::FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    auto spec = serve::FaultSpec::Parse(fault_spec);
+    if (!spec.ok()) return Fail(spec.status(), "fault spec");
+    injector.emplace(spec.value());
+    batching.fault_injector = &*injector;
+    std::vector<double> prior(
+        static_cast<size_t>(labels->num_classes()), 0.0);
+    for (const traj::Trajectory& trajectory : corpus) {
+      for (const traj::TrajectoryPoint& point : trajectory.points) {
+        const int cls = labels->ClassOf(point.mode);
+        if (cls >= 0) prior[static_cast<size_t>(cls)] += 1.0;
+      }
+    }
+    batching.label_prior = std::move(prior);
+  }
+  serve::BatchPredictor predictor(&registry, batching);
+
+  serve::ReplayOptions replay_options;
+  replay_options.deadline_seconds =
+      flags.GetDouble("deadline_ms", 50.0) * 1e-3;
+  replay_options.retry_budget = flags.GetInt("retries", 1);
+  auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
+                                    replay_options);
+  if (!report.ok()) return Fail(report.status(), "replay");
+
+  std::printf("%s", serve::RenderStatusPage(
+                        obs::MetricsRegistry::Global(),
+                        obs::RequestTracer::Global())
+                        .c_str());
+  if (!DumpMetrics(flags)) return 1;
+  if (!harness.DumpTrace()) return 1;
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   // Every command honors the shared harness trio (common/harness_options):
@@ -553,6 +680,7 @@ int Run(int argc, char** argv) {
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "predict") return RunPredict(flags);
   if (command == "serve-replay") return RunServeReplay(flags);
+  if (command == "statusz") return RunStatusz(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }
