@@ -1,17 +1,27 @@
 // Microbenchmarks for the ML substrate: tree/forest training and
-// prediction throughput on trajectory-feature-shaped data (70 columns).
+// prediction throughput on trajectory-feature-shaped data (70 columns),
+// plus the flat-vs-pointer forest inference comparison and the point
+// feature kernels. With --timing_json=<path> a fixed gate workload runs
+// after the google-benchmarks and emits the phase timings consumed by
+// tools/check_bench.py (the micro_ml artifact in BENCH_baseline.json).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/harness_options.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_forest.h"
 #include "ml/gradient_boosting.h"
 #include "ml/random_forest.h"
+#include "traj/point_features.h"
+#include "traj/trajectory_features.h"
 
 namespace trajkit::ml {
 namespace {
@@ -80,6 +90,42 @@ void BM_RandomForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestPredict);
 
+// Same fitted forest, compiled flat form (SoA pool, cohort descent).
+void BM_FlatForestPredict(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(2048, 70, 5, 3);
+  RandomForestParams params;
+  params.n_estimators = 50;
+  RandomForest forest(params);
+  (void)forest.Fit(ds);
+  (void)forest.CompileFlat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(ds.features()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_FlatForestPredict);
+
+// Single-row (serving-shaped) predicts, pointer walk vs compiled form:
+// Arg(0) = pointer, Arg(1) = flat.
+void BM_ForestPredictSingleRow(benchmark::State& state) {
+  const Dataset ds = SyntheticFeatures(1024, 70, 5, 3);
+  RandomForestParams params;
+  params.n_estimators = 50;
+  RandomForest forest(params);
+  (void)forest.Fit(ds);
+  if (state.range(0) == 1) (void)forest.CompileFlat();
+  size_t r = 0;
+  for (auto _ : state) {
+    const std::span<const double> row = ds.features().Row(r);
+    ml::Matrix one(1, row.size());
+    std::copy(row.begin(), row.end(), one.MutableRow(0).begin());
+    benchmark::DoNotOptimize(forest.Predict(one));
+    r = (r + 1) % ds.num_samples();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestPredictSingleRow)->Arg(0)->Arg(1);
+
 void BM_GradientBoostingFit(benchmark::State& state) {
   const Dataset ds = SyntheticFeatures(1024, 70, 5, 4);
   for (auto _ : state) {
@@ -90,6 +136,93 @@ void BM_GradientBoostingFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GradientBoostingFit)->Arg(10)->Arg(30);
+
+/// Fixed-size gate workload behind --timing_json: flat vs pointer forest
+/// inference (batched and single-row) plus the point-feature kernels, as
+/// wall-clock phases tools/check_bench.py tracks against BENCH_baseline.json.
+/// The CI leg runs it with --threads=1 and a benchmark filter matching
+/// nothing, so the phases are the entire measured work.
+int RunTimingGate(const trajkit::HarnessOptions& harness) {
+  using trajkit::Stopwatch;
+  constexpr size_t kRows = 2048;
+  constexpr int kBatchReps = 3;
+  // The flat batch is several times faster, so it gets more reps to keep
+  // its measured phase comfortably above scheduler noise.
+  constexpr int kFlatBatchReps = 10;
+
+  const Dataset ds = SyntheticFeatures(kRows, 70, 5, 3);
+  RandomForestParams params;
+  params.n_estimators = 50;
+  RandomForest pointer(params);
+  if (!pointer.Fit(ds).ok()) return 1;
+  RandomForest flat = pointer;
+  if (!flat.CompileFlat().ok()) return 1;
+
+  // The comparison is only meaningful if both forms answer identically.
+  if (pointer.Predict(ds.features()) != flat.Predict(ds.features())) {
+    std::fprintf(stderr,
+                 "micro_ml: flat forest diverged from the pointer walk\n");
+    return 1;
+  }
+
+  // main() owns the --metrics_json dump; this emitter only writes timings.
+  trajkit::HarnessOptions timing_only = harness;
+  timing_only.metrics_json.clear();
+  trajkit::bench::TimingJson timing("micro_ml", timing_only);
+  Stopwatch watch;
+  for (int i = 0; i < kBatchReps; ++i) {
+    benchmark::DoNotOptimize(pointer.Predict(ds.features()));
+  }
+  timing.Record("predict_pointer_batch_s",
+                watch.ElapsedSeconds() / kBatchReps);
+  watch.Reset();
+  for (int i = 0; i < kFlatBatchReps; ++i) {
+    benchmark::DoNotOptimize(flat.Predict(ds.features()));
+  }
+  timing.Record("predict_flat_batch_s",
+                watch.ElapsedSeconds() / kFlatBatchReps);
+
+  ml::Matrix one(1, ds.num_features());
+  watch.Reset();
+  for (size_t r = 0; r < kRows; ++r) {
+    const std::span<const double> row = ds.features().Row(r);
+    std::copy(row.begin(), row.end(), one.MutableRow(0).begin());
+    benchmark::DoNotOptimize(pointer.Predict(one));
+  }
+  timing.RecordLap("predict_pointer_single_s", watch);
+  for (size_t r = 0; r < kRows; ++r) {
+    const std::span<const double> row = ds.features().Row(r);
+    std::copy(row.begin(), row.end(), one.MutableRow(0).begin());
+    benchmark::DoNotOptimize(flat.Predict(one));
+  }
+  timing.RecordLap("predict_flat_single_s", watch);
+
+  // Point-feature kernels: 64 synthetic segments of 1024 fixes through the
+  // full 70-feature extraction (columnar channel loops + shared-sort
+  // percentiles).
+  trajkit::Rng rng(11);
+  std::vector<std::vector<trajkit::traj::TrajectoryPoint>> segments(64);
+  for (auto& segment : segments) {
+    double lat = 39.9, lon = 116.3, ts = 0.0;
+    segment.resize(1024);
+    for (auto& point : segment) {
+      lat += rng.Gaussian(0.0, 1e-4);
+      lon += rng.Gaussian(0.0, 1e-4);
+      ts += 1.0 + rng.Uniform(0.0, 2.0);
+      point.pos = {lat, lon};
+      point.timestamp = ts;
+    }
+  }
+  const trajkit::traj::TrajectoryFeatureExtractor extractor;
+  watch.Reset();
+  for (const auto& segment : segments) {
+    const trajkit::traj::PointFeatures features =
+        trajkit::traj::ComputePointFeatures(segment);
+    benchmark::DoNotOptimize(extractor.ExtractFromPointFeatures(features));
+  }
+  timing.RecordLap("point_features_s", watch);
+  return timing.Write() ? 0 : 1;
+}
 
 }  // namespace
 }  // namespace trajkit::ml
@@ -105,6 +238,10 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!harness.timing_json.empty()) {
+    const int gate = trajkit::ml::RunTimingGate(harness);
+    if (gate != 0) return gate;
+  }
   if (!harness.metrics_json.empty() &&
       !trajkit::obs::WriteTextFile(
           harness.metrics_json,

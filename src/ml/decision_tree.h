@@ -75,7 +75,6 @@ class DecisionTree final : public Classifier {
   static Result<DecisionTree> DeserializeBlock(
       const std::vector<std::string_view>& lines, size_t& cursor);
 
- private:
   struct Node {
     // Internal node: feature >= 0, children set. Leaf: feature == -1.
     int feature = -1;
@@ -85,6 +84,15 @@ class DecisionTree final : public Classifier {
     // Index into leaf_distributions_ for leaves.
     int distribution = -1;
   };
+
+  /// Read access to the fitted structure for compilers of alternative
+  /// inference forms (ml/flat_forest.h lowers these into an SoA pool).
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::vector<double>>& leaf_distributions() const {
+    return leaf_distributions_;
+  }
+
+ private:
 
   /// Per-fit scratch buffers shared by every BuildNode call: a node fully
   /// re-fills each buffer it uses before recursing, so reusing them across

@@ -1,0 +1,404 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "ml/decision_tree.h"
+
+namespace trajkit::ml {
+
+namespace {
+
+/// Rows per cohort in the batched kernel. 64 cursors (256 B) plus 64 row
+/// pointers stay resident in L1 while a whole tree's SoA node pool streams
+/// through; bigger blocks stop helping once the accumulator rows spill.
+constexpr size_t kBlockRows = 64;
+
+constexpr int16_t kQuantLeafSentinel = std::numeric_limits<int16_t>::min();
+constexpr int16_t kQuantNanValue = std::numeric_limits<int16_t>::max();
+
+}  // namespace
+
+Result<FlatForest> FlatForest::Compile(const RandomForest& forest,
+                                       const FlatForestOptions& options) {
+  if (!forest.fitted()) {
+    return Status::FailedPrecondition(
+        "FlatForest::Compile requires a fitted forest");
+  }
+  FlatForest flat;
+  flat.num_classes_ = forest.num_classes();
+  flat.num_features_ = forest.FeatureImportances().size();
+  if (options.quantize) {
+    if (options.exactness_reference == nullptr ||
+        options.exactness_reference->rows() == 0) {
+      return Status::InvalidArgument(
+          "threshold quantization requires non-empty exactness_reference "
+          "rows (normally the training features)");
+    }
+    if (options.exactness_reference->cols() != flat.num_features_) {
+      return Status::InvalidArgument(StrPrintf(
+          "exactness_reference has %zu columns, forest expects %zu",
+          options.exactness_reference->cols(), flat.num_features_));
+    }
+  }
+
+  size_t total_nodes = 0;
+  for (const DecisionTree& tree : forest.trees()) {
+    total_nodes += tree.NodeCount();
+  }
+  TRAJKIT_CHECK_LT(total_nodes,
+                   static_cast<size_t>(std::numeric_limits<int32_t>::max()));
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.child_.reserve(total_nodes);
+  flat.dist_offset_.reserve(total_nodes);
+  flat.roots_.reserve(forest.NumTrees());
+  flat.depths_.reserve(forest.NumTrees());
+
+  // Leaves across ALL trees fold into one shared distribution table;
+  // identical distributions (pure leaves are overwhelmingly common) are
+  // stored once.
+  std::map<std::vector<double>, int32_t> dedup;
+
+  for (const DecisionTree& tree : forest.trees()) {
+    const std::vector<DecisionTree::Node>& nodes = tree.nodes();
+    const std::vector<std::vector<double>>& dists =
+        tree.leaf_distributions();
+    const int32_t base = static_cast<int32_t>(flat.feature_.size());
+
+    // Breadth-first renumbering: children are pushed as a consecutive
+    // pair, so in the flat order right = left + 1 and descent needs only
+    // the left offset plus the comparison bit.
+    std::vector<int32_t> bfs;
+    bfs.reserve(nodes.size());
+    std::vector<int32_t> pos(nodes.size(), -1);
+    bfs.push_back(0);
+    pos[0] = 0;
+    for (size_t j = 0; j < bfs.size(); ++j) {
+      const DecisionTree::Node& node = nodes[static_cast<size_t>(bfs[j])];
+      if (node.feature >= 0) {
+        pos[static_cast<size_t>(node.left)] =
+            static_cast<int32_t>(bfs.size());
+        bfs.push_back(node.left);
+        pos[static_cast<size_t>(node.right)] =
+            static_cast<int32_t>(bfs.size());
+        bfs.push_back(node.right);
+      }
+    }
+    TRAJKIT_CHECK_EQ(bfs.size(), nodes.size());
+
+    for (size_t j = 0; j < bfs.size(); ++j) {
+      const DecisionTree::Node& node = nodes[static_cast<size_t>(bfs[j])];
+      const int32_t self = base + static_cast<int32_t>(j);
+      if (node.feature >= 0) {
+        flat.feature_.push_back(node.feature);
+        flat.threshold_.push_back(node.threshold);
+        flat.child_.push_back(base + pos[static_cast<size_t>(node.left)]);
+        flat.dist_offset_.push_back(0);
+      } else {
+        const std::vector<double>& dist =
+            dists[static_cast<size_t>(node.distribution)];
+        const auto [it, inserted] = dedup.try_emplace(
+            dist, static_cast<int32_t>(flat.dist_table_.size()));
+        if (inserted) {
+          flat.dist_table_.insert(flat.dist_table_.end(), dist.begin(),
+                                  dist.end());
+        }
+        flat.feature_.push_back(-1);
+        // Leaf self-loop: NaN threshold makes the comparison false for any
+        // input (including NaN, matching the pointer walk's right-on-NaN),
+        // so the branchless step yields (self - 1) + 1 = self.
+        flat.threshold_.push_back(std::numeric_limits<double>::quiet_NaN());
+        flat.child_.push_back(self - 1);
+        flat.dist_offset_.push_back(it->second);
+        ++flat.num_leaves_;
+      }
+    }
+    flat.roots_.push_back(base);
+    flat.depths_.push_back(tree.Depth());
+  }
+  flat.num_distributions_ = dedup.size();
+
+  if (options.quantize) {
+    flat.TryQuantize(*options.exactness_reference);
+  }
+  return flat;
+}
+
+void FlatForest::TryQuantize(const Matrix& reference) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> lo(num_features_, inf);
+  std::vector<double> hi(num_features_, -inf);
+  for (size_t i = 0; i < feature_.size(); ++i) {
+    const int32_t f = feature_[i];
+    if (f < 0) continue;
+    lo[static_cast<size_t>(f)] =
+        std::min(lo[static_cast<size_t>(f)], threshold_[i]);
+    hi[static_cast<size_t>(f)] =
+        std::max(hi[static_cast<size_t>(f)], threshold_[i]);
+  }
+  qlo_.assign(num_features_, 0.0);
+  qscale_.assign(num_features_, 0.0);
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (lo[f] > hi[f]) continue;  // Feature never split on; never compared.
+    qlo_[f] = lo[f];
+    qscale_[f] = hi[f] > lo[f] ? 32000.0 / (hi[f] - lo[f]) : 1.0;
+  }
+  qthreshold_.resize(feature_.size());
+  for (size_t i = 0; i < feature_.size(); ++i) {
+    const int32_t f = feature_[i];
+    if (f < 0) {
+      // Every quantized row value is clamped to >= -32767, so the leaf
+      // sentinel keeps `!(qv <= qt)` == 1 and the self-loop intact.
+      qthreshold_[i] = kQuantLeafSentinel;
+      continue;
+    }
+    const double g = std::floor(
+        (threshold_[i] - qlo_[static_cast<size_t>(f)]) *
+        qscale_[static_cast<size_t>(f)]);
+    qthreshold_[i] = static_cast<int16_t>(std::clamp(g, -32767.0, 32766.0));
+  }
+
+  // Exactness check: the quantized grid is monotone, so x <= t always
+  // implies q(x) <= q(t) — but a sample strictly above a threshold can
+  // share its grid cell and flip right-to-left. Replay every reference
+  // row through both descents; one divergence rejects the quantized form.
+  std::vector<int16_t> qrow(num_features_);
+  for (size_t r = 0; r < reference.rows(); ++r) {
+    const std::span<const double> row = reference.Row(r);
+    QuantizeRow(row, qrow.data());
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      const size_t exact = DescendExact(t, row);
+      const size_t quant = DescendQuantized(t, qrow.data());
+      if (exact != quant) {
+        quantization_rejection_ = StrPrintf(
+            "quantized descent diverged from the exact path on reference "
+            "row %zu, tree %zu (leaf node %zu vs %zu): a sample sits "
+            "between a threshold and its int16 grid cell edge",
+            r, t, exact, quant);
+        qthreshold_.clear();
+        qlo_.clear();
+        qscale_.clear();
+        return;
+      }
+    }
+  }
+}
+
+void FlatForest::QuantizeRow(std::span<const double> row,
+                             int16_t* out) const {
+  for (size_t f = 0; f < num_features_; ++f) {
+    const double g = std::floor((row[f] - qlo_[f]) * qscale_[f]);
+    // NaN maps above every internal threshold so the quantized comparison
+    // sends it right, exactly like `!(NaN <= t)` on the exact path.
+    out[f] = std::isnan(g)
+                 ? kQuantNanValue
+                 : static_cast<int16_t>(std::clamp(g, -32767.0, 32766.0));
+  }
+}
+
+size_t FlatForest::DescendExact(size_t tree,
+                                std::span<const double> row) const {
+  size_t i = static_cast<size_t>(roots_[tree]);
+  int32_t f = feature_[i];
+  while (f >= 0) {
+    const double v = row[static_cast<size_t>(f)];
+    i = static_cast<size_t>(child_[i] +
+                            static_cast<int32_t>(!(v <= threshold_[i])));
+    f = feature_[i];
+  }
+  return i;
+}
+
+size_t FlatForest::DescendQuantized(size_t tree, const int16_t* qrow) const {
+  size_t i = static_cast<size_t>(roots_[tree]);
+  int32_t f = feature_[i];
+  while (f >= 0) {
+    const int16_t v = qrow[static_cast<size_t>(f)];
+    i = static_cast<size_t>(child_[i] +
+                            static_cast<int32_t>(!(v <= qthreshold_[i])));
+    f = feature_[i];
+  }
+  return i;
+}
+
+void FlatForest::AccumulateVotes(std::span<const double> row, double scale,
+                                 std::span<double> acc) const {
+  TRAJKIT_CHECK_GE(row.size(), num_features_);
+  TRAJKIT_CHECK_EQ(acc.size(), static_cast<size_t>(num_classes_));
+  const size_t k = static_cast<size_t>(num_classes_);
+  if (!quantized()) {
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      const double* dist = dist_table_.data() + dist_offset_[DescendExact(t, row)];
+      for (size_t c = 0; c < k; ++c) acc[c] += dist[c] * scale;
+    }
+    return;
+  }
+  int16_t qstack[256];
+  std::vector<int16_t> qheap;
+  int16_t* qrow = qstack;
+  if (num_features_ > std::size(qstack)) {
+    qheap.resize(num_features_);
+    qrow = qheap.data();
+  }
+  QuantizeRow(row, qrow);
+  for (size_t t = 0; t < roots_.size(); ++t) {
+    const double* dist =
+        dist_table_.data() + dist_offset_[DescendQuantized(t, qrow)];
+    for (size_t c = 0; c < k; ++c) acc[c] += dist[c] * scale;
+  }
+}
+
+void FlatForest::AccumulateBlock(const Matrix& features, size_t begin,
+                                 size_t end, double scale,
+                                 double* acc) const {
+  const size_t block = end - begin;
+  TRAJKIT_CHECK_LE(block, kBlockRows);
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::fill(acc, acc + block * k, 0.0);
+
+  const double* rows[kBlockRows];
+  for (size_t r = 0; r < block; ++r) {
+    rows[r] = features.Row(begin + r).data();
+  }
+  int32_t cursor[kBlockRows];
+
+  const int32_t* const feature = feature_.data();
+  const int32_t* const child = child_.data();
+  const int32_t* const dist_offset = dist_offset_.data();
+  const double* const table = dist_table_.data();
+
+  if (!quantized()) {
+    const double* const threshold = threshold_.data();
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      const int32_t root = roots_[t];
+      const int32_t depth = depths_[t];
+      for (size_t r = 0; r < block; ++r) cursor[r] = root;
+      // Level-cohort descent: every row advances one level per sweep; rows
+      // already at a leaf self-loop, so no per-row termination test and the
+      // inner loop is a straight-line gather + compare + offset add.
+      for (int32_t level = 0; level < depth; ++level) {
+        for (size_t r = 0; r < block; ++r) {
+          const int32_t i = cursor[r];
+          const int32_t f = feature[i];
+          const double v = rows[r][f < 0 ? 0 : f];
+          cursor[r] =
+              child[i] + static_cast<int32_t>(!(v <= threshold[i]));
+        }
+      }
+      for (size_t r = 0; r < block; ++r) {
+        const double* dist = table + dist_offset[cursor[r]];
+        double* a = acc + r * k;
+        for (size_t c = 0; c < k; ++c) a[c] += dist[c] * scale;
+      }
+    }
+    return;
+  }
+
+  // Quantized path: rows are lowered to int16 once per block, then every
+  // tree compares 2-byte lanes (half the node-pool bytes of the exact
+  // form in the comparison stream).
+  std::vector<int16_t> qrows(block * num_features_);
+  for (size_t r = 0; r < block; ++r) {
+    QuantizeRow(std::span<const double>(rows[r], features.cols()),
+                qrows.data() + r * num_features_);
+  }
+  const int16_t* const qthreshold = qthreshold_.data();
+  for (size_t t = 0; t < roots_.size(); ++t) {
+    const int32_t root = roots_[t];
+    const int32_t depth = depths_[t];
+    for (size_t r = 0; r < block; ++r) cursor[r] = root;
+    for (int32_t level = 0; level < depth; ++level) {
+      for (size_t r = 0; r < block; ++r) {
+        const int32_t i = cursor[r];
+        const int32_t f = feature[i];
+        const int16_t v = qrows[r * num_features_ +
+                                static_cast<size_t>(f < 0 ? 0 : f)];
+        cursor[r] = child[i] + static_cast<int32_t>(!(v <= qthreshold[i]));
+      }
+    }
+    for (size_t r = 0; r < block; ++r) {
+      const double* dist = table + dist_offset[cursor[r]];
+      double* a = acc + r * k;
+      for (size_t c = 0; c < k; ++c) a[c] += dist[c] * scale;
+    }
+  }
+}
+
+std::vector<int> FlatForest::Predict(const Matrix& features) const {
+  TRAJKIT_CHECK_GE(features.cols(), num_features_);
+  const size_t n = features.rows();
+  std::vector<int> out(n);
+  if (n == 0) return out;
+  const size_t k = static_cast<size_t>(num_classes_);
+  const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
+  // Blocks write disjoint out[] slots and each row accumulates its votes
+  // in tree order, so the result is bit-identical at any thread count and
+  // to the per-row pointer walk.
+  const Status status = ParallelFor(0, num_blocks, 1, [&](size_t b) {
+    const size_t begin = b * kBlockRows;
+    const size_t end = std::min(begin + kBlockRows, n);
+    double acc[kBlockRows * 32];
+    std::vector<double> heap;
+    double* block_acc = acc;
+    if ((end - begin) * k > std::size(acc)) {
+      heap.resize((end - begin) * k);
+      block_acc = heap.data();
+    }
+    AccumulateBlock(features, begin, end, 1.0, block_acc);
+    for (size_t r = begin; r < end; ++r) {
+      const double* row_acc = block_acc + (r - begin) * k;
+      out[r] = static_cast<int>(
+          std::max_element(row_acc, row_acc + k) - row_acc);
+    }
+  });
+  TRAJKIT_CHECK(status.ok()) << status.ToString();
+  return out;
+}
+
+Matrix FlatForest::PredictProba(const Matrix& features) const {
+  TRAJKIT_CHECK_GE(features.cols(), num_features_);
+  const size_t n = features.rows();
+  const size_t k = static_cast<size_t>(num_classes_);
+  Matrix probs(n, k);
+  if (n == 0) return probs;
+  const double inv = 1.0 / static_cast<double>(roots_.size());
+  const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
+  const Status status = ParallelFor(0, num_blocks, 1, [&](size_t b) {
+    const size_t begin = b * kBlockRows;
+    const size_t end = std::min(begin + kBlockRows, n);
+    // Rows are contiguous in the row-major output, so the block kernel
+    // accumulates straight into the result matrix.
+    AccumulateBlock(features, begin, end, inv,
+                    probs.MutableRow(begin).data());
+  });
+  TRAJKIT_CHECK(status.ok()) << status.ToString();
+  return probs;
+}
+
+FlatForestStats FlatForest::Stats() const {
+  FlatForestStats stats;
+  stats.num_trees = num_trees();
+  stats.num_nodes = num_nodes();
+  stats.num_leaves = num_leaves_;
+  stats.shared_distributions = num_distributions_;
+  stats.quantized = quantized();
+  return stats;
+}
+
+size_t FlatForest::LeafIndexForTest(size_t tree, std::span<const double> row,
+                                    bool use_quantized) const {
+  TRAJKIT_CHECK_LT(tree, roots_.size());
+  if (!use_quantized) return DescendExact(tree, row);
+  TRAJKIT_CHECK(quantized());
+  std::vector<int16_t> qrow(num_features_);
+  QuantizeRow(row, qrow.data());
+  return DescendQuantized(tree, qrow.data());
+}
+
+}  // namespace trajkit::ml

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "ml/flat_forest.h"
 #include "obs/trace.h"
 
 namespace trajkit::ml {
@@ -50,6 +51,7 @@ Status RandomForest::Fit(const Dataset& train) {
   }
   num_classes_ = train.num_classes();
   trees_.clear();
+  flat_.reset();  // A refit invalidates any compiled inference form.
   importances_.assign(train.num_features(), 0.0);
 
   int max_features = params_.max_features;
@@ -126,6 +128,10 @@ std::vector<int> RandomForest::Predict(const Matrix& features) const {
   metrics.rows_predicted.Increment(features.rows());
   std::optional<obs::ScopedTimer> timer;
   if (features.rows() >= 64) timer.emplace(metrics.predict_seconds);
+  // The compiled flat form accumulates the same leaf distributions in the
+  // same tree order per row, so delegating is bit-identical (see
+  // tests/ml_flat_forest_test.cc golden parity).
+  if (flat_ != nullptr) return flat_->Predict(features);
   std::vector<int> out(features.rows());
   // Rows are independent; each writes only its own output slot.
   const Status status = ParallelFor(0, features.rows(), 16, [&](size_t r) {
@@ -146,6 +152,7 @@ Result<Matrix> RandomForest::PredictProba(const Matrix& features) const {
   if (!fitted()) {
     return Status::FailedPrecondition("PredictProba before Fit");
   }
+  if (flat_ != nullptr) return flat_->PredictProba(features);
   Matrix probs(features.rows(), static_cast<size_t>(num_classes_));
   const double inv = 1.0 / static_cast<double>(trees_.size());
   TRAJKIT_RETURN_IF_ERROR(ParallelFor(0, features.rows(), 16, [&](size_t r) {
@@ -160,6 +167,17 @@ Result<Matrix> RandomForest::PredictProba(const Matrix& features) const {
 
 std::unique_ptr<Classifier> RandomForest::Clone() const {
   return std::make_unique<RandomForest>(params_);
+}
+
+Status RandomForest::CompileFlat() { return CompileFlat(FlatForestOptions{}); }
+
+Status RandomForest::CompileFlat(const FlatForestOptions& options) {
+  if (!fitted()) {
+    return Status::FailedPrecondition("CompileFlat before Fit");
+  }
+  TRAJKIT_ASSIGN_OR_RETURN(FlatForest flat, FlatForest::Compile(*this, options));
+  flat_ = std::make_shared<const FlatForest>(std::move(flat));
+  return Status::Ok();
 }
 
 const std::vector<double>& RandomForest::FeatureImportances() const {

@@ -9,6 +9,9 @@
 
 namespace trajkit::ml {
 
+class FlatForest;
+struct FlatForestOptions;
+
 /// Hyper-parameters of the random forest. Defaults follow the paper's
 /// §4.3 setting ("random forest classifier with 50 estimators", sklearn
 /// conventions elsewhere: gini, sqrt feature subsetting, bootstrap).
@@ -51,6 +54,26 @@ class RandomForest final : public Classifier {
 
   size_t NumTrees() const { return trees_.size(); }
   bool fitted() const { return !trees_.empty(); }
+  int num_classes() const { return num_classes_; }
+
+  /// The fitted trees (read-only; FlatForest::Compile lowers them).
+  /// Precondition: fitted.
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Compiles the flat inference form (ml/flat_forest.h): a contiguous
+  /// SoA node pool with branchless descent and a batched multi-row
+  /// kernel. Once compiled, Predict/PredictProba delegate to it — with
+  /// bit-identical results. Re-fitting drops the compiled form. The
+  /// overload with options can additionally request int16 threshold
+  /// quantization (accepted only behind its exactness check).
+  /// Precondition: fitted.
+  Status CompileFlat();
+  Status CompileFlat(const FlatForestOptions& options);
+
+  /// The compiled form, or nullptr when CompileFlat was not called (or a
+  /// refit invalidated it). Copies of a compiled forest share the
+  /// immutable flat form.
+  const FlatForest* flat() const { return flat_.get(); }
 
   /// Text serialization of the fitted forest (see model_io.h for the
   /// file-level helpers). Precondition: fitted.
@@ -65,6 +88,7 @@ class RandomForest final : public Classifier {
   int num_classes_ = 0;
   std::vector<DecisionTree> trees_;
   std::vector<double> importances_;
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace trajkit::ml

@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "ml/flat_forest.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 
@@ -191,6 +192,14 @@ Result<std::vector<int>> LoadFig3FeatureSubset(const std::string& path,
 
 Status ModelRegistry::Register(ServingModel model) {
   TRAJKIT_RETURN_IF_ERROR(model.Validate());
+  // Lower the forest into its flat inference form before the model becomes
+  // visible, so serving always runs the compiled path — including right
+  // after a hot swap — and never pays the compile on a request thread.
+  // Deserialized models arrive uncompiled; models compiled by the caller
+  // (e.g. with quantization) are kept as-is.
+  if (model.forest.flat() == nullptr) {
+    TRAJKIT_RETURN_IF_ERROR(model.forest.CompileFlat());
+  }
   auto shared = std::make_shared<const ServingModel>(std::move(model));
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = models_.emplace(shared->version, shared);
@@ -220,6 +229,17 @@ Status ModelRegistry::Activate(std::string_view version) {
       .Increment();
   obs::MetricsRegistry::Global().SetInfo("serve.registry.active_version",
                                          active_->version);
+  // Shape of the active model's compiled inference form, for statusz and
+  // dashboards (Register guarantees flat() is set for registered models).
+  if (const ml::FlatForest* flat = active_->forest.flat()) {
+    const ml::FlatForestStats stats = flat->Stats();
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.registry.flat_nodes")
+        .Set(static_cast<double>(stats.num_nodes));
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.registry.flat_quantized")
+        .Set(stats.quantized ? 1.0 : 0.0);
+  }
   // Process-scoped trace landmark: a hot swap shows up on the timeline
   // next to the request spans it may have affected.
   obs::RequestTracer::Global().RecordGlobalInstant("registry_swap");

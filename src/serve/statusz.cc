@@ -54,6 +54,19 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
           GaugeValue(metrics, "serve.registry.models"));
   Appendf(out, "  swaps: %" PRIu64 "\n",
           CounterValue(metrics, "serve.registry.swaps"));
+  // Compiled flat inference form of the active model (ml/flat_forest.h);
+  // every registered model is compiled, so "(not compiled)" only shows
+  // before the first activation.
+  const double flat_nodes = GaugeValue(metrics, "serve.registry.flat_nodes");
+  if (flat_nodes > 0.0) {
+    Appendf(out, "  flat_form: compiled (%.0f nodes, quantized=%s)\n",
+            flat_nodes,
+            GaugeValue(metrics, "serve.registry.flat_quantized") > 0.0
+                ? "yes"
+                : "no");
+  } else {
+    out += "  flat_form: (not compiled)\n";
+  }
 
   out += "queue\n";
   Appendf(out, "  depth: %.0f\n",

@@ -56,7 +56,7 @@ double Median(std::span<const double> values) {
 
 namespace {
 
-double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+double PercentileOfSorted(std::span<const double> sorted, double p) {
   const size_t n = sorted.size();
   if (n == 1) return sorted[0];
   const double rank = (p / 100.0) * static_cast<double>(n - 1);
@@ -80,17 +80,24 @@ double Percentile(std::span<const double> values, double p) {
 
 std::vector<double> Percentiles(std::span<const double> values,
                                 std::span<const double> ps) {
-  TRAJKIT_CHECK(!values.empty());
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<double> out;
-  out.reserve(ps.size());
-  for (double p : ps) {
-    TRAJKIT_CHECK_GE(p, 0.0);
-    TRAJKIT_CHECK_LE(p, 100.0);
-    out.push_back(PercentileOfSorted(sorted, p));
-  }
+  std::vector<double> out(ps.size());
+  std::vector<double> scratch;
+  PercentilesInto(values, ps, scratch, out);
   return out;
+}
+
+void PercentilesInto(std::span<const double> values,
+                     std::span<const double> ps,
+                     std::vector<double>& scratch, std::span<double> out) {
+  TRAJKIT_CHECK(!values.empty());
+  TRAJKIT_CHECK_EQ(out.size(), ps.size());
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    TRAJKIT_CHECK_GE(ps[i], 0.0);
+    TRAJKIT_CHECK_LE(ps[i], 100.0);
+    out[i] = PercentileOfSorted(scratch, ps[i]);
+  }
 }
 
 void RunningStats::Add(double x) {

@@ -37,6 +37,13 @@ double Percentile(std::span<const double> values, double p);
 std::vector<double> Percentiles(std::span<const double> values,
                                 std::span<const double> ps);
 
+/// Like Percentiles, but writes the ps.size() results into `out` and uses
+/// `scratch` for the sorted copy (refilled each call), so tight extraction
+/// loops pay no per-call allocation. Precondition: out.size() == ps.size().
+void PercentilesInto(std::span<const double> values,
+                     std::span<const double> ps,
+                     std::vector<double>& scratch, std::span<double> out);
+
 /// Single-pass accumulator for min/max/mean/variance (Welford). Useful for
 /// streaming point features without materializing them.
 class RunningStats {

@@ -21,38 +21,54 @@ PointFeatures ComputePointFeatures(std::span<const TrajectoryPoint> points,
   f.bearing_rate.resize(n);
   f.bearing_rate_rate.resize(n);
 
-  // First pass: duration, distance, speed, bearing (need one predecessor).
+  // One stride-1 loop per channel: the geodesy pass below isolates the
+  // libm calls (sin/cos/atan2 in haversine and bearing), and every
+  // derivative chain after it is a pure subtract/divide loop over already
+  // materialized columns — the shape compilers auto-vectorize. Each
+  // element's arithmetic is unchanged from the interleaved form, so the
+  // outputs are bit-identical (and still match the streaming extractor,
+  // see serve/streaming_features.cc).
   for (size_t i = 1; i < n; ++i) {
-    double dt = points[i].timestamp - points[i - 1].timestamp;
-    if (dt < options.min_duration_seconds) dt = options.min_duration_seconds;
-    f.duration[i] = dt;
+    const double dt = points[i].timestamp - points[i - 1].timestamp;
+    f.duration[i] =
+        dt < options.min_duration_seconds ? options.min_duration_seconds : dt;
+  }
+  for (size_t i = 1; i < n; ++i) {
     f.distance[i] = geo::HaversineMeters(points[i - 1].pos, points[i].pos);
-    f.speed[i] = f.distance[i] / dt;
     f.bearing[i] = geo::InitialBearingDeg(points[i - 1].pos, points[i].pos);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    f.speed[i] = f.distance[i] / f.duration[i];
   }
   f.duration[0] = f.duration[1];
   f.distance[0] = f.distance[1];
   f.speed[0] = f.speed[1];
   f.bearing[0] = f.bearing[1];
 
-  // Second pass: acceleration and bearing rate (need two predecessors).
   for (size_t i = 1; i < n; ++i) {
-    const double dt = f.duration[i];
-    f.acceleration[i] = (f.speed[i] - f.speed[i - 1]) / dt;
-    const double db =
-        options.wrap_bearing_difference
-            ? geo::BearingDifferenceDeg(f.bearing[i - 1], f.bearing[i])
-            : f.bearing[i] - f.bearing[i - 1];
-    f.bearing_rate[i] = db / dt;
+    f.acceleration[i] = (f.speed[i] - f.speed[i - 1]) / f.duration[i];
+  }
+  if (options.wrap_bearing_difference) {
+    // Wrapping calls into fmod; its own loop keeps the pure loops clean.
+    for (size_t i = 1; i < n; ++i) {
+      f.bearing_rate[i] =
+          geo::BearingDifferenceDeg(f.bearing[i - 1], f.bearing[i]) /
+          f.duration[i];
+    }
+  } else {
+    for (size_t i = 1; i < n; ++i) {
+      f.bearing_rate[i] = (f.bearing[i] - f.bearing[i - 1]) / f.duration[i];
+    }
   }
   f.acceleration[0] = f.acceleration[1];
   f.bearing_rate[0] = f.bearing_rate[1];
 
-  // Third pass: jerk and the rate of the bearing rate.
   for (size_t i = 1; i < n; ++i) {
-    const double dt = f.duration[i];
-    f.jerk[i] = (f.acceleration[i] - f.acceleration[i - 1]) / dt;
-    f.bearing_rate_rate[i] = (f.bearing_rate[i] - f.bearing_rate[i - 1]) / dt;
+    f.jerk[i] = (f.acceleration[i] - f.acceleration[i - 1]) / f.duration[i];
+  }
+  for (size_t i = 1; i < n; ++i) {
+    f.bearing_rate_rate[i] =
+        (f.bearing_rate[i] - f.bearing_rate[i - 1]) / f.duration[i];
   }
   f.jerk[0] = f.jerk[1];
   f.bearing_rate_rate[0] = f.bearing_rate_rate[1];
@@ -67,8 +83,8 @@ std::span<const std::string_view> ChannelNames() {
   return kNames;
 }
 
-const std::vector<double>& ChannelValues(const PointFeatures& features,
-                                         int channel) {
+std::span<const double> ChannelValues(const PointFeatures& features,
+                                      int channel) {
   switch (channel) {
     case 0:
       return features.distance;

@@ -63,9 +63,11 @@ inline constexpr int kNumFeatureChannels = 7;
 /// Stable channel names, index-aligned with ChannelValues().
 std::span<const std::string_view> ChannelNames();
 
-/// The channel vector for channel index `channel` in [0, 7).
-const std::vector<double>& ChannelValues(const PointFeatures& features,
-                                         int channel);
+/// Read-only view of channel index `channel` in [0, 7). A span (not a
+/// vector reference) so consumers cannot accidentally copy a channel and
+/// alternative storage layouts stay possible behind the accessor.
+std::span<const double> ChannelValues(const PointFeatures& features,
+                                      int channel);
 
 }  // namespace trajkit::traj
 

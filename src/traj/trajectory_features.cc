@@ -69,18 +69,21 @@ std::vector<double> TrajectoryFeatureExtractor::ExtractFromPointFeatures(
     const PointFeatures& features) const {
   std::vector<double> out;
   out.reserve(kNumTrajectoryFeatures);
-  std::vector<double> sorted;
+  std::vector<double> sorted;  // Percentile scratch, reused across channels.
+  std::array<double, kLocalPercentiles.size()> pct;
   for (int channel = 0; channel < kNumFeatureChannels; ++channel) {
-    const std::vector<double>& values = ChannelValues(features, channel);
+    const std::span<const double> values = ChannelValues(features, channel);
+    // All six order statistics (median + five local percentiles) share ONE
+    // sort per channel: Median(v) is defined as Percentile(v, 50), which is
+    // bit-identical to the p50 entry of the shared-sort batch below.
+    stats::PercentilesInto(values, kLocalPercentiles, sorted, pct);
     // Global features.
     out.push_back(stats::Min(values));
     out.push_back(stats::Max(values));
     out.push_back(stats::Mean(values));
-    out.push_back(stats::Median(values));
+    out.push_back(pct[2]);  // median
     out.push_back(stats::StdDev(values));
-    // Local features: all five percentiles share one sort.
-    const std::vector<double> pct =
-        stats::Percentiles(values, kLocalPercentiles);
+    // Local features (p10/p25/p50/p75/p90).
     out.insert(out.end(), pct.begin(), pct.end());
   }
   TRAJKIT_CHECK_EQ(out.size(),

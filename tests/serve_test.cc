@@ -166,7 +166,7 @@ TEST(StreamingFeaturesTest, LiveStatsTrackBatchChannels) {
   for (const auto& point : points) streaming.Add(point);
   const traj::PointFeatures batch = traj::ComputePointFeatures(points);
   for (int channel = 0; channel < traj::kNumFeatureChannels; ++channel) {
-    const std::vector<double>& values =
+    const std::span<const double> values =
         traj::ChannelValues(batch, channel);
     const stats::RunningStats& live = streaming.LiveStats(channel);
     ASSERT_EQ(live.count(), values.size());

@@ -101,7 +101,8 @@ else
   cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread \
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target parallel_test serve_test obs_test request_trace_test
+    --target parallel_test serve_test obs_test request_trace_test \
+             ml_flat_forest_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
@@ -123,7 +124,7 @@ fi
 if [[ "$SKIP_BENCH" -eq 1 ]]; then
   echo "==> bench gate skipped (--skip-bench)"
 else
-  echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel"
+  echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel + micro_ml"
   BENCH_OUT="$BUILD_DIR/bench-gate"
   mkdir -p "$BENCH_OUT"
   GATE_FILES=()
@@ -137,7 +138,12 @@ else
       --benchmark_out="$BENCH_OUT/parallel_$run.json" \
       --benchmark_out_format=json \
       --metrics_json="$BENCH_OUT/parallel_metrics_$run.json" >/dev/null 2>&1
-    GATE_FILES+=("$BENCH_OUT/serve_$run.json" "$BENCH_OUT/parallel_$run.json")
+    # The filter matches nothing: only the --timing_json gate workload runs
+    # (flat vs pointer forest inference + point-feature kernels, 1 thread).
+    "$BUILD_DIR"/bench/micro_ml --threads=1 '--benchmark_filter=^$' \
+      --timing_json="$BENCH_OUT/ml_$run.json" >/dev/null 2>&1
+    GATE_FILES+=("$BENCH_OUT/serve_$run.json" "$BENCH_OUT/parallel_$run.json" \
+                 "$BENCH_OUT/ml_$run.json")
   done
   python3 tools/check_bench.py --baseline=BENCH_baseline.json "${GATE_FILES[@]}"
 fi
