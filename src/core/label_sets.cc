@@ -22,6 +22,14 @@ int LabelSet::ClassOf(Mode mode) const {
   return class_of_mode_[static_cast<size_t>(index)];
 }
 
+Mode LabelSet::ModeOf(int class_index) const {
+  if (class_index < 0) return Mode::kUnknown;
+  for (size_t m = 0; m < class_of_mode_.size(); ++m) {
+    if (class_of_mode_[m] == class_index) return static_cast<Mode>(m);
+  }
+  return Mode::kUnknown;
+}
+
 LabelSet LabelSet::Dabiri() {
   std::vector<int> map(traj::kNumModes, -1);
   map[static_cast<int>(Mode::kWalk)] = 0;

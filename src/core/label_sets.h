@@ -29,6 +29,11 @@ class LabelSet {
   /// Class index of a mode, or -1 when the mode is excluded.
   int ClassOf(traj::Mode mode) const;
 
+  /// Inverse of ClassOf: the first mode (enum order) mapping to
+  /// `class_index`, or kUnknown when no mode does (including -1). Merged
+  /// classes ("driving" = car+taxi) answer their first member.
+  traj::Mode ModeOf(int class_index) const;
+
   const std::vector<std::string>& class_names() const { return class_names_; }
   int num_classes() const { return static_cast<int>(class_names_.size()); }
   const std::string& name() const { return name_; }

@@ -95,6 +95,16 @@ class FlatForest {
   size_t LeafIndexForTest(size_t tree, std::span<const double> row,
                           bool use_quantized) const;
 
+  /// Dumps the compiled arrays as one raw little-endian binary image
+  /// (flat-forest dump v1: header + each SoA array verbatim) — the first
+  /// step toward mmap-able model loading. Creates parent directories.
+  /// Round trip is bit-identical: LoadFrom(SaveTo(f)) predicts exactly
+  /// like f, quantized mirror included.
+  Status SaveTo(const std::string& path) const;
+
+  /// Reads a dump written by SaveTo.
+  static Result<FlatForest> LoadFrom(const std::string& path);
+
  private:
   FlatForest() = default;
 

@@ -1,0 +1,190 @@
+#include <cstring>
+#include <string>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "ml/flat_forest.h"
+
+// Flat-forest dump v1: the compiled SoA arrays written verbatim as one raw
+// little-endian image, so loading is a straight copy (and, eventually, an
+// mmap — ROADMAP item 2's stretch goal).
+//
+//   magic   "TKFLATF1"
+//   header  num_classes i32, num_features u64, num_leaves u64,
+//           num_distributions u64, quantized u8
+//   arrays  each as u64 element count + raw elements, in order:
+//           feature i32 | threshold f64 | child i32 | dist_offset i32 |
+//           roots i32 | depths i32 | dist_table f64
+//           then, when quantized: qthreshold i16 | qlo f64 | qscale f64
+//
+// The round trip is bit-identical — thresholds, distribution sums, and the
+// quantized mirror are raw memory copies, so a loaded forest predicts
+// exactly like the one dumped.
+
+namespace trajkit::ml {
+namespace {
+
+static_assert(sizeof(double) == 8, "flat-forest dump assumes 8-byte doubles");
+
+constexpr char kMagic[8] = {'T', 'K', 'F', 'L', 'A', 'T', 'F', '1'};
+
+template <typename T>
+void AppendScalar(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
+}
+
+template <typename T>
+void AppendArray(std::string& out, const std::vector<T>& values) {
+  AppendScalar(out, static_cast<uint64_t>(values.size()));
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(T));
+}
+
+class DumpReader {
+ public:
+  explicit DumpReader(const std::string& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  template <typename T>
+  Result<T> ReadScalar(const char* what) {
+    if (remaining() < sizeof(T)) {
+      return Status::ParseError(
+          StrPrintf("truncated flat-forest dump reading %s", what));
+    }
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> ReadArray(const char* what) {
+    TRAJKIT_ASSIGN_OR_RETURN(uint64_t count, ReadScalar<uint64_t>(what));
+    const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+    if (remaining() < bytes) {
+      return Status::ParseError(StrPrintf(
+          "truncated flat-forest dump: %s declares %llu elements", what,
+          static_cast<unsigned long long>(count)));
+    }
+    std::vector<T> values(static_cast<size_t>(count));
+    std::memcpy(values.data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return values;
+  }
+
+  Status ReadMagic() {
+    if (remaining() < sizeof(kMagic) ||
+        std::memcmp(data_.data() + pos_, kMagic, sizeof(kMagic)) != 0) {
+      return Status::ParseError("not a flat-forest dump (bad magic)");
+    }
+    pos_ += sizeof(kMagic);
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status FlatForest::SaveTo(const std::string& path) const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendScalar(out, static_cast<int32_t>(num_classes_));
+  AppendScalar(out, static_cast<uint64_t>(num_features_));
+  AppendScalar(out, static_cast<uint64_t>(num_leaves_));
+  AppendScalar(out, static_cast<uint64_t>(num_distributions_));
+  AppendScalar(out, static_cast<uint8_t>(quantized() ? 1 : 0));
+  AppendArray(out, feature_);
+  AppendArray(out, threshold_);
+  AppendArray(out, child_);
+  AppendArray(out, dist_offset_);
+  AppendArray(out, roots_);
+  AppendArray(out, depths_);
+  AppendArray(out, dist_table_);
+  if (quantized()) {
+    AppendArray(out, qthreshold_);
+    AppendArray(out, qlo_);
+    AppendArray(out, qscale_);
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<FlatForest> FlatForest::LoadFrom(const std::string& path) {
+  TRAJKIT_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  DumpReader reader(data);
+  {
+    const Status status = reader.ReadMagic();
+    if (!status.ok()) {
+      return Status::ParseError(path + ": " + status.message());
+    }
+  }
+  FlatForest forest;
+  TRAJKIT_ASSIGN_OR_RETURN(int32_t num_classes,
+                           reader.ReadScalar<int32_t>("num_classes"));
+  TRAJKIT_ASSIGN_OR_RETURN(uint64_t num_features,
+                           reader.ReadScalar<uint64_t>("num_features"));
+  TRAJKIT_ASSIGN_OR_RETURN(uint64_t num_leaves,
+                           reader.ReadScalar<uint64_t>("num_leaves"));
+  TRAJKIT_ASSIGN_OR_RETURN(uint64_t num_distributions,
+                           reader.ReadScalar<uint64_t>("num_distributions"));
+  TRAJKIT_ASSIGN_OR_RETURN(uint8_t quantized,
+                           reader.ReadScalar<uint8_t>("quantized"));
+  forest.num_classes_ = num_classes;
+  forest.num_features_ = static_cast<size_t>(num_features);
+  forest.num_leaves_ = static_cast<size_t>(num_leaves);
+  forest.num_distributions_ = static_cast<size_t>(num_distributions);
+  TRAJKIT_ASSIGN_OR_RETURN(forest.feature_,
+                           reader.ReadArray<int32_t>("feature"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.threshold_,
+                           reader.ReadArray<double>("threshold"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.child_, reader.ReadArray<int32_t>("child"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.dist_offset_,
+                           reader.ReadArray<int32_t>("dist_offset"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.roots_, reader.ReadArray<int32_t>("roots"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.depths_,
+                           reader.ReadArray<int32_t>("depths"));
+  TRAJKIT_ASSIGN_OR_RETURN(forest.dist_table_,
+                           reader.ReadArray<double>("dist_table"));
+  if (quantized != 0) {
+    TRAJKIT_ASSIGN_OR_RETURN(forest.qthreshold_,
+                             reader.ReadArray<int16_t>("qthreshold"));
+    TRAJKIT_ASSIGN_OR_RETURN(forest.qlo_, reader.ReadArray<double>("qlo"));
+    TRAJKIT_ASSIGN_OR_RETURN(forest.qscale_,
+                             reader.ReadArray<double>("qscale"));
+  }
+
+  // Shape validation: every cross-array invariant the kernels rely on.
+  const size_t n = forest.feature_.size();
+  if (forest.threshold_.size() != n || forest.child_.size() != n ||
+      forest.dist_offset_.size() != n) {
+    return Status::ParseError(path + ": node arrays disagree on length");
+  }
+  if (forest.roots_.size() != forest.depths_.size()) {
+    return Status::ParseError(path + ": roots/depths disagree on length");
+  }
+  if (forest.num_classes_ <= 0 ||
+      forest.dist_table_.size() !=
+          forest.num_distributions_ *
+              static_cast<size_t>(forest.num_classes_)) {
+    return Status::ParseError(path + ": distribution table shape mismatch");
+  }
+  if (quantized != 0 &&
+      (forest.qthreshold_.size() != n ||
+       forest.qlo_.size() != forest.num_features_ ||
+       forest.qscale_.size() != forest.num_features_)) {
+    return Status::ParseError(path + ": quantized mirror shape mismatch");
+  }
+  for (const int32_t root : forest.roots_) {
+    if (root < 0 || static_cast<size_t>(root) >= n) {
+      return Status::ParseError(path + ": tree root out of range");
+    }
+  }
+  return forest;
+}
+
+}  // namespace trajkit::ml

@@ -163,11 +163,6 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   return future;
 }
 
-std::future<Result<Prediction>> BatchPredictor::Submit(
-    std::vector<double> features) {
-  return Submit(PredictRequest(std::move(features)));
-}
-
 void BatchPredictor::Flush() {
   while (true) {
     std::vector<Request> batch;

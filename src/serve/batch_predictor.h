@@ -81,11 +81,6 @@ class BatchPredictor {
   /// neighbours).
   std::future<Result<Prediction>> Submit(PredictRequest request);
 
-  /// Pre-RequestContext entry point: no deadline, priority 0, no retries.
-  [[deprecated("use Submit(PredictRequest) — this wraps the features in a "
-               "context-free request with an infinite deadline")]]
-  std::future<Result<Prediction>> Submit(std::vector<double> features);
-
   /// Processes everything currently pending on the calling thread (e.g.
   /// end-of-replay, before gathering futures).
   void Flush();

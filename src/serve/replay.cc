@@ -51,6 +51,8 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     int true_class = -1;
     int budget = 0;
     uint64_t trace_id = 0;
+    /// Index into `staged` when a closed sink is installed; -1 otherwise.
+    ptrdiff_t staged = -1;
     std::vector<double> features;
     std::future<Result<Prediction>> future;
   };
@@ -66,9 +68,20 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
 
   std::vector<ClosedSegment> closed;
   std::vector<InFlight> in_flight;
+  // Staged copies of every closed segment (close order) plus the class the
+  // predictor eventually answered, delivered to options.closed_sink after
+  // the gather phase — sinks never slow the ingest loop.
+  std::vector<ClosedSegment> staged;
+  std::vector<int> staged_pred;
   const auto submit_closed = [&] {
     for (ClosedSegment& segment : closed) {
       ++report.segments_closed;
+      ptrdiff_t staged_index = -1;
+      if (options.closed_sink) {
+        staged_index = static_cast<ptrdiff_t>(staged.size());
+        staged.push_back(segment);  // Copy: features are moved out below.
+        staged_pred.push_back(-1);
+      }
       const int true_class = labels.ClassOf(segment.mode);
       if (true_class < 0) {
         ++report.segments_outside_label_set;
@@ -78,6 +91,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       item.true_class = true_class;
       item.budget = options.retry_budget;
       item.trace_id = segment.trace_id;
+      item.staged = staged_index;
       if (item.budget > 0) item.features = segment.features;
       RequestContext context = make_context();
       // Propagate the trace minted at segment close, so the session hop
@@ -138,6 +152,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
         report.y_true.push_back(item.true_class);
         report.y_pred.push_back(prediction.label);
         if (prediction.label == item.true_class) ++report.correct;
+        if (item.staged >= 0) staged_pred[item.staged] = prediction.label;
         continue;
       }
       const Status& status = result.status();
@@ -178,6 +193,11 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     }
     if (!next.empty()) SleepForSeconds(backoff.NextDelaySeconds());
     round = std::move(next);
+  }
+  if (options.closed_sink) {
+    for (size_t i = 0; i < staged.size(); ++i) {
+      options.closed_sink(staged[i], staged_pred[i]);
+    }
   }
   report.session_stats = sessions.stats();
   return report;

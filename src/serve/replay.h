@@ -2,6 +2,7 @@
 #define TRAJKIT_SERVE_REPLAY_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +34,14 @@ struct ReplayOptions {
   int retry_budget = 0;
   RetryOptions retry;
   uint64_t retry_seed = 0x72657472790aULL;
+  /// Observer invoked once per closed segment after the replay's gather
+  /// phase resolves (close order, off the ingest hot path —
+  /// `ingest_seconds` never includes it). `predicted_class` is the label
+  /// set class the predictor answered, or -1 when the segment was not
+  /// evaluated (outside the label set, shed, or deadline-exceeded).
+  /// `serve-replay --store_out` persists a trajectory store through this.
+  std::function<void(const ClosedSegment& segment, int predicted_class)>
+      closed_sink;
 };
 
 /// Outcome of a replay.

@@ -82,6 +82,7 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
     segment.end_time = session->last_time;
     segment.num_points = session->count;
     segment.reason = reason;
+    segment.bbox = session->bbox;
     segment.features = std::move(features).value();
     if (options_.keep_points) segment.points = session->points;
     // Mint the request trace here: segments are closed on the (single)
@@ -99,9 +100,11 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
     ++stats_.segments_emitted;
     metric_emitted_.Increment();
     metric_closed_by_reason_[static_cast<size_t>(reason)]->Increment();
+    if (closed_sink_) closed_sink_(closed->back());
   }
   session->extractor.Reset();
   session->points.clear();
+  session->bbox = geo::BoundingBox();
   session->count = 0;
 }
 
@@ -156,6 +159,7 @@ void SessionManager::Ingest(int64_t session_id,
   }
   session.extractor.Add(point);
   if (options_.keep_points) session.points.push_back(point);
+  session.bbox.Extend(point.pos);
   ++session.count;
   session.last_time = point.timestamp;
   session.has_last = true;

@@ -3,11 +3,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <string_view>
 #include <vector>
 
+#include "geo/geodesy.h"
 #include "obs/metrics.h"
 #include "serve/streaming_features.h"
 #include "traj/segmentation.h"
@@ -79,6 +81,9 @@ struct ClosedSegment {
   /// (obs/request_trace.h); 0 otherwise. Replay propagates it into the
   /// PredictRequest so segment close and prediction share one trace.
   uint64_t trace_id = 0;
+  /// Minimum bounding rectangle of the segment's kept fixes, tracked
+  /// incrementally at ingest (store/trajectory_store.h indexes it).
+  geo::BoundingBox bbox;
   /// The 70 trajectory features (bit-identical to the batch extractor).
   std::vector<double> features;
   /// Raw points; populated only when SessionOptions::keep_points.
@@ -124,6 +129,14 @@ class SessionManager {
   /// sessions — end-of-stream / shutdown.
   void FlushAll(std::vector<ClosedSegment>* closed);
 
+  /// Installs an observer invoked (synchronously, after the segment is
+  /// appended to `closed`) for every emitted segment — the hook the
+  /// trajectory store ingests through. Replaces any previous sink; pass
+  /// an empty function to detach.
+  void set_closed_sink(std::function<void(const ClosedSegment&)> sink) {
+    closed_sink_ = std::move(sink);
+  }
+
   size_t num_open_sessions() const { return sessions_.size(); }
   const SessionManagerStats& stats() const { return stats_; }
   const SessionOptions& options() const { return options_; }
@@ -132,6 +145,7 @@ class SessionManager {
   struct Session {
     StreamingFeatureExtractor extractor;
     std::vector<traj::TrajectoryPoint> points;  // keep_points only.
+    geo::BoundingBox bbox;  // MBR of the open segment's kept fixes.
     int64_t day = 0;
     traj::Mode mode = traj::Mode::kUnknown;
     double start_time = 0.0;
@@ -148,6 +162,7 @@ class SessionManager {
 
   SessionOptions options_;
   SessionManagerStats stats_;
+  std::function<void(const ClosedSegment&)> closed_sink_;
   /// Process-wide mirrors of stats_ (serve.sessions.* counters, the
   /// serve.sessions.active gauge, and one serve.sessions.closed.<reason>
   /// counter per CloseReason), resolved once at construction. stats_ stays

@@ -123,6 +123,34 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
     AppendQuantileLine(out, "p99", 0.99, snap);
   }
 
+  // Trajectory store (src/store/): rendered only when a store is live in
+  // this process — the store.segments counter exists once one was built.
+  if (metrics.FindCounter("store.segments") != nullptr) {
+    out += "store\n";
+    Appendf(out, "  segments: %.0f\n", GaugeValue(metrics, "store.size"));
+    Appendf(out, "  ingested_total: %" PRIu64 "\n",
+            CounterValue(metrics, "store.segments"));
+    Appendf(out, "  index_nodes: %.0f  bulk_loads: %" PRIu64 "\n",
+            GaugeValue(metrics, "store.index.nodes"),
+            CounterValue(metrics, "store.bulk_loads"));
+    Appendf(out, "  queries: %" PRIu64 "  nodes_visited: %" PRIu64
+                 "  postings_skipped: %" PRIu64 "\n",
+            CounterValue(metrics, "store.queries"),
+            CounterValue(metrics, "store.query.nodes_visited"),
+            CounterValue(metrics, "store.query.postings_skipped"));
+    const obs::Histogram* query_latency =
+        metrics.FindHistogram("store.query.latency_seconds");
+    if (query_latency == nullptr || query_latency->count() == 0) {
+      out += "  query latency: (no observations)\n";
+    } else {
+      const obs::HistogramSnapshot snap = query_latency->snapshot();
+      Appendf(out, "  query latency: count %" PRIu64 "  p50 %.3f ms  "
+                   "p99 %.3f ms\n",
+              snap.count, snap.Quantile(0.50) * 1e3,
+              snap.Quantile(0.99) * 1e3);
+    }
+  }
+
   const std::vector<obs::RetainedTraceInfo> retained =
       tracer.RetainedTraces();
   if (!tracer.enabled()) {

@@ -1,0 +1,50 @@
+#include "store/hilbert.h"
+
+namespace trajkit::store {
+namespace {
+
+/// One quadrant-rotation step of the classic iterative conversion
+/// (Warren, "Hacker's Delight" variant): reflects/transposes (x, y) into
+/// the canonical orientation of the sub-square selected by (rx, ry).
+void Rotate(uint32_t side, uint32_t* x, uint32_t* y, uint32_t rx,
+            uint32_t ry) {
+  if (ry != 0) return;
+  if (rx == 1) {
+    *x = side - 1 - *x;
+    *y = side - 1 - *y;
+  }
+  const uint32_t t = *x;
+  *x = *y;
+  *y = t;
+}
+
+}  // namespace
+
+uint64_t HilbertDistance(uint32_t x, uint32_t y, int order) {
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCell(uint64_t d, int order, uint32_t* x, uint32_t* y) {
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < (1u << order); s <<= 1) {
+    const uint32_t rx = static_cast<uint32_t>((t / 2) & 1);
+    const uint32_t ry = static_cast<uint32_t>((t ^ rx) & 1);
+    Rotate(s, &cx, &cy, rx, ry);
+    cx += s * rx;
+    cy += s * ry;
+    t /= 4;
+  }
+  *x = cx;
+  *y = cy;
+}
+
+}  // namespace trajkit::store

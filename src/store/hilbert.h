@@ -1,0 +1,25 @@
+#ifndef TRAJKIT_STORE_HILBERT_H_
+#define TRAJKIT_STORE_HILBERT_H_
+
+#include <cstdint>
+
+namespace trajkit::store {
+
+/// Order of the Hilbert grid used for bulk loading: the store's bounding
+/// box is discretized into 2^16 x 2^16 cells, giving a 32-bit curve index.
+inline constexpr int kHilbertOrder = 16;
+
+/// Distance along the order-`order` Hilbert curve of grid cell (x, y).
+/// x and y must be < 2^order. The curve visits every cell exactly once and
+/// consecutive distances are grid neighbours, so sorting rectangles by the
+/// curve distance of their centers clusters spatial neighbours into the
+/// same R-tree leaves (Kamel & Faloutsos' Hilbert packing).
+uint64_t HilbertDistance(uint32_t x, uint32_t y, int order = kHilbertOrder);
+
+/// Inverse of HilbertDistance: the grid cell at distance `d` along the
+/// order-`order` curve. Test hook for the bijection property.
+void HilbertCell(uint64_t d, int order, uint32_t* x, uint32_t* y);
+
+}  // namespace trajkit::store
+
+#endif  // TRAJKIT_STORE_HILBERT_H_

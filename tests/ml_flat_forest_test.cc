@@ -1,17 +1,22 @@
 // Golden parity and lifecycle tests for the compiled flat inference form
 // (ml/flat_forest.h): bit-identity against the pointer walk at 1 and 8
-// threads, the quantization exactness contract (accept and reject), and
-// serialize -> compile-on-register -> hot-swap parity through the serving
-// registry.
+// threads, the quantization exactness contract (accept and reject), the
+// raw binary dump round trip (bit-identical, quantized mirror included),
+// and serialize -> compile-on-register -> hot-swap parity through the
+// serving registry.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "ml/flat_forest.h"
@@ -300,6 +305,103 @@ TEST(FlatForestTest, AccumulateVotesMatchesManualTreeSum) {
       EXPECT_EQ(acc[c], expected[c]);
     }
   }
+}
+
+TEST(FlatForestTest, DumpRoundTripIsBitIdentical) {
+  const Dataset train = MakeBlobs(4, 60, 6, 1.4, 77);
+  RandomForestParams params;
+  params.n_estimators = 12;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const auto compiled = FlatForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "trajkit_flat_forest.bin")
+          .string();
+  ASSERT_TRUE(compiled->SaveTo(path).ok());
+  const auto loaded = FlatForest::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_classes(), compiled->num_classes());
+  EXPECT_EQ(loaded->num_features(), compiled->num_features());
+  EXPECT_EQ(loaded->num_trees(), compiled->num_trees());
+  EXPECT_EQ(loaded->num_nodes(), compiled->num_nodes());
+  EXPECT_EQ(loaded->quantized(), compiled->quantized());
+
+  const Matrix queries = RandomQueries(150, 6, 78);
+  EXPECT_EQ(loaded->Predict(queries), compiled->Predict(queries));
+  ExpectBitIdentical(loaded->PredictProba(queries),
+                     compiled->PredictProba(queries));
+  std::remove(path.c_str());
+}
+
+TEST(FlatForestTest, DumpRoundTripPreservesTheQuantizedMirror) {
+  // Wide blobs quantize cleanly (same construction the acceptance test
+  // uses); the loaded mirror must route every query to the same leaf.
+  const Dataset train = MakeBlobs(3, 80, 5, 0.4, 81);
+  RandomForestParams params;
+  params.n_estimators = 10;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  FlatForestOptions options;
+  options.quantize = true;
+  options.exactness_reference = &train.features();
+  const auto compiled = FlatForest::Compile(forest, options);
+  ASSERT_TRUE(compiled.ok());
+  if (!compiled->quantized()) {
+    GTEST_SKIP() << "quantization rejected on this fixture: "
+                 << compiled->quantization_rejection();
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "trajkit_flat_forest_q.bin")
+          .string();
+  ASSERT_TRUE(compiled->SaveTo(path).ok());
+  const auto loaded = FlatForest::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->quantized());
+
+  const Matrix queries = RandomQueries(100, 5, 82);
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    for (size_t t = 0; t < compiled->num_trees(); ++t) {
+      EXPECT_EQ(loaded->LeafIndexForTest(t, queries.Row(r), true),
+                compiled->LeafIndexForTest(t, queries.Row(r), true));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlatForestTest, LoadRejectsMissingCorruptAndTruncatedDumps) {
+  EXPECT_FALSE(FlatForest::LoadFrom("/nonexistent/flat_forest.bin").ok());
+
+  const std::string garbage =
+      (std::filesystem::temp_directory_path() / "trajkit_ff_garbage.bin")
+          .string();
+  ASSERT_TRUE(WriteStringToFile(garbage, "not a forest dump").ok());
+  EXPECT_FALSE(FlatForest::LoadFrom(garbage).ok());
+  std::remove(garbage.c_str());
+
+  const Dataset train = MakeBlobs(3, 40, 4, 1.2, 83);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const auto compiled = FlatForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+  const std::string full =
+      (std::filesystem::temp_directory_path() / "trajkit_ff_full.bin")
+          .string();
+  ASSERT_TRUE(compiled->SaveTo(full).ok());
+  const std::string bytes = ReadFileToString(full).value();
+  const std::string truncated =
+      (std::filesystem::temp_directory_path() / "trajkit_ff_trunc.bin")
+          .string();
+  ASSERT_TRUE(
+      WriteStringToFile(truncated,
+                        std::string_view(bytes).substr(0, bytes.size() / 2))
+          .ok());
+  EXPECT_FALSE(FlatForest::LoadFrom(truncated).ok());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
 }
 
 TEST(FlatForestTest, SerializeCompileOnRegisterSwapParity) {

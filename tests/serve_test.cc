@@ -679,6 +679,36 @@ TEST(ReplayTest, MatchesOfflinePipelineExactly) {
             report->segments_closed);
 }
 
+TEST(ReplayTest, ClosedSinkSeesEverySegmentWithItsResolvedPrediction) {
+  const ReplayFixture& fixture = ReplayFixture::Get();
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  BatchPredictor predictor(&registry);
+  ReplayOptions options;
+  std::vector<int> sink_predictions;
+  size_t sink_with_bbox = 0;
+  options.closed_sink = [&](const ClosedSegment& segment,
+                            int predicted_class) {
+    if (segment.bbox.IsInitialized()) ++sink_with_bbox;
+    EXPECT_GT(segment.num_points, 0u);
+    sink_predictions.push_back(predicted_class);
+  };
+  const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
+                                   predictor, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // One sink call per closed segment, each carrying an MBR; the evaluated
+  // ones carry the exact class the predictor answered (close order), the
+  // rest -1.
+  EXPECT_EQ(sink_predictions.size(), report->segments_closed);
+  EXPECT_EQ(sink_with_bbox, report->segments_closed);
+  std::vector<int> evaluated;
+  for (const int cls : sink_predictions) {
+    if (cls >= 0) evaluated.push_back(cls);
+  }
+  EXPECT_EQ(evaluated, report->y_pred);
+}
+
 TEST(ReplayTest, PeriodicIdleEvictionStillEvaluatesEverySegment) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
@@ -894,51 +924,6 @@ TEST(BatchPredictorTest, DisabledInjectorKeepsAnswersBitIdentical) {
   }
   EXPECT_EQ(predictor.counters().degraded, 0u);
   EXPECT_EQ(predictor.counters().unavailable, 0u);
-}
-
-TEST(BatchPredictorTest, DeprecatedFeaturesOverloadStillServes) {
-  const ReplayFixture& fixture = ReplayFixture::Get();
-  ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
-  BatchPredictor predictor(&registry);
-  // The pre-RequestContext entry point must keep working (and forwarding
-  // with an infinite deadline) until call sites finish migrating.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto future = predictor.Submit(FixtureRow(0));
-#pragma GCC diagnostic pop
-  const auto result = future.get();
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
-  EXPECT_EQ(result.value().degradation, DegradationLevel::kNone);
-}
-
-TEST(BatchPredictorTest, DeprecatedSubmitRoutesAnInfiniteDeadline) {
-  const ReplayFixture& fixture = ReplayFixture::Get();
-  ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
-  // Park the worker: the batch never fills and the flush delay is far
-  // beyond the test, so the request sits in the queue. If the deprecated
-  // overload attached anything but an infinite deadline (in particular a
-  // zero/epoch one), the sweep would expire it while parked.
-  BatchPredictorOptions options;
-  options.max_batch_size = 1000;
-  options.max_delay_seconds = 60.0;
-  BatchPredictor predictor(&registry, options);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto future = predictor.Submit(FixtureRow(0));
-#pragma GCC diagnostic pop
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
-            std::future_status::timeout)
-      << "request resolved while the worker was parked";
-  EXPECT_EQ(predictor.counters().deadline_exceeded, 0u);
-  predictor.Flush();
-  const auto result = future.get();
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().label, fixture.offline_predictions[0]);
-  EXPECT_EQ(predictor.counters().deadline_exceeded, 0u);
 }
 
 // ------------------------------------------------------ Fault injector --

@@ -102,7 +102,7 @@ else
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
     --target parallel_test serve_test obs_test request_trace_test \
-             ml_flat_forest_test
+             ml_flat_forest_test store_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
@@ -124,7 +124,7 @@ fi
 if [[ "$SKIP_BENCH" -eq 1 ]]; then
   echo "==> bench gate skipped (--skip-bench)"
 else
-  echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel + micro_ml"
+  echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel + micro_ml + micro_store"
   BENCH_OUT="$BUILD_DIR/bench-gate"
   mkdir -p "$BENCH_OUT"
   GATE_FILES=()
@@ -142,8 +142,12 @@ else
     # (flat vs pointer forest inference + point-feature kernels, 1 thread).
     "$BUILD_DIR"/bench/micro_ml --threads=1 '--benchmark_filter=^$' \
       --timing_json="$BENCH_OUT/ml_$run.json" >/dev/null 2>&1
+    # micro_store exits nonzero on its own if the indexed bbox path is
+    # not >=10x faster than the oracle scan or any result diverges.
+    "$BUILD_DIR"/bench/micro_store --segments=20000 --queries=400 \
+      --timing_json="$BENCH_OUT/store_$run.json" >/dev/null
     GATE_FILES+=("$BENCH_OUT/serve_$run.json" "$BENCH_OUT/parallel_$run.json" \
-                 "$BENCH_OUT/ml_$run.json")
+                 "$BENCH_OUT/ml_$run.json" "$BENCH_OUT/store_$run.json")
   done
   python3 tools/check_bench.py --baseline=BENCH_baseline.json "${GATE_FILES[@]}"
 fi

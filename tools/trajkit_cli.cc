@@ -37,6 +37,7 @@
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
 //                     [--trace_json=FILE] [--trace_test=FILE]
 //                     [--trace_sample=N] [--trace_buffer=M]
+//                     [--store_out=FILE]
 //       Replay a corpus through the online serving stack (streaming
 //       sessions -> incremental features -> micro-batched prediction) in
 //       global timestamp order and compare the accuracy against the
@@ -58,6 +59,21 @@
 //       deterministic rank-timestamp dump, --trace_sample=N head-samples
 //       every Nth request (bad outcomes are always tail-kept), and
 //       --trace_buffer=M sizes the per-thread ring (events).
+//       --store_out=FILE persists every closed segment (with its resolved
+//       prediction) as a trajectory-store segment log for `trajkit query`.
+//
+//   trajkit query     --store=FILE [--bbox=MINLAT,MINLON,MAXLAT,MAXLON]
+//                     [--time=BEGIN,END] [--mode=walk,bus,...]
+//                     [--user=ID] [--hotspots=CELL_DEG] [--k=10]
+//                     [--str] [--oracle] [--limit=20]
+//       Answer spatio-temporal queries over a trajectory store written by
+//       `serve-replay --store_out` (src/store/): the default is a
+//       bbox/time/mode scan through the bulk-loaded spatial index,
+//       --user lists one user's history, and --hotspots aggregates the
+//       top-k cells of a uniform CELL_DEG-degree grid. --oracle re-runs
+//       the query through the brute-force scan and fails unless both
+//       answers are byte-identical; --str packs the index with
+//       Sort-Tile-Recursive instead of the Hilbert curve.
 //
 //   trajkit statusz   [--users=N] [--days=D] [--seed=S] [--trees=T]
 //                     [--batch=..] [--deadline_ms=..] [--max_queue=..]
@@ -103,6 +119,7 @@
 #include "serve/replay.h"
 #include "serve/session_manager.h"
 #include "serve/statusz.h"
+#include "store/trajectory_store.h"
 #include "synthgeo/generator.h"
 #include "traj/trajectory_features.h"
 
@@ -111,7 +128,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: trajkit "
-    "<generate|features|train|evaluate|predict|serve-replay|statusz> "
+    "<generate|features|train|evaluate|predict|serve-replay|query|statusz> "
     "[--flags]\n"
     "run `trajkit <command> --help` or see the file header for details\n";
 
@@ -455,6 +472,24 @@ int RunServeReplay(const Flags& flags) {
   replay_options.deadline_seconds =
       flags.GetDouble("deadline_ms", 0.0) * 1e-3;
   replay_options.retry_budget = flags.GetInt("retries", 0);
+
+  // --store_out: persist every closed segment (keyed by its resolved
+  // prediction; segments never predicted keep their annotated mode) as a
+  // trajectory-store segment log the `query` subcommand reads back.
+  const std::string store_out = flags.GetString("store_out", "");
+  std::optional<store::TrajectoryStore> trajectory_store;
+  if (!store_out.empty()) {
+    trajectory_store.emplace();
+    replay_options.closed_sink = [&trajectory_store, &labels](
+                                     const serve::ClosedSegment& segment,
+                                     int predicted_class) {
+      const traj::Mode predicted = predicted_class >= 0
+                                       ? labels->ModeOf(predicted_class)
+                                       : segment.mode;
+      trajectory_store->Ingest(store::FromClosedSegment(segment, predicted));
+    };
+  }
+
   Stopwatch timer;
   auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
                                     replay_options);
@@ -503,6 +538,13 @@ int RunServeReplay(const Flags& flags) {
                  "%zu accounted)\n",
                  submitted, accounted);
     return 1;
+  }
+
+  if (trajectory_store.has_value()) {
+    const Status status = trajectory_store->SaveTo(store_out);
+    if (!status.ok()) return Fail(status, "store save");
+    std::printf("store: %zu segments -> %s\n", trajectory_store->size(),
+                store_out.c_str());
   }
 
   // The metrics/trace artifacts reflect the serving replay itself, so
@@ -561,6 +603,153 @@ int RunServeReplay(const Flags& flags) {
                 report->segments_evaluated, dataset->num_samples(),
                 report->correct, offline_correct);
   }
+  return 0;
+}
+
+/// Parses a comma-separated list of exactly `expected` doubles.
+Result<std::vector<double>> ParseDoubleList(const std::string& text,
+                                            size_t expected,
+                                            const char* what) {
+  std::vector<double> values;
+  for (std::string_view field : SplitString(text, ',')) {
+    auto value = ParseDouble(StripWhitespace(field));
+    if (!value.ok()) return value.status();
+    values.push_back(value.value());
+  }
+  if (values.size() != expected) {
+    return Status::InvalidArgument(
+        StrPrintf("%s wants %zu comma-separated numbers, got %zu", what,
+                  expected, values.size()));
+  }
+  return values;
+}
+
+void PrintSegmentRows(const store::TrajectoryStore& trajectory_store,
+                      const std::vector<uint32_t>& ids, size_t limit) {
+  std::printf("  %8s %8s %6s %6s %10s %10s %14s %14s %7s\n", "id", "session",
+              "user", "day", "pred", "true", "start", "end", "points");
+  const size_t show = ids.size() < limit ? ids.size() : limit;
+  for (size_t i = 0; i < show; ++i) {
+    const store::StoredSegment segment = trajectory_store.Segment(ids[i]);
+    std::printf("  %8u %8lld %6d %6lld %10s %10s %14.0f %14.0f %7u\n",
+                ids[i], static_cast<long long>(segment.session_id),
+                segment.user_id, static_cast<long long>(segment.day),
+                std::string(traj::ModeToString(segment.predicted_mode))
+                    .c_str(),
+                std::string(traj::ModeToString(segment.true_mode)).c_str(),
+                segment.start_time, segment.end_time, segment.num_points);
+  }
+  if (ids.size() > show) {
+    std::printf("  ... and %zu more (raise --limit to see them)\n",
+                ids.size() - show);
+  }
+}
+
+/// `trajkit query`: the read side. Loads a segment log written by
+/// `serve-replay --store_out` and answers one of the three query shapes;
+/// --oracle cross-checks the indexed answer against the brute-force scan.
+int RunQuery(const Flags& flags) {
+  const std::string store_path = flags.GetString("store", "");
+  if (store_path.empty()) {
+    std::fprintf(stderr, "query: --store=FILE is required\n");
+    return 2;
+  }
+  store::TrajectoryStoreOptions store_options;
+  if (flags.Has("str")) {
+    store_options.strategy = store::BulkLoadStrategy::kStr;
+  }
+  store::TrajectoryStore trajectory_store(store_options);
+  {
+    const Status status = trajectory_store.Load(store_path);
+    if (!status.ok()) return Fail(status, "store load");
+  }
+  std::printf("store: %zu segments from %s\n", trajectory_store.size(),
+              store_path.c_str());
+
+  store::TimeRange time = store::TimeRange::All();
+  if (flags.Has("time")) {
+    auto values =
+        ParseDoubleList(flags.GetString("time", ""), 2, "--time");
+    if (!values.ok()) return Fail(values.status(), "time range");
+    time.begin = values.value()[0];
+    time.end = values.value()[1];
+  }
+  auto mask = store::ParseModeMask(flags.GetString("mode", ""));
+  if (!mask.ok()) return Fail(mask.status(), "mode mask");
+  const size_t limit = static_cast<size_t>(flags.GetInt("limit", 20));
+  const bool oracle = flags.Has("oracle");
+
+  if (flags.Has("user")) {
+    const int32_t user_id = flags.GetInt("user", 0);
+    const std::vector<uint32_t> ids =
+        trajectory_store.QueryUser(user_id, time);
+    std::printf("user %d: %zu segments\n", user_id, ids.size());
+    if (oracle &&
+        ids != trajectory_store.QueryUserBruteForce(user_id, time)) {
+      std::fprintf(stderr, "query: index disagrees with the oracle\n");
+      return 1;
+    }
+    PrintSegmentRows(trajectory_store, ids, limit);
+    if (oracle) std::printf("oracle check: identical\n");
+    return 0;
+  }
+
+  if (flags.Has("hotspots")) {
+    const double cell_deg = flags.GetDouble("hotspots", 0.01);
+    if (cell_deg <= 0.0) {
+      std::fprintf(stderr, "query: --hotspots wants a positive cell size\n");
+      return 2;
+    }
+    const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+    const std::vector<store::HotspotCell> cells =
+        trajectory_store.TopKHotspots(cell_deg, k, mask.value());
+    std::printf("top %zu hotspot cells (%.4f deg grid)\n", cells.size(),
+                cell_deg);
+    if (oracle && cells != trajectory_store.TopKHotspotsBruteForce(
+                               cell_deg, k, mask.value())) {
+      std::fprintf(stderr, "query: index disagrees with the oracle\n");
+      return 1;
+    }
+    std::printf("  %8s %8s %8s  %s\n", "cell_lat", "cell_lon", "count",
+                "bounds (lat, lon)");
+    for (const store::HotspotCell& cell : cells) {
+      std::printf("  %8lld %8lld %8llu  [%.4f, %.4f] x [%.4f, %.4f]\n",
+                  static_cast<long long>(cell.cell_lat),
+                  static_cast<long long>(cell.cell_lon),
+                  static_cast<unsigned long long>(cell.count),
+                  cell.bounds.min_lat, cell.bounds.max_lat,
+                  cell.bounds.min_lon, cell.bounds.max_lon);
+    }
+    if (oracle) std::printf("oracle check: identical\n");
+    return 0;
+  }
+
+  geo::BoundingBox box;
+  box.Extend(geo::LatLon{-90.0, -180.0});
+  box.Extend(geo::LatLon{90.0, 180.0});
+  if (flags.Has("bbox")) {
+    auto values =
+        ParseDoubleList(flags.GetString("bbox", ""), 4, "--bbox");
+    if (!values.ok()) return Fail(values.status(), "bbox");
+    box = geo::BoundingBox();
+    box.Extend(geo::LatLon{values.value()[0], values.value()[1]});
+    box.Extend(geo::LatLon{values.value()[2], values.value()[3]});
+  }
+  const std::vector<uint32_t> ids =
+      trajectory_store.QueryBBox(box, time, mask.value());
+  std::printf("bbox [%.4f, %.4f] x [%.4f, %.4f]: %zu segments\n",
+              box.min_lat, box.max_lat, box.min_lon, box.max_lon,
+              ids.size());
+  if (oracle &&
+      ids != trajectory_store.QueryBBoxBruteForce(box, time, mask.value())) {
+    std::fprintf(stderr, "query: index disagrees with the oracle\n");
+    return 1;
+  }
+  PrintSegmentRows(trajectory_store, ids, limit);
+  if (oracle) std::printf("oracle check: identical\n");
+  const store::StoreStats stats = trajectory_store.stats();
+  std::printf("index: %zu nodes, height %zu, %zu visited\n",
+              stats.index_nodes, stats.index_height, stats.nodes_visited);
   return 0;
 }
 
@@ -649,9 +838,25 @@ int RunStatusz(const Flags& flags) {
   replay_options.deadline_seconds =
       flags.GetDouble("deadline_ms", 50.0) * 1e-3;
   replay_options.retry_budget = flags.GetInt("retries", 1);
+  // Feed a trajectory store from the replay so the page's store section
+  // renders live numbers, and touch each query path once.
+  store::TrajectoryStore trajectory_store;
+  replay_options.closed_sink = [&trajectory_store, &labels](
+                                   const serve::ClosedSegment& segment,
+                                   int predicted_class) {
+    const traj::Mode predicted = predicted_class >= 0
+                                     ? labels->ModeOf(predicted_class)
+                                     : segment.mode;
+    trajectory_store.Ingest(store::FromClosedSegment(segment, predicted));
+  };
   auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
                                     replay_options);
   if (!report.ok()) return Fail(report.status(), "replay");
+  geo::BoundingBox everywhere;
+  everywhere.Extend(geo::LatLon{-90.0, -180.0});
+  everywhere.Extend(geo::LatLon{90.0, 180.0});
+  (void)trajectory_store.QueryBBox(everywhere);
+  (void)trajectory_store.TopKHotspots(/*cell_deg=*/0.01, /*k=*/5);
 
   std::printf("%s", serve::RenderStatusPage(
                         obs::MetricsRegistry::Global(),
@@ -680,6 +885,7 @@ int Run(int argc, char** argv) {
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "predict") return RunPredict(flags);
   if (command == "serve-replay") return RunServeReplay(flags);
+  if (command == "query") return RunQuery(flags);
   if (command == "statusz") return RunStatusz(flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
