@@ -1,9 +1,16 @@
 // micro_serve — throughput and latency of the online serving stack.
 //
-// Sweeps the shared pool over --threads_list (default 1,2,4,8) and, per
+// Phase A sweeps the ServingPlane over --shards_list (default 1,8): the
+// point stream is partitioned by the plane's hash(user_id) routing and one
+// writer thread per shard drives SessionManager +
+// StreamingFeatureExtractor concurrently — shard-per-core ingest scaling
+// (ingest_t<S>_s; S=1 is the pre-shard single-writer baseline).
+// --require_shard_scaling=R additionally fails the run unless the largest
+// shard count ingests >= R times the shards=1 rate (CI passes it only on
+// machines with enough cores).
+//
+// Then the shared pool sweeps --threads_list (default 1,2,4,8) and, per
 // thread count, measures:
-//   A. ingest:      SessionManager + StreamingFeatureExtractor points/s
-//                   (single-writer by contract — thread-invariant).
 //   B. batched:     micro-batched prediction via BatchPredictor — request
 //                   throughput and enqueue-to-completion latency
 //                   p50/p90/p99.
@@ -19,7 +26,8 @@
 //                   (served/shed/expired split and survivor p99).
 //
 // Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
-// --overload_deadline_ms, --threads_list=1,2,4,8, --timing_json=FILE,
+// --overload_deadline_ms, --shards_list=1,8, --require_shard_scaling=R,
+// --threads_list=1,2,4,8, --timing_json=FILE,
 // plus the shared --trace_json/--trace_test/--trace_sample/--trace_buffer
 // (flight recorder off unless a trace output is requested, so the perf
 // gate measures the untraced path).
@@ -28,6 +36,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -37,6 +46,7 @@
 #include "ml/random_forest.h"
 #include "serve/batch_predictor.h"
 #include "serve/model_registry.h"
+#include "serve/serving_plane.h"
 #include "serve/session_manager.h"
 #include "stats/descriptive.h"
 #include "synthgeo/generator.h"
@@ -45,14 +55,14 @@
 namespace trajkit::bench {
 namespace {
 
-std::vector<int> ParseThreadsList(const Flags& flags) {
-  std::vector<int> threads;
-  const std::string list = flags.GetString("threads_list", "1,2,4,8");
+std::vector<int> ParseIntList(const Flags& flags, const char* name,
+                              const char* fallback) {
+  std::vector<int> values;
+  const std::string list = flags.GetString(name, fallback);
   for (const std::string_view token : SplitString(list, ',')) {
-    threads.push_back(
-        static_cast<int>(DieOnError(ParseInt64(token), "threads_list")));
+    values.push_back(static_cast<int>(DieOnError(ParseInt64(token), name)));
   }
-  return threads;
+  return values;
 }
 
 int Main(int argc, char** argv) {
@@ -128,30 +138,79 @@ int Main(int argc, char** argv) {
               "%zu requests/phase\n",
               total_points, segment_features.size(), params.n_estimators,
               num_requests);
-  std::printf("%8s %12s %12s %12s %12s %9s %9s %9s\n", "threads",
-              "ingest/s", "batched/s", "per-req/s", "direct/s", "p50_ms",
-              "p90_ms", "p99_ms");
 
-  const std::shared_ptr<const serve::ServingModel> model =
-      registry.Current();
-  for (const int threads : ParseThreadsList(flags)) {
-    SetMaxThreads(threads);
-
-    // Phase A: ingest-only throughput.
+  // Phase A: sharded ingest scaling. One writer thread per shard drives
+  // its shard's SessionManager — the single-writer-per-shard contract —
+  // over the plane's own hash(user_id) partition of the corpus.
+  std::printf("%8s %12s %9s\n", "shards", "ingest/s", "speedup");
+  double shard1_rate = 0.0;
+  double max_shards_rate = 0.0;
+  int max_shards = 1;
+  for (const int shards : ParseIntList(flags, "shards_list", "1,8")) {
+    serve::ServingPlaneOptions plane_options;
+    plane_options.shards = static_cast<size_t>(shards);
+    serve::ServingPlane plane(&registry, plane_options);
+    std::vector<std::vector<const traj::Trajectory*>> partition(
+        plane.num_shards());
+    for (const traj::Trajectory& trajectory : corpus) {
+      partition[plane.ShardOf(trajectory.user_id)].push_back(&trajectory);
+    }
     Stopwatch watch;
     {
-      serve::SessionManager sessions;
-      std::vector<serve::ClosedSegment> closed;
-      for (const traj::Trajectory& trajectory : corpus) {
-        for (const traj::TrajectoryPoint& point : trajectory.points) {
-          sessions.Ingest(trajectory.user_id, point, &closed);
-        }
+      std::vector<std::thread> writers;
+      writers.reserve(plane.num_shards());
+      for (size_t s = 0; s < plane.num_shards(); ++s) {
+        writers.emplace_back([&plane, &partition, s] {
+          std::vector<serve::ClosedSegment> closed;
+          serve::SessionManager& sessions = plane.sessions(s);
+          for (const traj::Trajectory* trajectory : partition[s]) {
+            for (const traj::TrajectoryPoint& point : trajectory->points) {
+              sessions.Ingest(trajectory->user_id, point, &closed);
+            }
+          }
+        });
       }
-      sessions.FlushAll(&closed);
+      for (std::thread& writer : writers) writer.join();
+      std::vector<serve::ClosedSegment> closed;
+      plane.FlushAll(&closed);
     }
     const double ingest_seconds = watch.ElapsedSeconds();
     const double ingest_rate =
         static_cast<double>(total_points) / ingest_seconds;
+    if (shards == 1) shard1_rate = ingest_rate;
+    if (shards >= max_shards) {
+      max_shards = shards;
+      max_shards_rate = ingest_rate;
+    }
+    std::printf("%8d %12.0f %8.2fx\n", shards, ingest_rate,
+                shard1_rate > 0.0 ? ingest_rate / shard1_rate : 0.0);
+    timings.Record(StrPrintf("ingest_t%d_s", shards), ingest_seconds);
+  }
+  // Self-gate for the scaling claim: on a machine with the cores to back
+  // it, shards must actually buy throughput (CI sizes R to the host).
+  const double require_scaling =
+      flags.GetDouble("require_shard_scaling", 0.0);
+  if (require_scaling > 0.0 && shard1_rate > 0.0) {
+    const double speedup = max_shards_rate / shard1_rate;
+    if (speedup < require_scaling) {
+      std::fprintf(stderr,
+                   "micro_serve: %d-shard ingest is only %.2fx the 1-shard "
+                   "rate (--require_shard_scaling=%.2f)\n",
+                   max_shards, speedup, require_scaling);
+      return 1;
+    }
+    std::printf("shard scaling gate: %.2fx >= %.2fx at %d shards\n", speedup,
+                require_scaling, max_shards);
+  }
+
+  std::printf("%8s %12s %12s %12s %9s %9s %9s\n", "threads",
+              "batched/s", "per-req/s", "direct/s", "p50_ms",
+              "p90_ms", "p99_ms");
+
+  const std::shared_ptr<const serve::ServingModel> model =
+      registry.Current();
+  for (const int threads : ParseIntList(flags, "threads_list", "1,2,4,8")) {
+    SetMaxThreads(threads);
 
     // Closed loop through a BatchPredictor: up to `window` requests in
     // flight, harvesting the oldest before each new submit. Returns
@@ -181,7 +240,7 @@ int Main(int argc, char** argv) {
         };
 
     // Phase B: micro-batched dispatch.
-    watch.Reset();
+    Stopwatch watch;
     const std::vector<double> latencies = run_closed_loop(batching);
     const double batched_seconds = watch.ElapsedSeconds();
     const double batched_rate =
@@ -259,15 +318,14 @@ int Main(int argc, char** argv) {
             ? 0.0
             : stats::Percentile(overload_latencies, 99.0);
 
-    std::printf("%8d %12.0f %12.0f %12.0f %12.0f %9.3f %9.3f %9.3f\n",
-                threads, ingest_rate, batched_rate, per_request_rate,
+    std::printf("%8d %12.0f %12.0f %12.0f %9.3f %9.3f %9.3f\n",
+                threads, batched_rate, per_request_rate,
                 direct_rate, p50 * 1e3, p90 * 1e3, p99 * 1e3);
     std::printf("%8s overload: %zu served, %zu shed, %zu expired, "
                 "p99 %.3f ms in %.3f s\n",
                 "", served, shed, expired, overload_p99 * 1e3,
                 overload_seconds);
     const std::string suffix = StrPrintf("_t%d_s", threads);
-    timings.Record("ingest" + suffix, ingest_seconds);
     timings.Record("predict_batched" + suffix, batched_seconds);
     timings.Record("predict_per_request" + suffix, per_request_seconds);
     timings.Record("predict_direct" + suffix, direct_seconds);

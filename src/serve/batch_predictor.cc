@@ -48,6 +48,19 @@ BatchPredictor::BatchPredictor(const ModelRegistry* registry,
       metric_unavailable_(obs::MetricsRegistry::Global().GetCounter(
           "serve.unavailable_total")) {
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  if (options_.shard >= 0) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const std::string prefix = StrPrintf("serve.shard%d.", options_.shard);
+    shard_requests_ =
+        &registry.GetCounter(prefix + "batch_predictor.requests");
+    shard_shed_ = &registry.GetCounter(prefix + "shed_total");
+    shard_deadline_exceeded_ =
+        &registry.GetCounter(prefix + "deadline_exceeded_total");
+    shard_degraded_ = &registry.GetCounter(prefix + "degraded_total");
+    shard_unavailable_ = &registry.GetCounter(prefix + "unavailable_total");
+    shard_queue_depth_ =
+        &registry.GetGauge(prefix + "batch_predictor.queue_depth");
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -94,6 +107,9 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
       ++counters_.deadline_exceeded;
     }
     metric_deadline_exceeded_.Increment();
+    if (shard_deadline_exceeded_ != nullptr) {
+      shard_deadline_exceeded_->Increment();
+    }
     if (traced) {
       TraceTerminal(tracer, trace_id, "deadline_exceeded", tracer.NowNs(),
                     /*tail_keep=*/true);
@@ -143,6 +159,7 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   }
   if (shed_incoming) {
     metric_shed_.Of("queue_full").Increment();
+    if (shard_shed_ != nullptr) shard_shed_->Increment();
     if (traced) {
       TraceTerminal(tracer, trace_id, "shed", tracer.NowNs(),
                     /*tail_keep=*/true);
@@ -151,6 +168,7 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   }
   if (shed_victim) {
     metric_shed_.Of("preempted").Increment();
+    if (shard_shed_ != nullptr) shard_shed_->Increment();
     if (traced) {
       TraceTerminal(tracer, victim_trace_id, "shed", tracer.NowNs(),
                     /*tail_keep=*/true);
@@ -158,8 +176,9 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   }
   cv_.notify_one();
   // Metrics after the notify so the worker's wakeup is not delayed.
-  metric_queue_depth_.Set(static_cast<double>(depth));
+  SetQueueDepthGauge(static_cast<double>(depth));
   metric_requests_.Increment();
+  if (shard_requests_ != nullptr) shard_requests_->Increment();
   return future;
 }
 
@@ -210,7 +229,10 @@ void BatchPredictor::SweepExpiredLocked(
   min_deadline_ = new_min;
   if (expired > 0) {
     metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired));
-    metric_queue_depth_.Set(static_cast<double>(pending_.size()));
+    if (shard_deadline_exceeded_ != nullptr) {
+      shard_deadline_exceeded_->Increment(static_cast<uint64_t>(expired));
+    }
+    SetQueueDepthGauge(static_cast<double>(pending_.size()));
   }
 }
 
@@ -228,7 +250,7 @@ std::vector<BatchPredictor::Request> BatchPredictor::TakeBatchLocked() {
   // request); the next sweep recomputes it, at worst one spurious wakeup.
   // A gauge store is cheap enough to keep under the lock; the batch
   // histogram observes happen in ProcessBatch, outside it.
-  metric_queue_depth_.Set(static_cast<double>(pending_.size()));
+  SetQueueDepthGauge(static_cast<double>(pending_.size()));
   return batch;
 }
 
@@ -292,6 +314,7 @@ bool BatchPredictor::AnswerWithLabelPrior(
   }
   metric_latency_.Observe(prediction.latency_seconds, exemplar_id);
   metric_degraded_.Of("majority_class").Increment();
+  if (shard_degraded_ != nullptr) shard_degraded_->Increment();
   request.promise.set_value(std::move(prediction));
   return true;
 }
@@ -299,6 +322,14 @@ bool BatchPredictor::AnswerWithLabelPrior(
 std::shared_ptr<const ServingModel> BatchPredictor::LastGoodModel() const {
   std::lock_guard<std::mutex> lock(last_good_mu_);
   return last_good_;
+}
+
+void BatchPredictor::SetQueueDepthGauge(double depth) {
+  if (shard_queue_depth_ != nullptr) {
+    shard_queue_depth_->Set(depth);
+  } else {
+    metric_queue_depth_.Set(depth);
+  }
 }
 
 void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
@@ -364,6 +395,9 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   }
   if (expired > 0) {
     metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired));
+    if (shard_deadline_exceeded_ != nullptr) {
+      shard_deadline_exceeded_->Increment(static_cast<uint64_t>(expired));
+    }
     std::lock_guard<std::mutex> lock(mu_);
     counters_.deadline_exceeded += expired;
   }
@@ -402,6 +436,9 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
       }
     }
     metric_unavailable_.Increment(static_cast<uint64_t>(unavailable));
+    if (shard_unavailable_ != nullptr) {
+      shard_unavailable_->Increment(static_cast<uint64_t>(unavailable));
+    }
     std::lock_guard<std::mutex> lock(mu_);
     counters_.unavailable += unavailable;
     counters_.degraded += degraded;
@@ -469,6 +506,9 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   } else {
     metric_degraded_.Of("previous_model")
         .Increment(static_cast<uint64_t>(row_to_request.size()));
+    if (shard_degraded_ != nullptr) {
+      shard_degraded_->Increment(static_cast<uint64_t>(row_to_request.size()));
+    }
     std::lock_guard<std::mutex> lock(mu_);
     counters_.degraded += row_to_request.size();
   }

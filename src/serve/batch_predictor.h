@@ -41,6 +41,12 @@ struct BatchPredictorOptions {
   /// Optional chaos injector (not owned; must outlive the predictor).
   /// nullptr = no fault injection.
   FaultInjector* fault_injector = nullptr;
+  /// Shard index when this predictor is one shard of a ServingPlane; >= 0
+  /// additionally mirrors the lifecycle counters under "serve.shard<i>.*"
+  /// (requests, shed, deadline, degraded, unavailable, queue depth) so
+  /// statusz and the CI shard-determinism matrix can attribute load per
+  /// shard. -1 (default) = unsharded.
+  int shard = -1;
 };
 
 /// Collects prediction requests across sessions into micro-batches and runs
@@ -130,6 +136,10 @@ class BatchPredictor {
   /// Last model that successfully served an undegraded batch.
   std::shared_ptr<const ServingModel> LastGoodModel() const;
 
+  /// Stores the queue depth into the per-shard gauge when sharded, the
+  /// global one otherwise (shards must not clobber each other's depth).
+  void SetQueueDepthGauge(double depth);
+
   const ModelRegistry* registry_;
   BatchPredictorOptions options_;
 
@@ -149,6 +159,17 @@ class BatchPredictor {
   obs::CounterSet metric_degraded_;  // serve.degraded_total.<level>
   obs::Counter& metric_deadline_exceeded_;
   obs::Counter& metric_unavailable_;
+  /// Per-shard mirrors (serve.shard<i>.*), resolved only when
+  /// BatchPredictorOptions::shard >= 0; null otherwise. The unlabelled
+  /// metrics above stay the cross-shard aggregate (they are incremented
+  /// regardless), except queue_depth: a sharded predictor writes only its
+  /// own shard gauge so shards do not clobber each other's depth.
+  obs::Counter* shard_requests_ = nullptr;
+  obs::Counter* shard_shed_ = nullptr;
+  obs::Counter* shard_deadline_exceeded_ = nullptr;
+  obs::Counter* shard_degraded_ = nullptr;
+  obs::Counter* shard_unavailable_ = nullptr;
+  obs::Gauge* shard_queue_depth_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

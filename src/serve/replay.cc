@@ -29,10 +29,9 @@ struct CursorLater {
 
 Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
                                   const core::LabelSet& labels,
-                                  BatchPredictor& predictor,
+                                  ServingPlane& plane,
                                   const ReplayOptions& options) {
   ReplayReport report;
-  SessionManager sessions(options.session);
 
   // K-way merge: pop the cursor with the earliest current point, advance
   // it. A user's own fixes are never reordered — out-of-order fixes inside
@@ -50,6 +49,8 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   struct InFlight {
     int true_class = -1;
     int budget = 0;
+    /// Routing key: resubmits must land on the same user's shard.
+    int64_t user_id = 0;
     uint64_t trace_id = 0;
     /// Index into `staged` when a closed sink is installed; -1 otherwise.
     ptrdiff_t staged = -1;
@@ -90,6 +91,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       InFlight item;
       item.true_class = true_class;
       item.budget = options.retry_budget;
+      item.user_id = segment.user_id;
       item.trace_id = segment.trace_id;
       item.staged = staged_index;
       if (item.budget > 0) item.features = segment.features;
@@ -97,8 +99,8 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       // Propagate the trace minted at segment close, so the session hop
       // and the prediction hop share one request trace.
       context.trace_id = segment.trace_id;
-      item.future = predictor.Submit(
-          PredictRequest(std::move(segment.features), context));
+      item.future = plane.Submit(
+          item.user_id, PredictRequest(std::move(segment.features), context));
       in_flight.push_back(std::move(item));
     }
     closed.clear();
@@ -110,11 +112,11 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     merge.pop();
     const traj::Trajectory& trajectory = corpus[cursor.trajectory];
     const traj::TrajectoryPoint& point = trajectory.points[cursor.point];
-    sessions.Ingest(trajectory.user_id, point, &closed);
+    plane.Ingest(trajectory.user_id, point, &closed);
     ++report.points;
     if (options.evict_every_points > 0 &&
         report.points % options.evict_every_points == 0) {
-      sessions.EvictIdle(point.timestamp, &closed);
+      plane.EvictIdle(point.timestamp, &closed);
     }
     if (!closed.empty()) submit_closed();
     if (cursor.point + 1 < trajectory.points.size()) {
@@ -122,7 +124,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
                         cursor.trajectory, cursor.point + 1});
     }
   }
-  sessions.FlushAll(&closed);
+  plane.FlushAll(&closed);
   submit_closed();
   report.ingest_seconds = ingest_timer.ElapsedSeconds();
 
@@ -133,7 +135,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   Backoff backoff(options.retry, options.retry_seed);
   std::vector<InFlight> round = std::move(in_flight);
   while (!round.empty()) {
-    predictor.Flush();
+    plane.FlushPredictors();
     std::vector<InFlight> next;
     for (InFlight& item : round) {
       Result<Prediction> result = item.future.get();
@@ -184,8 +186,8 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
         } else {
           features = std::move(item.features);
         }
-        item.future = predictor.Submit(
-            PredictRequest(std::move(features), context));
+        item.future = plane.Submit(
+            item.user_id, PredictRequest(std::move(features), context));
         next.push_back(std::move(item));
         continue;
       }
@@ -199,7 +201,7 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       options.closed_sink(staged[i], staged_pred[i]);
     }
   }
-  report.session_stats = sessions.stats();
+  report.session_stats = plane.session_stats();
   return report;
 }
 

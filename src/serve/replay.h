@@ -8,18 +8,15 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "core/label_sets.h"
-#include "serve/batch_predictor.h"
+#include "serve/serving_plane.h"
 #include "serve/session_manager.h"
 #include "traj/types.h"
 
 namespace trajkit::serve {
 
-/// Knobs of a corpus replay.
+/// Knobs of a corpus replay. The session-layer and batching configuration
+/// live on the ServingPlane the replay drives (ServingPlaneOptions).
 struct ReplayOptions {
-  /// Session-layer configuration. The defaults match the offline
-  /// segmenter, so a replay closes exactly the segments
-  /// `traj::SegmentTrajectory` cuts.
-  SessionOptions session;
   /// Run EvictIdle (against event time, i.e. the timestamp of the point
   /// just ingested) every this many points; 0 = never.
   size_t evict_every_points = 0;
@@ -73,7 +70,7 @@ struct ReplayReport {
   std::vector<int> y_pred;
   /// Wall time spent in the ingest loop (excludes waiting on futures).
   double ingest_seconds = 0.0;
-  /// Final session-layer counters.
+  /// Final session-layer counters, summed across the plane's shards.
   SessionManagerStats session_stats;
 
   double accuracy() const {
@@ -85,20 +82,24 @@ struct ReplayReport {
 };
 
 /// Replays a labelled corpus through the online stack in global timestamp
-/// order: a k-way merge over the trajectories feeds points one at a time to
-/// a SessionManager (session id = user id), every closed in-label-set
-/// segment is submitted to `predictor`, and predictions are scored against
-/// the annotated modes. Per-trajectory order is preserved exactly (the
-/// merge never reorders a user's own fixes), so the session layer sees the
-/// same streams the offline segmenter reads.
+/// order: a k-way merge over the trajectories feeds points one at a time
+/// into `plane` (session id = user id, routed to the user's shard), every
+/// closed in-label-set segment is submitted to the shard's predictor, and
+/// predictions are scored against the annotated modes. Per-trajectory
+/// order is preserved exactly (the merge never reorders a user's own
+/// fixes), so the session layer sees the same streams the offline
+/// segmenter reads — and because the plane interleaves evict/flush closes
+/// in globally ascending session-id order, the report (and every output
+/// derived from it) is byte-identical at any shard count.
 ///
 /// Every submitted request is accounted for exactly once in the report:
 /// evaluated (possibly degraded), shed, or deadline-exceeded. Transient
-/// (Unavailable) failures are resubmitted with backoff while the request's
-/// retry budget lasts; any other error aborts the replay with that status.
+/// (Unavailable) failures are resubmitted with backoff (to the same
+/// user's shard) while the request's retry budget lasts; any other error
+/// aborts the replay with that status.
 Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
                                   const core::LabelSet& labels,
-                                  BatchPredictor& predictor,
+                                  ServingPlane& plane,
                                   const ReplayOptions& options = {});
 
 }  // namespace trajkit::serve

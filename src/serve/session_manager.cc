@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/strings.h"
 #include "obs/request_trace.h"
 
 namespace trajkit::serve {
@@ -51,6 +52,16 @@ SessionManager::SessionManager(SessionOptions options)
     metric_closed_by_reason_[r] = &obs::MetricsRegistry::Global().GetCounter(
         "serve.sessions.closed." +
         std::string(CloseReasonToString(static_cast<CloseReason>(r))));
+  }
+  if (options_.shard >= 0) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const std::string prefix =
+        StrPrintf("serve.shard%d.sessions.", options_.shard);
+    shard_points_ = &registry.GetCounter(prefix + "points_ingested");
+    shard_emitted_ = &registry.GetCounter(prefix + "segments_emitted");
+    shard_evicted_idle_ = &registry.GetCounter(prefix + "evicted_idle");
+    shard_evicted_cap_ = &registry.GetCounter(prefix + "evicted_cap");
+    shard_active_ = &registry.GetGauge(prefix + "active");
   }
 }
 
@@ -99,6 +110,7 @@ void SessionManager::CloseSegment(int64_t session_id, Session* session,
     closed->push_back(std::move(segment));
     ++stats_.segments_emitted;
     metric_emitted_.Increment();
+    if (shard_emitted_ != nullptr) shard_emitted_->Increment();
     metric_closed_by_reason_[static_cast<size_t>(reason)]->Increment();
     if (closed_sink_) closed_sink_(closed->back());
   }
@@ -113,6 +125,7 @@ void SessionManager::Ingest(int64_t session_id,
                             std::vector<ClosedSegment>* closed) {
   ++stats_.points_ingested;
   metric_points_.Increment();
+  if (shard_points_ != nullptr) shard_points_->Increment();
   auto [it, inserted] = sessions_.try_emplace(session_id);
   Session& session = it->second;
   if (inserted) {
@@ -174,45 +187,75 @@ void SessionManager::Ingest(int64_t session_id,
   // session was just moved to the front, so the victim is always another
   // one.
   if (options_.max_sessions > 0 && sessions_.size() > options_.max_sessions) {
-    const int64_t victim_id = lru_.back();
-    auto victim = sessions_.find(victim_id);
-    TRAJKIT_CHECK(victim != sessions_.end());
-    CloseSegment(victim_id, &victim->second, CloseReason::kSessionCap,
-                 closed);
-    lru_.pop_back();
-    sessions_.erase(victim);
-    ++stats_.sessions_evicted_cap;
-    metric_evicted_cap_.Increment();
+    CloseSession(lru_.back(), CloseReason::kSessionCap, closed);
   }
-  metric_active_.Set(static_cast<double>(sessions_.size()));
+  SetActiveGauges();
 }
 
 void SessionManager::EvictIdle(double now,
                                std::vector<ClosedSegment>* closed) {
-  if (options_.idle_after_seconds <= 0.0) return;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    Session& session = it->second;
-    if (session.has_last &&
-        now - session.last_time > options_.idle_after_seconds) {
-      CloseSegment(it->first, &session, CloseReason::kIdle, closed);
-      lru_.erase(session.lru);
-      it = sessions_.erase(it);
-      ++stats_.sessions_evicted_idle;
-      metric_evicted_idle_.Increment();
-    } else {
-      ++it;
-    }
+  for (int64_t session_id : IdleSessionIds(now)) {
+    CloseSession(session_id, CloseReason::kIdle, closed);
   }
-  metric_active_.Set(static_cast<double>(sessions_.size()));
+  SetActiveGauges();
 }
 
 void SessionManager::FlushAll(std::vector<ClosedSegment>* closed) {
-  for (auto& [session_id, session] : sessions_) {
-    CloseSegment(session_id, &session, CloseReason::kFlush, closed);
+  for (int64_t session_id : OpenSessionIds()) {
+    CloseSession(session_id, CloseReason::kFlush, closed);
   }
-  sessions_.clear();
-  lru_.clear();
-  metric_active_.Set(0.0);
+  SetActiveGauges();
+}
+
+std::vector<int64_t> SessionManager::OpenSessionIds() const {
+  std::vector<int64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [session_id, session] : sessions_) {
+    ids.push_back(session_id);
+  }
+  return ids;
+}
+
+std::vector<int64_t> SessionManager::IdleSessionIds(double now) const {
+  std::vector<int64_t> ids;
+  if (options_.idle_after_seconds <= 0.0) return ids;
+  for (const auto& [session_id, session] : sessions_) {
+    if (session.has_last &&
+        now - session.last_time > options_.idle_after_seconds) {
+      ids.push_back(session_id);
+    }
+  }
+  return ids;
+}
+
+void SessionManager::CloseSession(int64_t session_id, CloseReason reason,
+                                  std::vector<ClosedSegment>* closed) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  CloseSegment(session_id, &it->second, reason, closed);
+  lru_.erase(it->second.lru);
+  sessions_.erase(it);
+  if (reason == CloseReason::kIdle) {
+    ++stats_.sessions_evicted_idle;
+    metric_evicted_idle_.Increment();
+    if (shard_evicted_idle_ != nullptr) shard_evicted_idle_->Increment();
+  } else if (reason == CloseReason::kSessionCap) {
+    ++stats_.sessions_evicted_cap;
+    metric_evicted_cap_.Increment();
+    if (shard_evicted_cap_ != nullptr) shard_evicted_cap_->Increment();
+  }
+  SetActiveGauges();
+}
+
+void SessionManager::SetActiveGauges() {
+  if (shard_active_ != nullptr) {
+    // Sharded: own only the per-shard gauge. The ServingPlane keeps the
+    // aggregate serve.sessions.active gauge (a per-shard write here would
+    // clobber it with one shard's count).
+    shard_active_->Set(static_cast<double>(sessions_.size()));
+  } else {
+    metric_active_.Set(static_cast<double>(sessions_.size()));
+  }
 }
 
 }  // namespace trajkit::serve

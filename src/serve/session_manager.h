@@ -48,6 +48,11 @@ struct SessionOptions {
   /// Retain the raw points of emitted segments (tests / debugging; off in
   /// production to keep closed segments small).
   bool keep_points = false;
+  /// Shard index when this manager is one shard of a ServingPlane; >= 0
+  /// additionally mirrors the session counters under
+  /// "serve.shard<i>.sessions.*" so statusz and the CI shard-determinism
+  /// matrix can attribute load per shard. -1 (default) = unsharded.
+  int shard = -1;
   /// Forwarded to the streaming feature extractor.
   traj::PointFeatureOptions point_features;
 };
@@ -129,6 +134,22 @@ class SessionManager {
   /// sessions — end-of-stream / shutdown.
   void FlushAll(std::vector<ClosedSegment>* closed);
 
+  /// Ascending ids of all open sessions.
+  std::vector<int64_t> OpenSessionIds() const;
+
+  /// Ascending ids of sessions idle longer than `idle_after_seconds` at
+  /// `now`. Empty when idle eviction is disabled.
+  std::vector<int64_t> IdleSessionIds(double now) const;
+
+  /// Closes `session_id`'s open segment as `reason` and erases the session
+  /// (with eviction bookkeeping for kIdle / kSessionCap). No-op for
+  /// unknown ids. EvictIdle/FlushAll are built on this; a ServingPlane
+  /// calls it directly to interleave closes across shards in globally
+  /// ascending session-id order — the exact one-manager close order, which
+  /// is what keeps replay output byte-identical at any shard count.
+  void CloseSession(int64_t session_id, CloseReason reason,
+                    std::vector<ClosedSegment>* closed);
+
   /// Installs an observer invoked (synchronously, after the segment is
   /// appended to `closed`) for every emitted segment — the hook the
   /// trajectory store ingests through. Replaces any previous sink; pass
@@ -160,6 +181,10 @@ class SessionManager {
   void CloseSegment(int64_t session_id, Session* session, CloseReason reason,
                     std::vector<ClosedSegment>* closed);
 
+  /// Updates the active-session gauge: the per-shard one when sharded
+  /// (the ServingPlane owns the aggregate then), the global one otherwise.
+  void SetActiveGauges();
+
   SessionOptions options_;
   SessionManagerStats stats_;
   std::function<void(const ClosedSegment&)> closed_sink_;
@@ -176,6 +201,14 @@ class SessionManager {
   obs::Counter& metric_evicted_cap_;
   obs::Gauge& metric_active_;
   std::array<obs::Counter*, 7> metric_closed_by_reason_;
+  /// Per-shard mirrors (serve.shard<i>.sessions.*), resolved only when
+  /// SessionOptions::shard >= 0; null otherwise. The unshard-labelled
+  /// metrics above stay the cross-shard aggregate.
+  obs::Counter* shard_points_ = nullptr;
+  obs::Counter* shard_emitted_ = nullptr;
+  obs::Counter* shard_evicted_idle_ = nullptr;
+  obs::Counter* shard_evicted_cap_ = nullptr;
+  obs::Gauge* shard_active_ = nullptr;
   /// Ordered map: deterministic iteration for eviction and flush.
   std::map<int64_t, Session> sessions_;
   /// Recency list, most recently updated first.

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace trajkit::serve {
 namespace {
 
@@ -106,6 +108,37 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
           CounterValue(metrics, "serve.faults.injected.predict_fail"));
   Appendf(out, "  batch_delay: %" PRIu64 "\n",
           CounterValue(metrics, "serve.faults.injected.batch_delay"));
+
+  // Per-shard breakdown (serve.shard<i>.*): rendered only when a sharded
+  // ServingPlane is live in this process — shard 0's counters exist once
+  // one was built. Counts attribute load; the unlabelled metrics above
+  // stay the cross-shard aggregate.
+  if (metrics.FindCounter("serve.shard0.sessions.points_ingested") !=
+          nullptr ||
+      metrics.FindCounter("serve.shard0.batch_predictor.requests") !=
+          nullptr) {
+    out += "shards\n";
+    for (int s = 0;; ++s) {
+      const std::string prefix = StrPrintf("serve.shard%d.", s);
+      const bool has_sessions =
+          metrics.FindCounter(prefix + "sessions.points_ingested") != nullptr;
+      const bool has_predictor =
+          metrics.FindCounter(prefix + "batch_predictor.requests") != nullptr;
+      if (!has_sessions && !has_predictor) break;
+      Appendf(out,
+              "  shard %d: points=%" PRIu64 " segments=%" PRIu64
+              " active=%.0f requests=%" PRIu64 " depth=%.0f shed=%" PRIu64
+              " degraded=%" PRIu64 " deadline=%" PRIu64 "\n",
+              s, CounterValue(metrics, prefix + "sessions.points_ingested"),
+              CounterValue(metrics, prefix + "sessions.segments_emitted"),
+              GaugeValue(metrics, prefix + "sessions.active"),
+              CounterValue(metrics, prefix + "batch_predictor.requests"),
+              GaugeValue(metrics, prefix + "batch_predictor.queue_depth"),
+              CounterValue(metrics, prefix + "shed_total"),
+              CounterValue(metrics, prefix + "degraded_total"),
+              CounterValue(metrics, prefix + "deadline_exceeded_total"));
+    }
+  }
 
   out += "latency (serve.batch_predictor.latency_seconds)\n";
   const obs::Histogram* latency =

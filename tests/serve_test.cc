@@ -27,6 +27,7 @@
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
+#include "serve/serving_plane.h"
 #include "serve/session_manager.h"
 #include "serve/statusz.h"
 #include "synthgeo/generator.h"
@@ -655,9 +656,8 @@ TEST(ReplayTest, MatchesOfflinePipelineExactly) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
   ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
-  BatchPredictor predictor(&registry);
-  const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
-                                   predictor);
+  ServingPlane plane(&registry, {});
+  const auto report = ReplayCorpus(fixture.corpus, fixture.labels, plane);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   // Identically-segmented data: same evaluated segments, same number of
@@ -683,7 +683,7 @@ TEST(ReplayTest, ClosedSinkSeesEverySegmentWithItsResolvedPrediction) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
   ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
-  BatchPredictor predictor(&registry);
+  ServingPlane plane(&registry, {});
   ReplayOptions options;
   std::vector<int> sink_predictions;
   size_t sink_with_bbox = 0;
@@ -694,7 +694,7 @@ TEST(ReplayTest, ClosedSinkSeesEverySegmentWithItsResolvedPrediction) {
     sink_predictions.push_back(predicted_class);
   };
   const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
-                                   predictor, options);
+                                   plane, options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   // One sink call per closed segment, each carrying an MBR; the evaluated
@@ -713,12 +713,13 @@ TEST(ReplayTest, PeriodicIdleEvictionStillEvaluatesEverySegment) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
   ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
-  BatchPredictor predictor(&registry);
+  ServingPlaneOptions plane_options;
+  plane_options.session.idle_after_seconds = 6.0 * 3600.0;
+  ServingPlane plane(&registry, plane_options);
   ReplayOptions options;
-  options.session.idle_after_seconds = 6.0 * 3600.0;
   options.evict_every_points = 1000;
   const auto report = ReplayCorpus(fixture.corpus, fixture.labels,
-                                   predictor, options);
+                                   plane, options);
   ASSERT_TRUE(report.ok());
   // Eviction at a 6h horizon only closes sessions at boundaries the
   // splitter would cut anyway (day change), so nothing is lost.
@@ -1001,7 +1002,9 @@ TEST(ReplayTest, ChaosReplayAccountsEveryRequest) {
   for (const int label : fixture.dataset.labels()) {
     batching.label_prior[static_cast<size_t>(label)] += 1.0;
   }
-  BatchPredictor predictor(&registry, batching);
+  ServingPlaneOptions plane_options;
+  plane_options.batching = batching;
+  ServingPlane plane(&registry, plane_options);
 
   ReplayOptions options;
   options.deadline_seconds = 0.25;
@@ -1009,7 +1012,7 @@ TEST(ReplayTest, ChaosReplayAccountsEveryRequest) {
   options.retry.initial_backoff_seconds = 0.0005;
   options.retry.max_backoff_seconds = 0.002;
   const auto report =
-      ReplayCorpus(fixture.corpus, fixture.labels, predictor, options);
+      ReplayCorpus(fixture.corpus, fixture.labels, plane, options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   // The lifecycle invariant: every submitted request resolves exactly one
@@ -1122,9 +1125,9 @@ std::string TracedReplayDump(int threads) {
   ModelRegistry registry;
   TRAJKIT_CHECK(registry.RegisterAndActivate(fixture.model).ok());
   {
-    BatchPredictor predictor(&registry);
+    ServingPlane plane(&registry, {});
     const auto report =
-        ReplayCorpus(fixture.corpus, fixture.labels, predictor, {});
+        ReplayCorpus(fixture.corpus, fixture.labels, plane, {});
     TRAJKIT_CHECK(report.ok());
     TRAJKIT_CHECK(report->segments_evaluated > 0);
   }

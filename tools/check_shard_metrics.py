@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Shard-determinism gate over serve-replay --metrics_json dumps.
+
+Usage:
+    tools/check_shard_metrics.py BASELINE.json SHARDED.json [SHARDED.json ...]
+
+BASELINE.json is the --shards=1 run; each SHARDED.json is the same replay
+at a different shard count. Two properties are enforced:
+
+  1. Deterministic counters are IDENTICAL across every file. The allowlist
+     below names the counters whose values are a pure function of the
+     replayed corpus (the shard-determinism contract); timing-dependent
+     metrics (histograms, gauges, batch counts — batch composition depends
+     on dispatch timing) are deliberately excluded.
+  2. Shard-labelled counters (serve.shard<i>.<name>) in each sharded file
+     SUM, per basename, to the baseline's value of that deterministic
+     counter — the shard mirrors partition the aggregate, they never
+     double- or under-count.
+
+Exit 0 when every file agrees; exit 1 with a per-key diff otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Counters whose values must not depend on the shard count. Prefix match.
+DETERMINISTIC_PREFIXES = (
+    "serve.sessions.",
+    "serve.shed_total",
+    "serve.degraded_total",
+    "serve.deadline_exceeded_total",
+    "serve.unavailable_total",
+    "serve.batch_predictor.requests",
+    "serve.registry.swaps",
+    "store.",
+)
+
+SHARD_RE = re.compile(r"^serve\.shard(\d+)\.(.+)$")
+
+# serve.shard<i>.<basename> -> the aggregate counter it partitions.
+SHARD_BASENAME_TO_AGGREGATE = {
+    "sessions.points_ingested": "serve.sessions.points_ingested",
+    "sessions.segments_emitted": "serve.sessions.segments_emitted",
+    "sessions.evicted_idle": "serve.sessions.evicted_idle",
+    "sessions.evicted_cap": "serve.sessions.evicted_cap",
+    "batch_predictor.requests": "serve.batch_predictor.requests",
+    "shed_total": "serve.shed_total",
+    "deadline_exceeded_total": "serve.deadline_exceeded_total",
+    "degraded_total": "serve.degraded_total",
+    "unavailable_total": "serve.unavailable_total",
+}
+
+
+def load_counters(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("counters", {}), doc.get("info", {})
+
+
+def deterministic_view(counters):
+    """The unlabelled deterministic counters, shard mirrors excluded."""
+    view = {}
+    for key, value in sorted(counters.items()):
+        if SHARD_RE.match(key):
+            continue
+        if key.startswith(DETERMINISTIC_PREFIXES):
+            view[key] = value
+    return view
+
+
+def aggregate_of(key):
+    """Aggregate counter a shard-split total compares against.
+
+    serve.shed_total.* / serve.degraded_total.* are reason-labelled in the
+    aggregate but single counters per shard: fold the reasons together.
+    """
+    for prefix in ("serve.shed_total", "serve.degraded_total"):
+        if key.startswith(prefix):
+            return prefix
+    return key
+
+
+def shard_sums(counters):
+    """Shard-labelled counters summed per basename -> aggregate name."""
+    sums = {}
+    for key, value in counters.items():
+        match = SHARD_RE.match(key)
+        if match is None:
+            continue
+        basename = match.group(2)
+        aggregate = SHARD_BASENAME_TO_AGGREGATE.get(basename)
+        if aggregate is None:
+            sys.exit(f"unknown shard-labelled counter {key!r}: teach "
+                     "tools/check_shard_metrics.py its aggregate")
+        sums[aggregate] = sums.get(aggregate, 0) + value
+    return sums
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="metrics JSON of the --shards=1 run")
+    parser.add_argument("sharded", nargs="+",
+                        help="metrics JSONs of the sharded runs")
+    args = parser.parse_args()
+
+    base_counters, base_info = load_counters(args.baseline)
+    base_view = deterministic_view(base_counters)
+    if not base_view:
+        sys.exit(f"{args.baseline}: no deterministic serve counters found "
+                 "(wrong file?)")
+
+    # Fold the baseline's reason-labelled aggregates once for property 2.
+    folded = {}
+    for key, value in base_view.items():
+        folded_key = aggregate_of(key)
+        if folded_key != key or folded_key in SHARD_BASENAME_TO_AGGREGATE.values():
+            folded[folded_key] = folded.get(folded_key, 0) + value
+
+    failures = []
+    for path in args.sharded:
+        counters, info = load_counters(path)
+
+        # Property 1: deterministic counters byte-equal.
+        view = deterministic_view(counters)
+        for key in sorted(set(base_view) | set(view)):
+            if base_view.get(key) != view.get(key):
+                failures.append(
+                    f"{path}: {key} = {view.get(key)} != "
+                    f"{base_view.get(key)} ({args.baseline})")
+
+        # The active model version must agree too.
+        base_version = base_info.get("serve.registry.active_version")
+        version = info.get("serve.registry.active_version")
+        if version != base_version:
+            failures.append(
+                f"{path}: serve.registry.active_version = {version!r} != "
+                f"{base_version!r}")
+
+        # Property 2: shard mirrors partition the aggregates.
+        sums = shard_sums(counters)
+        if not sums:
+            failures.append(f"{path}: no serve.shard<i>.* counters "
+                            "(was this run actually sharded?)")
+        for aggregate, total in sorted(sums.items()):
+            expected = folded.get(aggregate, base_view.get(aggregate, 0))
+            if total != expected:
+                failures.append(
+                    f"{path}: sum over shards of {aggregate} = {total} != "
+                    f"{expected} (shards=1 aggregate)")
+
+    if failures:
+        print("shard-determinism gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    print(f"shard-determinism gate: {len(base_view)} deterministic counters "
+          f"identical across {1 + len(args.sharded)} runs; shard mirrors "
+          "sum to the shards=1 aggregates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,12 @@
 # TrajKit CI driver, run locally or by .github/workflows/ci.yml:
 #
 #   1. tier-1: configure (-Werror) + build + full ctest
-#   2. TSan:   concurrency-labelled tests under ThreadSanitizer
-#   3. ASan:   the full suite under AddressSanitizer
-#   4. bench:  perf-regression gate (tools/check_bench.py) against the
+#   2. shard determinism: the same replay corpus at --shards=1/2/8 must
+#      produce byte-identical predictions, lifecycle accounting, and
+#      deterministic metrics (tools/check_shard_metrics.py)
+#   3. TSan:   concurrency-labelled tests under ThreadSanitizer
+#   4. ASan:   the full suite under AddressSanitizer
+#   5. bench:  perf-regression gate (tools/check_bench.py) against the
 #              checked-in BENCH_baseline.json
 #
 # Usage: tools/run_ci.sh [--skip-tsan] [--skip-asan] [--skip-bench]
@@ -50,6 +53,41 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Shard-determinism matrix: the sharding refactor must be invisible to
+# the replayed workload. One corpus, one model, three shard counts —
+# the per-segment predictions CSV and the lifecycle accounting line must
+# be byte-identical, and the deterministic metrics must agree modulo the
+# shard-labelled mirrors (which must sum back to the shards=1 totals).
+echo "==> shard determinism: serve-replay at --shards=1/2/8"
+SHARD_OUT="$BUILD_DIR/shard-determinism"
+mkdir -p "$SHARD_OUT"
+"$BUILD_DIR"/tools/trajkit features --users=6 --days=2 --seed=42 \
+  --out="$SHARD_OUT/features.csv" >/dev/null
+"$BUILD_DIR"/tools/trajkit train --dataset="$SHARD_OUT/features.csv" \
+  --trees=15 --model="$SHARD_OUT/rf.model" >/dev/null
+for shards in 1 2 8; do
+  "$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+    --model="$SHARD_OUT/rf.model" --shards="$shards" \
+    --predictions_out="$SHARD_OUT/predictions_s$shards.csv" \
+    --metrics_json="$SHARD_OUT/metrics_s$shards.json" \
+    > "$SHARD_OUT/replay_s$shards.log"
+  grep '^lifecycle:' "$SHARD_OUT/replay_s$shards.log" \
+    > "$SHARD_OUT/lifecycle_s$shards.txt"
+done
+for shards in 2 8; do
+  cmp "$SHARD_OUT/predictions_s1.csv" \
+      "$SHARD_OUT/predictions_s$shards.csv" || {
+    echo "shard determinism: predictions diverge at --shards=$shards" >&2
+    exit 1
+  }
+  diff "$SHARD_OUT/lifecycle_s1.txt" "$SHARD_OUT/lifecycle_s$shards.txt" || {
+    echo "shard determinism: lifecycle accounting diverges at --shards=$shards" >&2
+    exit 1
+  }
+done
+python3 tools/check_shard_metrics.py "$SHARD_OUT/metrics_s1.json" \
+  "$SHARD_OUT/metrics_s2.json" "$SHARD_OUT/metrics_s8.json"
+
 # Fault-injection smoke: a chaos replay must survive (exit 0, every
 # request accounted — the CLI itself fails on a lifecycle leak) AND the
 # chaos must actually bite: at least one request shed or degraded, with
@@ -94,6 +132,41 @@ EOF
 python3 tools/check_trace.py "$CHAOS_OUT/trace.json" \
   --require-tail-kept-fault
 
+# The same chaos must bite when the plane is sharded: admission control
+# and the degradation ladder are per-shard now, so re-run at --shards=8
+# and re-assert the shed/degraded counters (the shard mirrors must light
+# up too — a silent fall-back to one shard would pass the first run).
+"$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+  --model="$CHAOS_OUT/rf.model" --shards=8 \
+  --deadline_ms=100 --max_queue=16 --retries=2 \
+  --fault_spec="swap_stall:p=0.2,latency_ms=5;predict_fail:p=0.2;batch_delay:p=0.3,latency_ms=2;seed=3" \
+  --metrics_json="$CHAOS_OUT/metrics_s8.json" | tee "$CHAOS_OUT/replay_s8.log"
+grep -E "lifecycle: .* degraded: previous_model=" "$CHAOS_OUT/replay_s8.log" \
+  >/dev/null || {
+    echo "chaos smoke (sharded): accounting line lost its per-rung counts" >&2
+    exit 1
+  }
+python3 - "$CHAOS_OUT/metrics_s8.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+shed = sum(v for k, v in counters.items()
+           if k.startswith("serve.shed_total"))
+degraded = sum(v for k, v in counters.items()
+               if k.startswith("serve.degraded_total"))
+previous_model = counters.get("serve.degraded_total.previous_model", 0)
+shard_counters = sum(1 for k in counters if k.startswith("serve.shard"))
+print(f"chaos smoke (shards=8): shed={shed} degraded={degraded} "
+      f"previous_model={previous_model} shard_counters={shard_counters}")
+if shed + degraded == 0:
+    sys.exit("chaos smoke (shards=8): fault spec injected nothing")
+if previous_model == 0:
+    sys.exit("chaos smoke (shards=8): the last-good-snapshot rung was "
+             "never exercised")
+if shard_counters == 0:
+    sys.exit("chaos smoke (shards=8): no serve.shard<i>.* counters — "
+             "the plane silently ran unsharded")
+EOF
+
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan leg skipped (--skip-tsan)"
 else
@@ -101,8 +174,8 @@ else
   cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread \
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target parallel_test serve_test obs_test request_trace_test \
-             ml_flat_forest_test store_test
+    --target parallel_test serve_test serve_shard_test obs_test \
+             request_trace_test ml_flat_forest_test store_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
@@ -127,10 +200,23 @@ else
   echo "==> bench gate: ${BENCH_RUNS} run(s) of micro_serve + micro_parallel + micro_ml + micro_store"
   BENCH_OUT="$BUILD_DIR/bench-gate"
   mkdir -p "$BENCH_OUT"
+  # The >=Nx sharded-ingest scaling assert needs real cores to mean
+  # anything; scale the bar to the machine and skip it entirely on boxes
+  # too small to demonstrate parallelism (the ingest_t8_s ratio gate in
+  # check_bench.py still runs everywhere).
+  CORES=$(nproc)
+  SHARD_SCALING_ARGS=()
+  if [[ "$CORES" -ge 8 ]]; then
+    SHARD_SCALING_ARGS=(--require_shard_scaling=3.0)
+  elif [[ "$CORES" -ge 4 ]]; then
+    SHARD_SCALING_ARGS=(--require_shard_scaling=2.0)
+  else
+    echo "bench gate: $CORES core(s) — shard-scaling assert skipped"
+  fi
   GATE_FILES=()
   for run in $(seq 1 "$BENCH_RUNS"); do
     "$BUILD_DIR"/bench/micro_serve --users=12 --days=2 --requests=4096 \
-      --threads_list=1 \
+      --threads_list=1 --shards_list=1,8 "${SHARD_SCALING_ARGS[@]}" \
       --timing_json="$BENCH_OUT/serve_$run.json" \
       --metrics_json="$BENCH_OUT/serve_metrics_$run.json" >/dev/null
     "$BUILD_DIR"/bench/micro_parallel \

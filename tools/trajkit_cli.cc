@@ -30,18 +30,24 @@
 //   trajkit serve-replay  (--data=DIR | --synthetic) --model=FILE.model
 //                     [--labels=dabiri|endo|all] [--batch=64]
 //                     [--max_delay_ms=2] [--gap=SECONDS]
-//                     [--max_window=N]
+//                     [--max_window=N] [--shards=1]
 //                     [--subset=FILE.csv --method=importance --top_k=20]
 //                     [--deadline_ms=D] [--max_queue=N] [--retries=R]
 //                     [--fault_spec=SPEC]
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
 //                     [--trace_json=FILE] [--trace_test=FILE]
 //                     [--trace_sample=N] [--trace_buffer=M]
-//                     [--store_out=FILE]
+//                     [--store_out=FILE] [--predictions_out=FILE]
 //       Replay a corpus through the online serving stack (streaming
 //       sessions -> incremental features -> micro-batched prediction) in
 //       global timestamp order and compare the accuracy against the
-//       offline pipeline on identically-segmented data. --deadline_ms
+//       offline pipeline on identically-segmented data. --shards=N routes
+//       users onto N independent serving shards (sessions + micro-batch
+//       queue per shard, hash(user_id) routing); the replay output is
+//       byte-identical at any shard count, which the CI shard-determinism
+//       matrix enforces. --predictions_out writes the per-segment
+//       true/predicted classes (close order) as CSV — the artifact that
+//       matrix diffs. --deadline_ms
 //       attaches a per-request deadline, --max_queue bounds the predictor
 //       queue (admission control sheds lowest-priority first), --retries
 //       grants each request a resubmission budget for transient failures,
@@ -76,6 +82,7 @@
 //       Sort-Tile-Recursive instead of the Hilbert curve.
 //
 //   trajkit statusz   [--users=N] [--days=D] [--seed=S] [--trees=T]
+//                     [--shards=2]
 //                     [--batch=..] [--deadline_ms=..] [--max_queue=..]
 //                     [--retries=..] [--fault_spec=SPEC | --fault_spec=]
 //                     [--metrics_json/--metrics_prom/--trace_json/...]
@@ -117,6 +124,7 @@
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
+#include "serve/serving_plane.h"
 #include "serve/session_manager.h"
 #include "serve/statusz.h"
 #include "store/trajectory_store.h"
@@ -463,12 +471,16 @@ int RunServeReplay(const Flags& flags) {
     batching.label_prior = std::move(prior);
     std::printf("fault injection on: %s\n", fault_spec.c_str());
   }
-  serve::BatchPredictor predictor(&registry, batching);
+
+  serve::ServingPlaneOptions plane_options;
+  plane_options.shards = static_cast<size_t>(flags.GetInt("shards", 1));
+  plane_options.session.max_gap_seconds = flags.GetDouble("gap", 0.0);
+  plane_options.session.max_segment_points =
+      static_cast<size_t>(flags.GetInt("max_window", 0));
+  plane_options.batching = batching;
+  serve::ServingPlane plane(&registry, plane_options);
 
   serve::ReplayOptions replay_options;
-  replay_options.session.max_gap_seconds = flags.GetDouble("gap", 0.0);
-  replay_options.session.max_segment_points =
-      static_cast<size_t>(flags.GetInt("max_window", 0));
   replay_options.deadline_seconds =
       flags.GetDouble("deadline_ms", 0.0) * 1e-3;
   replay_options.retry_budget = flags.GetInt("retries", 0);
@@ -491,18 +503,20 @@ int RunServeReplay(const Flags& flags) {
   }
 
   Stopwatch timer;
-  auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
+  auto report = serve::ReplayCorpus(corpus, labels.value(), plane,
                                     replay_options);
   if (!report.ok()) return Fail(report.status(), "replay");
   const double total_seconds = timer.ElapsedSeconds();
 
-  const serve::BatchPredictor::Counters counters = predictor.counters();
+  const serve::BatchPredictor::Counters counters =
+      plane.predictor_counters();
   std::printf(
-      "replayed %zu points in %.2fs (%.0f points/s ingest)\n",
+      "replayed %zu points in %.2fs (%.0f points/s ingest, %zu shards)\n",
       report->points, total_seconds,
       report->ingest_seconds > 0.0
           ? static_cast<double>(report->points) / report->ingest_seconds
-          : 0.0);
+          : 0.0,
+      plane.num_shards());
   std::printf(
       "segments: %zu closed, %zu evaluated, %zu outside label set\n",
       report->segments_closed, report->segments_evaluated,
@@ -547,6 +561,25 @@ int RunServeReplay(const Flags& flags) {
                 store_out.c_str());
   }
 
+  // --predictions_out: the per-segment true/predicted classes in close
+  // order — the byte-comparable artifact of the CI shard-determinism
+  // matrix (identical at any --shards value).
+  const std::string predictions_out = flags.GetString("predictions_out", "");
+  if (!predictions_out.empty()) {
+    CsvTable table;
+    table.header = {"index", "true_class", "pred_class"};
+    table.rows.reserve(report->y_true.size());
+    for (size_t i = 0; i < report->y_true.size(); ++i) {
+      table.rows.push_back({StrPrintf("%zu", i),
+                            StrPrintf("%d", report->y_true[i]),
+                            StrPrintf("%d", report->y_pred[i])});
+    }
+    const Status write = WriteCsvFile(predictions_out, table);
+    if (!write.ok()) return Fail(write, "predictions CSV write");
+    std::printf("predictions: %zu rows -> %s\n", table.rows.size(),
+                predictions_out.c_str());
+  }
+
   // The metrics/trace artifacts reflect the serving replay itself, so
   // dump them before the offline-comparison pipeline adds its own samples.
   if (!DumpMetrics(flags)) return 1;
@@ -557,7 +590,7 @@ int RunServeReplay(const Flags& flags) {
   // The max-window rule has no offline counterpart, so skip when set;
   // chaos / deadline / shedding runs are not comparable either (requests
   // may be answered degraded or not at all).
-  if (replay_options.session.max_segment_points > 0) {
+  if (plane_options.session.max_segment_points > 0) {
     std::printf("(--max_window set: offline comparison skipped — the "
                 "max-window rule has no offline counterpart)\n");
     return 0;
@@ -570,7 +603,7 @@ int RunServeReplay(const Flags& flags) {
   }
   core::PipelineOptions pipeline_options;
   pipeline_options.segmentation.max_gap_seconds =
-      replay_options.session.max_gap_seconds;
+      plane_options.session.max_gap_seconds;
   const core::Pipeline pipeline(pipeline_options);
   auto dataset = pipeline.BuildDataset(corpus, labels.value());
   if (!dataset.ok()) return Fail(dataset.status(), "offline pipeline");
@@ -832,7 +865,13 @@ int RunStatusz(const Flags& flags) {
     }
     batching.label_prior = std::move(prior);
   }
-  serve::BatchPredictor predictor(&registry, batching);
+
+  // Two shards by default so the page's per-shard section renders with
+  // real numbers; --shards=1 collapses to the unsharded layout.
+  serve::ServingPlaneOptions plane_options;
+  plane_options.shards = static_cast<size_t>(flags.GetInt("shards", 2));
+  plane_options.batching = batching;
+  serve::ServingPlane plane(&registry, plane_options);
 
   serve::ReplayOptions replay_options;
   replay_options.deadline_seconds =
@@ -849,7 +888,7 @@ int RunStatusz(const Flags& flags) {
                                      : segment.mode;
     trajectory_store.Ingest(store::FromClosedSegment(segment, predicted));
   };
-  auto report = serve::ReplayCorpus(corpus, labels.value(), predictor,
+  auto report = serve::ReplayCorpus(corpus, labels.value(), plane,
                                     replay_options);
   if (!report.ok()) return Fail(report.status(), "replay");
   geo::BoundingBox everywhere;
