@@ -25,9 +25,19 @@
 //                   control + deadline enforcement under saturation
 //                   (served/shed/expired split and survivor p99).
 //
+// Phase F measures the ingest-throughput cost of shadow scoring
+// (serve/continuous_training.h): the corpus is replay-ingested through a
+// single-shard plane plain, then again with the same model republished as
+// the shadow candidate (worst case: shadow as expensive as active) and a
+// ShadowEvaluator wired in. Both runs are warmed and best-of-3; the
+// shadowed ingest time is recorded as shadow_overhead_t1_s, and
+// --require_shadow_overhead=R fails the run when the relative overhead
+// exceeds R (CI passes 0.15 — the shadow must ride the worker thread, not
+// the ingest path).
+//
 // Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
 // --overload_deadline_ms, --shards_list=1,8, --require_shard_scaling=R,
-// --threads_list=1,2,4,8, --timing_json=FILE,
+// --require_shadow_overhead=R, --threads_list=1,2,4,8, --timing_json=FILE,
 // plus the shared --trace_json/--trace_test/--trace_sample/--trace_buffer
 // (flight recorder off unless a trace output is requested, so the perf
 // gate measures the untraced path).
@@ -46,8 +56,10 @@
 #include "ml/random_forest.h"
 #include "serve/batch_predictor.h"
 #include "serve/model_registry.h"
+#include "serve/serve_config.h"
 #include "serve/serving_plane.h"
 #include "serve/session_manager.h"
+#include "serve/shadow_evaluator.h"
 #include "stats/descriptive.h"
 #include "synthgeo/generator.h"
 #include "traj/trajectory_features.h"
@@ -72,17 +84,29 @@ int Main(int argc, char** argv) {
   harness.ConfigureTracing();
   TimingJson timings("micro_serve", harness);
 
+  // Shared serving flag surface (serve/serve_config.h).
+  auto config_or =
+      serve::ParseServeFlags(flags, serve::MicroServeDefaults());
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "micro_serve: %s\n",
+                 config_or.status().ToString().c_str());
+    return 2;
+  }
+  const serve::ServeConfig& config = config_or.value();
+
   // Corpus + a forest trained offline on the same features.
-  synthgeo::GeoLifeLikeGenerator generator(
-      CorpusOptionsFromFlags(flags, /*default_users=*/30,
-                             /*default_days=*/4));
+  synthgeo::GeneratorOptions generator_options;
+  generator_options.num_users = config.users;
+  generator_options.days_per_user = config.days;
+  generator_options.seed = config.seed;
+  synthgeo::GeoLifeLikeGenerator generator(generator_options);
   const std::vector<traj::Trajectory> corpus = generator.Generate();
   const core::LabelSet labels = core::LabelSet::Dabiri();
   const core::Pipeline pipeline;
   const ml::Dataset dataset =
       DieOnError(pipeline.BuildDataset(corpus, labels), "pipeline");
   ml::RandomForestParams params;
-  params.n_estimators = flags.GetInt("trees", 50);
+  params.n_estimators = config.trees;
   ml::RandomForest forest(params);
   if (const Status status = forest.Fit(dataset); !status.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
@@ -90,7 +114,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   serve::ModelRegistry registry;
-  if (const Status status = registry.RegisterAndActivate(DieOnError(
+  if (const Status status = registry.Publish(DieOnError(
           serve::MakeServingModel("bench-v1", std::move(forest),
                                   traj::kNumTrajectoryFeatures),
           "serving model"));
@@ -121,9 +145,8 @@ int Main(int argc, char** argv) {
       segment_features.push_back(std::move(segment.features));
     }
   }
-  serve::BatchPredictorOptions batching;
-  batching.max_batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
-  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 2.0) * 1e-3;
+  const serve::BatchPredictorOptions batching =
+      config.MakeBatchingOptions();
   // Prediction phases cycle the segment features into a longer request
   // stream so steady-state batching (not the one trailing deadline stall)
   // is what gets measured.
@@ -203,41 +226,134 @@ int Main(int argc, char** argv) {
                 require_scaling, max_shards);
   }
 
+  const std::shared_ptr<const serve::ServingModel> model =
+      registry.Acquire().active;
+
+  // Closed loop through a BatchPredictor: up to `window` requests in
+  // flight, harvesting the oldest before each new submit. Returns
+  // enqueue-to-completion latencies.
+  const auto run_closed_loop =
+      [&](const serve::BatchPredictorOptions& options) {
+        std::vector<double> latencies;
+        latencies.reserve(num_requests);
+        serve::BatchPredictor predictor(&registry, options);
+        std::vector<std::future<Result<serve::Prediction>>> futures;
+        futures.reserve(num_requests);
+        for (size_t i = 0; i < num_requests; ++i) {
+          if (i >= window) {
+            latencies.push_back(
+                DieOnError(futures[i - window].get(), "predict")
+                    .latency_seconds);
+          }
+          futures.push_back(predictor.Submit(serve::PredictRequest(
+              segment_features[i % segment_features.size()])));
+        }
+        for (size_t i = num_requests >= window ? num_requests - window : 0;
+             i < num_requests; ++i) {
+          latencies.push_back(
+              DieOnError(futures[i].get(), "predict").latency_seconds);
+        }
+        return latencies;
+      };
+
+  // Phase F: shadow-scoring ingest overhead at one thread. Shadow
+  // scoring runs on the predictor's worker thread, so the claim to pin is
+  // that it stays OFF the ingest hot path: the replay-style ingest loop
+  // (points -> sessions -> submit-on-close) is timed once plain and once
+  // with the active model republished into the shadow slot (the worst
+  // case — the shadow costs exactly as much as the active) and a
+  // ShadowEvaluator installed. The shadowed ingest wall time lands in the
+  // perf baseline as shadow_overhead_t1_s; --require_shadow_overhead=R
+  // self-gates the relative ingest-throughput overhead.
+  const auto run_ingest_loop =
+      [&](const serve::BatchPredictorOptions& options) {
+        serve::ServingPlaneOptions plane_options;
+        plane_options.batching = options;
+        serve::ServingPlane plane(&registry, plane_options);
+        std::vector<serve::ClosedSegment> closed;
+        std::vector<std::future<Result<serve::Prediction>>> futures;
+        futures.reserve(segment_features.size());
+        const auto submit_closed = [&] {
+          for (serve::ClosedSegment& segment : closed) {
+            futures.push_back(plane.Submit(
+                segment.user_id,
+                serve::PredictRequest(std::move(segment.features))));
+          }
+          closed.clear();
+        };
+        Stopwatch watch;
+        for (const traj::Trajectory& trajectory : corpus) {
+          for (const traj::TrajectoryPoint& point : trajectory.points) {
+            plane.Ingest(trajectory.user_id, point, &closed);
+            if (!closed.empty()) submit_closed();
+          }
+        }
+        plane.FlushAll(&closed);
+        submit_closed();
+        const double ingest_seconds = watch.ElapsedSeconds();
+        plane.FlushPredictors();
+        for (auto& future : futures) {
+          DieOnError(future.get(), "shadow-phase predict");
+        }
+        return ingest_seconds;
+      };
+  {
+    SetMaxThreads(1);
+    run_ingest_loop(batching);  // Warmup: touch-fault both loops' memory.
+    if (const Status status =
+            registry.Publish("bench-v1", serve::ModelRole::kShadow);
+        !status.ok()) {
+      std::fprintf(stderr, "shadow publish failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    serve::ShadowEvaluator evaluator;
+    serve::BatchPredictorOptions shadowed = batching;
+    shadowed.shadow_evaluator = &evaluator;
+    // Best-of-3, interleaved: the phase is ~tens of milliseconds, so a
+    // single pair of runs is scheduling-noise-dominated.
+    double plain_seconds = 0.0;
+    double shadow_seconds = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double plain = run_ingest_loop(batching);
+      if (rep == 0 || plain < plain_seconds) plain_seconds = plain;
+      evaluator.StartWindow("bench-v1", /*cost_ratio=*/1.0);
+      const double shadow = run_ingest_loop(shadowed);
+      evaluator.EndWindow();
+      if (rep == 0 || shadow < shadow_seconds) shadow_seconds = shadow;
+    }
+    if (const Status status = registry.RetireShadow("bench teardown");
+        !status.ok()) {
+      std::fprintf(stderr, "shadow retire failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    const double overhead =
+        plain_seconds > 0.0 ? shadow_seconds / plain_seconds - 1.0 : 0.0;
+    std::printf("shadow scoring: ingest %.3f s plain vs %.3f s shadowed "
+                "at 1 thread (%+.1f%% overhead, %zu shadow samples)\n",
+                plain_seconds, shadow_seconds, overhead * 100.0,
+                evaluator.window().scored);
+    timings.Record("shadow_overhead_t1_s", shadow_seconds);
+    const double require_overhead =
+        flags.GetDouble("require_shadow_overhead", 0.0);
+    if (require_overhead > 0.0 && overhead > require_overhead) {
+      std::fprintf(stderr,
+                   "micro_serve: shadow scoring costs %+.1f%% ingest "
+                   "throughput (--require_shadow_overhead=%.2f allows "
+                   "%.0f%%)\n",
+                   overhead * 100.0, require_overhead,
+                   require_overhead * 100.0);
+      return 1;
+    }
+  }
+
   std::printf("%8s %12s %12s %12s %9s %9s %9s\n", "threads",
               "batched/s", "per-req/s", "direct/s", "p50_ms",
               "p90_ms", "p99_ms");
 
-  const std::shared_ptr<const serve::ServingModel> model =
-      registry.Current();
   for (const int threads : ParseIntList(flags, "threads_list", "1,2,4,8")) {
     SetMaxThreads(threads);
-
-    // Closed loop through a BatchPredictor: up to `window` requests in
-    // flight, harvesting the oldest before each new submit. Returns
-    // enqueue-to-completion latencies.
-    const auto run_closed_loop =
-        [&](const serve::BatchPredictorOptions& options) {
-          std::vector<double> latencies;
-          latencies.reserve(num_requests);
-          serve::BatchPredictor predictor(&registry, options);
-          std::vector<std::future<Result<serve::Prediction>>> futures;
-          futures.reserve(num_requests);
-          for (size_t i = 0; i < num_requests; ++i) {
-            if (i >= window) {
-              latencies.push_back(
-                  DieOnError(futures[i - window].get(), "predict")
-                      .latency_seconds);
-            }
-            futures.push_back(predictor.Submit(serve::PredictRequest(
-                segment_features[i % segment_features.size()])));
-          }
-          for (size_t i = num_requests >= window ? num_requests - window : 0;
-               i < num_requests; ++i) {
-            latencies.push_back(
-                DieOnError(futures[i].get(), "predict").latency_seconds);
-          }
-          return latencies;
-        };
 
     // Phase B: micro-batched dispatch.
     Stopwatch watch;

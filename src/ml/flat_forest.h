@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,21 @@ struct FlatForestOptions {
   /// Rows the exactness check replays (normally the training features).
   /// Required — and must be non-empty — when `quantize` is set.
   const Matrix* exactness_reference = nullptr;
+};
+
+/// Reusable compile workspace: the leaf-distribution dedup table and the
+/// per-tree BFS renumbering arrays keep their allocations across compiles,
+/// so callers that recompile periodically (the continuous trainer lowers
+/// every refit candidate) don't rebuild the maps from scratch each time.
+/// Purely an allocation cache — compiled output is bit-identical with or
+/// without one. Not thread-safe; use one scratch per compiling thread.
+struct FlatForestScratch {
+  struct DistributionHash {
+    size_t operator()(const std::vector<double>& dist) const;
+  };
+  std::unordered_map<std::vector<double>, int32_t, DistributionHash> dedup;
+  std::vector<int32_t> bfs;
+  std::vector<int32_t> pos;
 };
 
 /// Size/shape summary of a compiled forest (statusz, bench reporting).
@@ -63,6 +79,12 @@ class FlatForest {
   /// error (the exact form is kept, see quantization_rejection()).
   static Result<FlatForest> Compile(const RandomForest& forest,
                                     const FlatForestOptions& options = {});
+
+  /// Same compile, reusing `scratch`'s allocations (nullptr behaves like
+  /// the plain overload).
+  static Result<FlatForest> Compile(const RandomForest& forest,
+                                    const FlatForestOptions& options,
+                                    FlatForestScratch* scratch);
 
   /// Soft-voting argmax per row; bit-identical to RandomForest::Predict's
   /// pointer walk. Parallelizes over row blocks.

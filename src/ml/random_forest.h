@@ -11,6 +11,7 @@ namespace trajkit::ml {
 
 class FlatForest;
 struct FlatForestOptions;
+struct FlatForestScratch;
 
 /// Hyper-parameters of the random forest. Defaults follow the paper's
 /// §4.3 setting ("random forest classifier with 50 estimators", sklearn
@@ -69,6 +70,10 @@ class RandomForest final : public Classifier {
   /// Precondition: fitted.
   Status CompileFlat();
   Status CompileFlat(const FlatForestOptions& options);
+  /// Same, reusing a caller-owned compile workspace across refits (see
+  /// FlatForestScratch); nullptr behaves like the plain overload.
+  Status CompileFlat(const FlatForestOptions& options,
+                     FlatForestScratch* scratch);
 
   /// The compiled form, or nullptr when CompileFlat was not called (or a
   /// refit invalidated it). Copies of a compiled forest share the

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "obs/request_trace.h"
 #include "serve/fault_injector.h"
+#include "serve/shadow_evaluator.h"
 
 namespace trajkit::serve {
 
@@ -403,13 +404,16 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   }
   if (live.empty()) return;
 
-  // Degradation rung 0 -> 1: active model, else the cached previous-good
-  // snapshot. An injected swap stall makes the registry unusable for this
-  // batch, exactly like a wedged hot swap would.
+  // Degradation rung 0 -> 1: active model from one coherent lease, else
+  // the cached previous-good snapshot. An injected swap stall makes the
+  // registry unusable for this batch, exactly like a wedged hot swap
+  // would — no lease at all, so no shadow scoring either.
   DegradationLevel level = DegradationLevel::kNone;
-  std::shared_ptr<const ServingModel> model;
-  if (!faults.stall_registry) model = registry_->Current();
+  ModelLease lease;
+  if (!faults.stall_registry) lease = registry_->Acquire();
+  std::shared_ptr<const ServingModel> model = lease.active;
   if (model == nullptr) {
+    lease.shadow = nullptr;
     model = LastGoodModel();
     if (model != nullptr) level = DegradationLevel::kPreviousModel;
   }
@@ -514,6 +518,40 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   }
   const uint64_t predict_start_ns = traced ? tracer.ToNs(predict_start) : 0;
   std::vector<Prediction>& values = predictions.value();
+
+  // Shadow scoring: the candidate answers the exact rows the active model
+  // just served. Its labels ride along inside the Prediction (never served
+  // as the answer) and the per-batch agreement/latency tallies feed the
+  // promotion policy. Only healthy active answers are compared — the
+  // degraded rungs would skew the verdict. Tallies land in the evaluator
+  // before any promise resolves, so a driver that has gathered every
+  // future is guaranteed to see the complete window.
+  uint64_t shadow_start_ns = 0;
+  uint64_t shadow_done_ns = 0;
+  if (level == DegradationLevel::kNone && lease.shadow != nullptr &&
+      options_.shadow_evaluator != nullptr) {
+    const auto shadow_start = std::chrono::steady_clock::now();
+    Result<std::vector<Prediction>> shadowed =
+        lease.shadow->PredictBatch(rows);
+    const auto shadow_done = std::chrono::steady_clock::now();
+    if (shadowed.ok()) {
+      size_t agreements = 0;
+      for (size_t r = 0; r < row_to_request.size(); ++r) {
+        values[r].shadow_label = (*shadowed)[r].label;
+        values[r].shadow_version = lease.shadow->version;
+        if ((*shadowed)[r].label == values[r].label) ++agreements;
+      }
+      options_.shadow_evaluator->ObserveBatch(
+          lease.shadow->version, row_to_request.size(), agreements,
+          std::chrono::duration<double>(done - predict_start).count(),
+          std::chrono::duration<double>(shadow_done - shadow_start).count());
+      if (traced) {
+        shadow_start_ns = tracer.ToNs(shadow_start);
+        shadow_done_ns = tracer.ToNs(shadow_done);
+      }
+    }
+  }
+
   for (size_t r = 0; r < row_to_request.size(); ++r) {
     Request& request = live[row_to_request[r]];
     values[r].degradation = level;
@@ -527,6 +565,11 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
       tracer.RecordSpan(trace_id, "predict", obs::TracePhase::kPredict,
                         predict_start_ns, done_ns,
                         static_cast<uint64_t>(rows.size()));
+      if (values[r].shadow_label >= 0 && shadow_done_ns != 0) {
+        tracer.RecordSpan(trace_id, "shadow", obs::TracePhase::kPredict,
+                          shadow_start_ns, shadow_done_ns,
+                          static_cast<uint64_t>(rows.size()));
+      }
       if (level == DegradationLevel::kPreviousModel) {
         tracer.RecordInstant(trace_id, "degraded/previous_model",
                              obs::TracePhase::kDegraded, done_ns);

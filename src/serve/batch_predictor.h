@@ -18,6 +18,7 @@
 namespace trajkit::serve {
 
 class FaultInjector;
+class ShadowEvaluator;
 
 /// Micro-batching + admission-control knobs.
 struct BatchPredictorOptions {
@@ -47,6 +48,12 @@ struct BatchPredictorOptions {
   /// statusz and the CI shard-determinism matrix can attribute load per
   /// shard. -1 (default) = unsharded.
   int shard = -1;
+  /// Shadow-scoring sink (not owned; must outlive the predictor). When set
+  /// and the registry lease carries a shadow model, every healthy batch is
+  /// additionally run through the shadow and the agreement/latency tallies
+  /// are recorded here (see shadow_evaluator.h). nullptr = no shadow
+  /// scoring, even if a shadow is published.
+  ShadowEvaluator* shadow_evaluator = nullptr;
 };
 
 /// Collects prediction requests across sessions into micro-batches and runs

@@ -190,6 +190,16 @@ Result<std::vector<int>> LoadFig3FeatureSubset(const std::string& path,
   return subset;
 }
 
+const char* ModelRoleToString(ModelRole role) {
+  switch (role) {
+    case ModelRole::kActive:
+      return "active";
+    case ModelRole::kShadow:
+      return "shadow";
+  }
+  return "unknown";
+}
+
 Status ModelRegistry::Register(ServingModel model) {
   TRAJKIT_RETURN_IF_ERROR(model.Validate());
   // Lower the forest into its flat inference form before the model becomes
@@ -214,19 +224,144 @@ Status ModelRegistry::Register(ServingModel model) {
   return Status::Ok();
 }
 
-Status ModelRegistry::Activate(std::string_view version) {
+Status ModelRegistry::Publish(ServingModel model, ModelRole role) {
+  const std::string version = model.version;
+  TRAJKIT_RETURN_IF_ERROR(Register(std::move(model)));
+  return Publish(version, role);
+}
+
+Status ModelRegistry::Publish(std::string_view version, ModelRole role) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = models_.find(version);
   if (it == models_.end()) {
     return Status::NotFound("no registered model with version '" +
                             std::string(version) + "'");
   }
+  if (role == ModelRole::kShadow) {
+    // The shadow scores the exact rows the active model serves, so the two
+    // must agree on the full-width input contract.
+    if (active_ != nullptr &&
+        it->second->num_input_features != active_->num_input_features) {
+      return Status::InvalidArgument(StrPrintf(
+          "shadow model '%s' consumes %d input features but active '%s' "
+          "consumes %d",
+          it->second->version.c_str(), it->second->num_input_features,
+          active_->version.c_str(), active_->num_input_features));
+    }
+    shadow_ = it->second;
+    ++seq_;
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.registry.shadow_installs")
+        .Increment();
+    obs::MetricsRegistry::Global().SetInfo("serve.registry.shadow_version",
+                                           shadow_->version);
+    AppendAuditLocked("publish_shadow", shadow_->version, "");
+    return Status::Ok();
+  }
+  if (active_ != nullptr && active_ != it->second) last_good_ = active_;
   active_ = it->second;
+  ++seq_;
   // Swap count + active version for dashboards: every activation (including
   // the first) is a swap event; the version is an info metric so the string
   // survives into the JSON/Prometheus artifacts.
   obs::MetricsRegistry::Global().GetCounter("serve.registry.swaps")
       .Increment();
+  ExportActiveMetricsLocked();
+  AppendAuditLocked("publish_active", active_->version, "");
+  // Process-scoped trace landmark: a hot swap shows up on the timeline
+  // next to the request spans it may have affected.
+  obs::RequestTracer::Global().RecordGlobalInstant("registry_swap");
+  return Status::Ok();
+}
+
+Status ModelRegistry::PromoteShadow(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shadow_ == nullptr) {
+    return Status::FailedPrecondition("no shadow model to promote");
+  }
+  last_good_ = active_;
+  active_ = shadow_;
+  shadow_ = nullptr;
+  ++seq_;
+  obs::MetricsRegistry::Global().GetCounter("serve.registry.swaps")
+      .Increment();
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.registry.promotions")
+      .Increment();
+  obs::MetricsRegistry::Global().SetInfo("serve.registry.shadow_version", "");
+  ExportActiveMetricsLocked();
+  AppendAuditLocked("promote", active_->version, reason);
+  obs::RequestTracer::Global().RecordGlobalInstant("registry_promotion");
+  return Status::Ok();
+}
+
+Status ModelRegistry::RetireShadow(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shadow_ == nullptr) {
+    return Status::FailedPrecondition("no shadow model to retire");
+  }
+  const std::shared_ptr<const ServingModel> retired = std::move(shadow_);
+  ++seq_;
+  // Rejected candidates don't accumulate: drop the registration too,
+  // unless the same model still serves another slot.
+  if (retired != active_ && retired != last_good_) {
+    models_.erase(retired->version);
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.registry.models")
+        .Set(static_cast<double>(models_.size()));
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.registry.shadow_retired")
+      .Increment();
+  obs::MetricsRegistry::Global().SetInfo("serve.registry.shadow_version", "");
+  AppendAuditLocked("retire_shadow", retired->version, reason);
+  return Status::Ok();
+}
+
+ModelLease ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelLease lease;
+  lease.active = active_;
+  lease.last_good = last_good_;
+  lease.shadow = shadow_;
+  lease.seq = seq_;
+  return lease;
+}
+
+std::vector<RegistryAuditEvent> ModelRegistry::AuditTrail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RegistryAuditEvent>(audit_.begin(), audit_.end());
+}
+
+void ModelRegistry::AppendAuditLocked(std::string_view event,
+                                      std::string_view version,
+                                      std::string_view detail) {
+  static constexpr size_t kAuditCapacity = 64;
+  static constexpr size_t kAuditInfoTail = 8;
+  RegistryAuditEvent entry;
+  entry.seq = seq_;
+  entry.event = std::string(event);
+  entry.version = std::string(version);
+  entry.detail = std::string(detail);
+  audit_.push_back(std::move(entry));
+  while (audit_.size() > kAuditCapacity) audit_.pop_front();
+  // Mirror the tail into an info metric so the audit trail survives into
+  // the metrics artifacts and statusz without a registry handle.
+  std::string rendered;
+  const size_t start =
+      audit_.size() > kAuditInfoTail ? audit_.size() - kAuditInfoTail : 0;
+  for (size_t i = start; i < audit_.size(); ++i) {
+    const RegistryAuditEvent& e = audit_[i];
+    if (!rendered.empty()) rendered += " | ";
+    rendered += StrPrintf("#%llu %s %s",
+                          static_cast<unsigned long long>(e.seq),
+                          e.event.c_str(), e.version.c_str());
+    if (!e.detail.empty()) rendered += " (" + e.detail + ")";
+  }
+  obs::MetricsRegistry::Global().SetInfo("serve.registry.audit", rendered);
+}
+
+void ModelRegistry::ExportActiveMetricsLocked() {
   obs::MetricsRegistry::Global().SetInfo("serve.registry.active_version",
                                          active_->version);
   // Shape of the active model's compiled inference form, for statusz and
@@ -240,22 +375,28 @@ Status ModelRegistry::Activate(std::string_view version) {
         .GetGauge("serve.registry.flat_quantized")
         .Set(stats.quantized ? 1.0 : 0.0);
   }
-  // Process-scoped trace landmark: a hot swap shows up on the timeline
-  // next to the request spans it may have affected.
-  obs::RequestTracer::Global().RecordGlobalInstant("registry_swap");
-  return Status::Ok();
+}
+
+// Out-of-line definitions of the deprecated forwarders; silence the
+// attribute so the -Werror build stays clean while they live out their
+// one-release grace period.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+Status ModelRegistry::Activate(std::string_view version) {
+  return Publish(version, ModelRole::kActive);
 }
 
 Status ModelRegistry::RegisterAndActivate(ServingModel model) {
-  const std::string version = model.version;
-  TRAJKIT_RETURN_IF_ERROR(Register(std::move(model)));
-  return Activate(version);
+  return Publish(std::move(model), ModelRole::kActive);
 }
 
 std::shared_ptr<const ServingModel> ModelRegistry::Current() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;
 }
+
+#pragma GCC diagnostic pop
 
 std::shared_ptr<const ServingModel> ModelRegistry::Get(
     std::string_view version) const {

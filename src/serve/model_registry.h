@@ -1,6 +1,8 @@
 #ifndef TRAJKIT_SERVE_MODEL_REGISTRY_H_
 #define TRAJKIT_SERVE_MODEL_REGISTRY_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +44,12 @@ struct Prediction {
   double latency_seconds = 0.0;
   /// Which rung of the fallback chain produced this answer.
   DegradationLevel degradation = DegradationLevel::kNone;
+  /// What the shadow candidate would have answered for the same features,
+  /// or -1 when no shadow model was scored on this request. Never served —
+  /// recorded so the continuous trainer can compare accuracy offline.
+  int shadow_label = -1;
+  /// Version of the shadow model behind `shadow_label` (empty when -1).
+  std::string shadow_version;
 };
 
 /// A deployable model: forest + feature-subset mask + optional min-max
@@ -103,25 +111,84 @@ Result<std::vector<int>> LoadFig3FeatureSubset(const std::string& path,
                                                std::string_view method,
                                                int top_k);
 
+/// The role a published model plays in the serving plane.
+enum class ModelRole {
+  kActive = 0,  ///< Serves traffic.
+  kShadow = 1,  ///< Scored on the same batches as the active model for
+                ///< promotion decisions; its answers are never served.
+};
+
+const char* ModelRoleToString(ModelRole role);
+
+/// One coherent read of the registry: the (active, last-good, shadow)
+/// triple as of sequence number `seq`. All three pointers were current at
+/// the same instant — a reader can never observe a promotion half-applied
+/// (e.g. the new active paired with the pre-promotion last-good). Each
+/// pointer is an immutable snapshot that stays alive for as long as the
+/// lease holds it, even across hot swaps.
+struct ModelLease {
+  std::shared_ptr<const ServingModel> active;
+  /// The model that was active before the most recent swap/promotion
+  /// (rollback + audit target); nullptr until the first replacement.
+  std::shared_ptr<const ServingModel> last_good;
+  /// The shadow candidate under evaluation, or nullptr.
+  std::shared_ptr<const ServingModel> shadow;
+  /// Registry mutation counter at acquire time (starts at 0, bumps on
+  /// every publish / promote / retire).
+  uint64_t seq = 0;
+};
+
+/// One entry of the registry's bounded audit trail. `event` is one of
+/// "publish_active", "publish_shadow", "promote", "retire_shadow";
+/// `detail` carries the caller-supplied reason (e.g. the promotion
+/// policy's accuracy delta).
+struct RegistryAuditEvent {
+  uint64_t seq = 0;
+  std::string event;
+  std::string version;
+  std::string detail;
+};
+
 /// Versioned registry of serving models with atomic hot-swap: readers call
-/// Current() and get an immutable snapshot — a consistent
-/// (forest, subset, normalizer) triple that stays alive for as long as
-/// they hold the pointer, even if the active model is swapped mid-request.
-/// Thread-safe; TSan-clean (see tests/serve_test.cc's race test).
+/// Acquire() and get an immutable ModelLease — a consistent
+/// (active, last-good, shadow) triple whose models stay alive for as long
+/// as the lease is held, even if the registry mutates mid-request.
+/// Writers Publish models into a role; PromoteShadow atomically swaps the
+/// shadow candidate into the active slot (demoting the old active to
+/// last-good) with a trace-recorded audit landmark. Thread-safe;
+/// TSan-clean (see tests/serve_test.cc + serve_ct_test.cc race tests).
 class ModelRegistry {
  public:
   /// Adds a model under its version. Error on validation failure or
-  /// duplicate version. Does not change the active model.
+  /// duplicate version. Does not change what readers see.
   Status Register(ServingModel model);
 
-  /// Atomically makes `version` the model new readers see.
-  Status Activate(std::string_view version);
+  /// Register + make visible in `role` in one step. Shadow publishes are
+  /// rejected when the candidate's input width differs from the active
+  /// model's (the two must score the same request rows).
+  Status Publish(ServingModel model, ModelRole role = ModelRole::kActive);
 
-  /// Register + Activate in one step.
-  Status RegisterAndActivate(ServingModel model);
+  /// Makes the already-registered `version` visible in `role`.
+  Status Publish(std::string_view version, ModelRole role);
 
-  /// The active model, or nullptr when none was activated yet.
-  std::shared_ptr<const ServingModel> Current() const;
+  /// Atomically swaps the shadow into the active slot: the old active
+  /// becomes last-good, the shadow slot empties, and a
+  /// "registry_promotion" trace landmark + audit event record `reason`.
+  /// FailedPrecondition when no shadow is published.
+  Status PromoteShadow(std::string_view reason);
+
+  /// Drops the shadow candidate (rejected by the promotion policy). The
+  /// retired model is also unregistered — unless it is still the active
+  /// or last-good model — so a long-running trainer's rejected candidates
+  /// don't accumulate. FailedPrecondition when no shadow is published.
+  Status RetireShadow(std::string_view reason);
+
+  /// One coherent snapshot of (active, last_good, shadow, seq).
+  ModelLease Acquire() const;
+
+  /// The most recent audit events, oldest first (bounded; older events
+  /// are dropped).
+  std::vector<RegistryAuditEvent> AuditTrail() const;
 
   /// A registered model by version, or nullptr.
   std::shared_ptr<const ServingModel> Get(std::string_view version) const;
@@ -131,11 +198,34 @@ class ModelRegistry {
 
   size_t size() const;
 
+  // -- Deprecated pre-lease API (thin forwarders, one release) ----------
+
+  [[deprecated("use Publish(version, ModelRole::kActive)")]]
+  Status Activate(std::string_view version);
+
+  [[deprecated("use Publish(model, ModelRole::kActive)")]]
+  Status RegisterAndActivate(ServingModel model);
+
+  [[deprecated("use Acquire().active")]]
+  std::shared_ptr<const ServingModel> Current() const;
+
  private:
+  /// Appends to the audit trail and mirrors the tail into the
+  /// "serve.registry.audit" info metric. Requires mu_ held.
+  void AppendAuditLocked(std::string_view event, std::string_view version,
+                         std::string_view detail);
+  /// Exports active-model metrics (version info + flat-form gauges).
+  /// Requires mu_ held and active_ set.
+  void ExportActiveMetricsLocked();
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ServingModel>, std::less<>>
       models_;
   std::shared_ptr<const ServingModel> active_;
+  std::shared_ptr<const ServingModel> last_good_;
+  std::shared_ptr<const ServingModel> shadow_;
+  uint64_t seq_ = 0;
+  std::deque<RegistryAuditEvent> audit_;
 };
 
 }  // namespace trajkit::serve

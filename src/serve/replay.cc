@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/request_trace.h"
+#include "serve/continuous_training.h"
 
 namespace trajkit::serve {
 namespace {
@@ -88,6 +89,11 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
         ++report.segments_outside_label_set;
         continue;
       }
+      // The trainer buffers the labeled example before the features are
+      // moved into the request below.
+      if (options.trainer != nullptr) {
+        options.trainer->ObserveSegment(segment, true_class);
+      }
       InFlight item;
       item.true_class = true_class;
       item.budget = options.retry_budget;
@@ -106,6 +112,87 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     closed.clear();
   };
 
+  // Drains every in-flight request, gathering in rounds: transient
+  // failures with remaining budget are resubmitted (one backoff delay per
+  // round, shared by that round's retries). Budgets strictly decrease, so
+  // each drain terminates after at most retry_budget rounds. Runs once at
+  // end of stream — and, with a continuous trainer installed, at every
+  // trainer step barrier, so the trainer only ever mutates the registry
+  // while nothing is in flight (the determinism contract).
+  Backoff backoff(options.retry, options.retry_seed);
+  const auto drain = [&]() -> Status {
+    std::vector<InFlight> round = std::move(in_flight);
+    in_flight.clear();
+    while (!round.empty()) {
+      plane.FlushPredictors();
+      std::vector<InFlight> next;
+      for (InFlight& item : round) {
+        Result<Prediction> result = item.future.get();
+        if (result.ok()) {
+          const Prediction& prediction = result.value();
+          if (prediction.degradation != DegradationLevel::kNone) {
+            ++report.degraded;
+            if (prediction.degradation == DegradationLevel::kPreviousModel) {
+              ++report.degraded_previous_model;
+            } else if (prediction.degradation ==
+                       DegradationLevel::kMajorityClass) {
+              ++report.degraded_majority_class;
+            }
+          }
+          ++report.segments_evaluated;
+          report.y_true.push_back(item.true_class);
+          report.y_pred.push_back(prediction.label);
+          if (prediction.label == item.true_class) ++report.correct;
+          if (item.staged >= 0) staged_pred[item.staged] = prediction.label;
+          if (options.trainer != nullptr) {
+            options.trainer->OnResult(item.true_class, prediction);
+          }
+          continue;
+        }
+        const Status& status = result.status();
+        if (status.code() == StatusCode::kDeadlineExceeded) {
+          ++report.deadline_exceeded;
+          continue;
+        }
+        if (status.code() == StatusCode::kResourceExhausted) {
+          ++report.shed;
+          continue;
+        }
+        if (IsRetryableStatus(status) && item.budget > 0) {
+          --item.budget;
+          ++report.retries;
+          obs::RequestTracer& tracer = obs::RequestTracer::Global();
+          if (tracer.enabled() && item.trace_id != 0) {
+            tracer.RecordInstant(item.trace_id, "retry",
+                                 obs::TracePhase::kRetry, tracer.NowNs(),
+                                 static_cast<uint64_t>(item.budget));
+          }
+          RequestContext context = make_context();
+          context.retry_budget = item.budget;
+          // The resubmission continues the same logical request: same
+          // trace.
+          context.trace_id = item.trace_id;
+          // Keep the payload only while further retries are still
+          // possible.
+          std::vector<double> features;
+          if (item.budget > 0) {
+            features = item.features;
+          } else {
+            features = std::move(item.features);
+          }
+          item.future = plane.Submit(
+              item.user_id, PredictRequest(std::move(features), context));
+          next.push_back(std::move(item));
+          continue;
+        }
+        return status;
+      }
+      if (!next.empty()) SleepForSeconds(backoff.NextDelaySeconds());
+      round = std::move(next);
+    }
+    return Status::Ok();
+  };
+
   Stopwatch ingest_timer;
   while (!merge.empty()) {
     Cursor cursor = merge.top();
@@ -119,6 +206,14 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       plane.EvictIdle(point.timestamp, &closed);
     }
     if (!closed.empty()) submit_closed();
+    // Trainer step barrier: the step count is a pure function of the
+    // corpus (labeled segments observed), and the registry only mutates
+    // after every already-submitted request has resolved — which model
+    // answers which request cannot depend on thread/shard timing.
+    if (options.trainer != nullptr && options.trainer->StepDue()) {
+      TRAJKIT_RETURN_IF_ERROR(drain());
+      TRAJKIT_RETURN_IF_ERROR(options.trainer->Step());
+    }
     if (cursor.point + 1 < trajectory.points.size()) {
       merge.push(Cursor{trajectory.points[cursor.point + 1].timestamp,
                         cursor.trajectory, cursor.point + 1});
@@ -128,73 +223,9 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   submit_closed();
   report.ingest_seconds = ingest_timer.ElapsedSeconds();
 
-  // Gather in rounds: transient failures with remaining budget are
-  // resubmitted (one backoff delay per round, shared by that round's
-  // retries). Budgets strictly decrease, so this terminates after at most
-  // retry_budget rounds.
-  Backoff backoff(options.retry, options.retry_seed);
-  std::vector<InFlight> round = std::move(in_flight);
-  while (!round.empty()) {
-    plane.FlushPredictors();
-    std::vector<InFlight> next;
-    for (InFlight& item : round) {
-      Result<Prediction> result = item.future.get();
-      if (result.ok()) {
-        const Prediction& prediction = result.value();
-        if (prediction.degradation != DegradationLevel::kNone) {
-          ++report.degraded;
-          if (prediction.degradation == DegradationLevel::kPreviousModel) {
-            ++report.degraded_previous_model;
-          } else if (prediction.degradation ==
-                     DegradationLevel::kMajorityClass) {
-            ++report.degraded_majority_class;
-          }
-        }
-        ++report.segments_evaluated;
-        report.y_true.push_back(item.true_class);
-        report.y_pred.push_back(prediction.label);
-        if (prediction.label == item.true_class) ++report.correct;
-        if (item.staged >= 0) staged_pred[item.staged] = prediction.label;
-        continue;
-      }
-      const Status& status = result.status();
-      if (status.code() == StatusCode::kDeadlineExceeded) {
-        ++report.deadline_exceeded;
-        continue;
-      }
-      if (status.code() == StatusCode::kResourceExhausted) {
-        ++report.shed;
-        continue;
-      }
-      if (IsRetryableStatus(status) && item.budget > 0) {
-        --item.budget;
-        ++report.retries;
-        obs::RequestTracer& tracer = obs::RequestTracer::Global();
-        if (tracer.enabled() && item.trace_id != 0) {
-          tracer.RecordInstant(item.trace_id, "retry", obs::TracePhase::kRetry,
-                               tracer.NowNs(),
-                               static_cast<uint64_t>(item.budget));
-        }
-        RequestContext context = make_context();
-        context.retry_budget = item.budget;
-        // The resubmission continues the same logical request: same trace.
-        context.trace_id = item.trace_id;
-        // Keep the payload only while further retries are still possible.
-        std::vector<double> features;
-        if (item.budget > 0) {
-          features = item.features;
-        } else {
-          features = std::move(item.features);
-        }
-        item.future = plane.Submit(
-            item.user_id, PredictRequest(std::move(features), context));
-        next.push_back(std::move(item));
-        continue;
-      }
-      return status;
-    }
-    if (!next.empty()) SleepForSeconds(backoff.NextDelaySeconds());
-    round = std::move(next);
+  TRAJKIT_RETURN_IF_ERROR(drain());
+  if (options.trainer != nullptr) {
+    TRAJKIT_RETURN_IF_ERROR(options.trainer->Finish());
   }
   if (options.closed_sink) {
     for (size_t i = 0; i < staged.size(); ++i) {

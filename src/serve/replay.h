@@ -14,6 +14,8 @@
 
 namespace trajkit::serve {
 
+class ContinuousTrainer;
+
 /// Knobs of a corpus replay. The session-layer and batching configuration
 /// live on the ServingPlane the replay drives (ServingPlaneOptions).
 struct ReplayOptions {
@@ -39,6 +41,15 @@ struct ReplayOptions {
   /// `serve-replay --store_out` persists a trajectory store through this.
   std::function<void(const ClosedSegment& segment, int predicted_class)>
       closed_sink;
+  /// Continuous trainer driven at replay-step barriers (not owned;
+  /// nullptr = continuous training off). The replay feeds it every
+  /// labeled closed segment and every gathered outcome; whenever the
+  /// trainer reports StepDue(), the replay drains all in-flight requests
+  /// and only then runs the trainer step — so refit installs, promotions,
+  /// and retirements land at deterministic corpus positions and the
+  /// replay output stays byte-identical at any thread/shard count. With a
+  /// trainer installed, `ingest_seconds` includes these barrier drains.
+  ContinuousTrainer* trainer = nullptr;
 };
 
 /// Outcome of a replay.

@@ -54,8 +54,14 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
           version.empty() ? "(none)" : version.c_str());
   Appendf(out, "  registered: %.0f\n",
           GaugeValue(metrics, "serve.registry.models"));
-  Appendf(out, "  swaps: %" PRIu64 "\n",
-          CounterValue(metrics, "serve.registry.swaps"));
+  Appendf(out, "  swaps: %" PRIu64 "  promotions: %" PRIu64 "\n",
+          CounterValue(metrics, "serve.registry.swaps"),
+          CounterValue(metrics, "serve.registry.promotions"));
+  const std::string shadow_version =
+      metrics.InfoValue("serve.registry.shadow_version");
+  if (!shadow_version.empty()) {
+    Appendf(out, "  shadow_version: %s\n", shadow_version.c_str());
+  }
   // Compiled flat inference form of the active model (ml/flat_forest.h);
   // every registered model is compiled, so "(not compiled)" only shows
   // before the first activation.
@@ -108,6 +114,52 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
           CounterValue(metrics, "serve.faults.injected.predict_fail"));
   Appendf(out, "  batch_delay: %" PRIu64 "\n",
           CounterValue(metrics, "serve.faults.injected.batch_delay"));
+
+  // Shadow evaluation + continuous training (serve/continuous_training.h):
+  // rendered only when a shadow has ever been scored / a trainer is live
+  // in this process.
+  if (metrics.FindCounter("serve.shadow.samples") != nullptr) {
+    out += "shadow\n";
+    Appendf(out, "  samples: %" PRIu64 "  agreement: %" PRIu64 "\n",
+            CounterValue(metrics, "serve.shadow.samples"),
+            CounterValue(metrics, "serve.shadow.agreement"));
+    Appendf(out, "  accuracy_delta: %+.4f  latency_ratio: %.2f\n",
+            GaugeValue(metrics, "serve.shadow.accuracy_delta"),
+            GaugeValue(metrics, "serve.shadow.latency_ratio"));
+  }
+  if (metrics.FindCounter("serve.ct.steps") != nullptr) {
+    out += "continuous training\n";
+    Appendf(out, "  steps: %" PRIu64 "  refits: %" PRIu64
+                 "  buffer: %.0f\n",
+            CounterValue(metrics, "serve.ct.steps"),
+            CounterValue(metrics, "serve.ct.refits"),
+            GaugeValue(metrics, "serve.ct.buffer_size"));
+    Appendf(out, "  shadows: %" PRIu64 "  promotions: %" PRIu64
+                 "  retired: %" PRIu64 "\n",
+            CounterValue(metrics, "serve.registry.shadow_installs"),
+            CounterValue(metrics, "serve.registry.promotions"),
+            CounterValue(metrics, "serve.registry.shadow_retired"));
+    Appendf(out, "  drift: score=%.2f triggers=%" PRIu64 "\n",
+            GaugeValue(metrics, "serve.ct.drift_score"),
+            CounterValue(metrics, "serve.ct.drift_triggers"));
+  }
+
+  // Registry audit trail: the last few publish/promote/retire events,
+  // mirrored by the registry into one info metric (" | "-joined).
+  const std::string audit = metrics.InfoValue("serve.registry.audit");
+  if (!audit.empty()) {
+    out += "registry audit (most recent last)\n";
+    size_t begin = 0;
+    while (begin <= audit.size()) {
+      const size_t end = audit.find(" | ", begin);
+      const std::string entry =
+          audit.substr(begin, end == std::string::npos ? std::string::npos
+                                                       : end - begin);
+      if (!entry.empty()) Appendf(out, "  %s\n", entry.c_str());
+      if (end == std::string::npos) break;
+      begin = end + 3;
+    }
+  }
 
   // Per-shard breakdown (serve.shard<i>.*): rendered only when a sharded
   // ServingPlane is live in this process — shard 0's counters exist once

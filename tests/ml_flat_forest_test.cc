@@ -420,10 +420,10 @@ TEST(FlatForestTest, SerializeCompileOnRegisterSwapParity) {
   serve::ServingModel model =
       std::move(serve::MakeServingModel("v1", std::move(restored), kFeatures))
           .value();
-  ASSERT_TRUE(registry.RegisterAndActivate(std::move(model)).ok());
+  ASSERT_TRUE(registry.Publish(std::move(model)).ok());
 
   const std::shared_ptr<const serve::ServingModel> active =
-      registry.Current();
+      registry.Acquire().active;
   ASSERT_NE(active, nullptr);
   ASSERT_NE(active->forest.flat(), nullptr);  // Compiled on Register.
 
@@ -471,7 +471,7 @@ TEST(FlatForestTest, HotSwapUnderPredictStaysBitIdentical) {
   // in the answers.
   ASSERT_TRUE(
       registry
-          .RegisterAndActivate(std::move(serve::MakeServingModel(
+          .Publish(std::move(serve::MakeServingModel(
                                              "v1", forest, kFeatures))
                                    .value())
           .ok());
@@ -484,7 +484,7 @@ TEST(FlatForestTest, HotSwapUnderPredictStaysBitIdentical) {
   std::atomic<bool> stop{false};
   std::thread swapper([&] {
     for (int i = 0; i < 200; ++i) {
-      ASSERT_TRUE(registry.Activate(i % 2 == 0 ? "v2" : "v1").ok());
+      ASSERT_TRUE(registry.Publish(i % 2 == 0 ? "v2" : "v1", serve::ModelRole::kActive).ok());
     }
     stop.store(true);
   });
@@ -493,7 +493,7 @@ TEST(FlatForestTest, HotSwapUnderPredictStaysBitIdentical) {
     readers.emplace_back([&] {
       while (!stop.load()) {
         const std::shared_ptr<const serve::ServingModel> snapshot =
-            registry.Current();
+            registry.Acquire().active;
         ASSERT_NE(snapshot, nullptr);
         const std::vector<serve::Prediction> out =
             std::move(snapshot->PredictBatch(rows)).value();

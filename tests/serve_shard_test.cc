@@ -138,7 +138,7 @@ TEST(ShardRouterTest, SingleShardRoutesEverythingToShardZero) {
 TEST(ShardReplayTest, OneShardMatchesOfflinePipeline) {
   const ShardFixture& fixture = ShardFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlane plane(&registry, ServingPlaneOptions{});
   const auto report = ReplayCorpus(fixture.corpus, fixture.labels, plane);
   ASSERT_TRUE(report.ok());
@@ -156,7 +156,7 @@ TEST(ShardReplayTest, ReplayIsByteIdenticalAcrossShardCounts) {
   };
   const auto run = [&](size_t shards) {
     ModelRegistry registry;
-    EXPECT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+    EXPECT_TRUE(registry.Publish(fixture.model).ok());
     ServingPlaneOptions options;
     options.shards = shards;
     // Exercise the cross-shard evict merge too, not just FlushAll.
@@ -310,7 +310,7 @@ TEST(ShardMetricsTest, PerShardCountersSumToAggregateDeltas) {
   }
 
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlaneOptions options;
   options.shards = kShards;
   ServingPlane plane(&registry, options);
@@ -348,7 +348,7 @@ TEST(ShardMetricsTest, PerShardCountersSumToAggregateDeltas) {
 TEST(ShardMetricsTest, StatusPageRendersPerShardSection) {
   const ShardFixture& fixture = ShardFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlaneOptions options;
   options.shards = 2;
   ServingPlane plane(&registry, options);
@@ -442,7 +442,7 @@ TEST(ShardConcurrencyTest, HotSwapUnderShardedPredictStaysConsistent) {
   ModelRegistry registry;
   auto v2 = fixture.model;
   v2.version = "v2";
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ASSERT_TRUE(registry.Register(std::move(v2)).ok());
 
   ServingPlaneOptions options;
@@ -457,7 +457,7 @@ TEST(ShardConcurrencyTest, HotSwapUnderShardedPredictStaysConsistent) {
   std::thread writer([&] {
     int i = 0;
     while (readers_done.load() < kReaders) {
-      ASSERT_TRUE(registry.Activate(++i % 2 == 0 ? "v2" : "v1").ok());
+      ASSERT_TRUE(registry.Publish(++i % 2 == 0 ? "v2" : "v1", serve::ModelRole::kActive).ok());
     }
   });
 

@@ -404,7 +404,7 @@ TEST(SessionManagerTest, SessionCapEvictsLeastRecentlyUpdated) {
 
 TEST(ModelRegistryTest, ValidatesModels) {
   ModelRegistry registry;
-  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.Acquire().active, nullptr);
 
   ServingModel unfitted;
   unfitted.version = "bad";
@@ -431,10 +431,10 @@ TEST(ModelRegistryTest, ValidatesModels) {
   ASSERT_TRUE(registry.Register(fixture.model).ok());
   // Duplicate version rejected.
   EXPECT_FALSE(registry.Register(fixture.model).ok());
-  EXPECT_FALSE(registry.Activate("no-such-version").ok());
-  ASSERT_TRUE(registry.Activate("v1").ok());
-  ASSERT_NE(registry.Current(), nullptr);
-  EXPECT_EQ(registry.Current()->version, "v1");
+  EXPECT_FALSE(registry.Publish("no-such-version", serve::ModelRole::kActive).ok());
+  ASSERT_TRUE(registry.Publish("v1", serve::ModelRole::kActive).ok());
+  ASSERT_NE(registry.Acquire().active, nullptr);
+  EXPECT_EQ(registry.Acquire().active->version, "v1");
   EXPECT_EQ(registry.Versions(), std::vector<std::string>{"v1"});
   EXPECT_NE(registry.Get("v1"), nullptr);
   EXPECT_EQ(registry.Get("v2"), nullptr);
@@ -474,7 +474,7 @@ TEST(BatchPredictorTest, NoActiveModelFailsCleanly) {
 TEST(BatchPredictorTest, DeterministicAcrossBatchCompositions) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
 
   std::vector<std::vector<double>> requests;
   for (size_t r = 0; r < fixture.dataset.num_samples(); ++r) {
@@ -519,7 +519,7 @@ TEST(BatchPredictorTest, DeterministicAcrossBatchCompositions) {
 TEST(BatchPredictorTest, DeadlineDispatchesPartialBatch) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   BatchPredictorOptions options;
   options.max_batch_size = 1000;  // Never reached: deadline must fire.
   options.max_delay_seconds = 0.002;
@@ -535,7 +535,7 @@ TEST(BatchPredictorTest, DeadlineDispatchesPartialBatch) {
 TEST(BatchPredictorTest, BadRequestFailsOnlyItself) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   BatchPredictorOptions options;
   options.max_batch_size = 2;  // Both requests land in one batch.
   options.max_delay_seconds = 0.05;
@@ -554,7 +554,7 @@ TEST(BatchPredictorTest, BadRequestFailsOnlyItself) {
 TEST(BatchPredictorTest, FlushProcessesPendingOnCallerThread) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   BatchPredictorOptions options;
   options.max_batch_size = 1000;
   options.max_delay_seconds = 60.0;  // Deadline effectively never fires.
@@ -581,7 +581,7 @@ TEST(ModelRegistryTest, HotSwapRaceKeepsSnapshotsConsistent) {
   ModelRegistry registry;
   auto v2 = fixture.model;
   v2.version = "v2";
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ASSERT_TRUE(registry.Register(std::move(v2)).ok());
 
   constexpr int kReaders = 3;
@@ -592,7 +592,7 @@ TEST(ModelRegistryTest, HotSwapRaceKeepsSnapshotsConsistent) {
   std::thread writer([&] {
     int i = 0;
     while (readers_done.load() < kReaders) {
-      ASSERT_TRUE(registry.Activate(++i % 2 == 0 ? "v2" : "v1").ok());
+      ASSERT_TRUE(registry.Publish(++i % 2 == 0 ? "v2" : "v1", serve::ModelRole::kActive).ok());
     }
   });
 
@@ -604,7 +604,7 @@ TEST(ModelRegistryTest, HotSwapRaceKeepsSnapshotsConsistent) {
     readers.emplace_back([&] {
       for (int i = 0; i < kIterationsPerReader; ++i) {
         const std::shared_ptr<const ServingModel> snapshot =
-            registry.Current();
+            registry.Acquire().active;
         ASSERT_NE(snapshot, nullptr);
         // The snapshot is an immutable, internally-consistent triple no
         // matter how many swaps happen while we hold it.
@@ -655,7 +655,7 @@ TEST(FeatureSubsetTest, LoadsTopKFromFig3Csv) {
 TEST(ReplayTest, MatchesOfflinePipelineExactly) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlane plane(&registry, {});
   const auto report = ReplayCorpus(fixture.corpus, fixture.labels, plane);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -682,7 +682,7 @@ TEST(ReplayTest, MatchesOfflinePipelineExactly) {
 TEST(ReplayTest, ClosedSinkSeesEverySegmentWithItsResolvedPrediction) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlane plane(&registry, {});
   ReplayOptions options;
   std::vector<int> sink_predictions;
@@ -712,7 +712,7 @@ TEST(ReplayTest, ClosedSinkSeesEverySegmentWithItsResolvedPrediction) {
 TEST(ReplayTest, PeriodicIdleEvictionStillEvaluatesEverySegment) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   ServingPlaneOptions plane_options;
   plane_options.session.idle_after_seconds = 6.0 * 3600.0;
   ServingPlane plane(&registry, plane_options);
@@ -747,7 +747,7 @@ std::vector<double> FixtureRow(size_t r) {
 TEST(BatchPredictorTest, ExpiredDeadlineFailsFastAtSubmit) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   BatchPredictor predictor(&registry, ParkedWorkerOptions());
   auto future = predictor.Submit(
       PredictRequest(FixtureRow(0), RequestContext::WithTimeout(-1.0)));
@@ -761,7 +761,7 @@ TEST(BatchPredictorTest, ExpiredDeadlineFailsFastAtSubmit) {
 TEST(BatchPredictorTest, DeadlineExpiresWhileQueued) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   // Dispatch triggers parked: only the deadline can resolve the request,
   // which exercises the worker's wake-at-min-deadline path (no Flush).
   BatchPredictor predictor(&registry, ParkedWorkerOptions());
@@ -782,7 +782,7 @@ TEST(BatchPredictorTest, DeadlineExpiresWhileQueued) {
 TEST(BatchPredictorTest, AdmissionShedsLowestPriorityFirst) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   BatchPredictorOptions options = ParkedWorkerOptions();
   options.max_queue = 2;
   BatchPredictor predictor(&registry, options);
@@ -824,7 +824,7 @@ TEST(BatchPredictorTest, AdmissionShedsLowestPriorityFirst) {
 TEST(BatchPredictorTest, RegistryStallFallsBackToPreviousGoodModel) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   FaultSpec spec;
   spec.swap_stall_p = 1.0;  // Every batch loses the registry...
   FaultInjector injector(spec);
@@ -869,7 +869,7 @@ TEST(BatchPredictorTest, NoModelAnywhereFallsBackToLabelPrior) {
 TEST(BatchPredictorTest, TransientFaultRespectsRetryBudget) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   FaultSpec spec;
   spec.predict_fail_p = 1.0;
   FaultInjector injector(spec);
@@ -899,7 +899,7 @@ TEST(BatchPredictorTest, TransientFaultRespectsRetryBudget) {
 TEST(BatchPredictorTest, DisabledInjectorKeepsAnswersBitIdentical) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   // Every fault at p=1 — but the kill switch must make the wiring inert,
   // preserving the online==offline parity contract bit for bit.
   FaultSpec spec;
@@ -983,7 +983,7 @@ TEST(FaultInjectorTest, DeterministicDrawSequence) {
 TEST(ReplayTest, ChaosReplayAccountsEveryRequest) {
   const ReplayFixture& fixture = ReplayFixture::Get();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
 
   FaultSpec spec;
   spec.swap_stall_p = 0.2;
@@ -1056,7 +1056,7 @@ TEST(RequestTracingTest, TraceIdFlowsSubmitToPredictToTerminal) {
   ScopedTracer tracing;
   obs::RequestTracer& tracer = obs::RequestTracer::Global();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   {
     BatchPredictor predictor(&registry);
     PredictRequest request(FixtureRow(0));
@@ -1084,7 +1084,7 @@ TEST(RequestTracingTest, BadOutcomesAreTailKeptEvenWhenNotSampled) {
   ScopedTracer tracing(/*sample_every=*/1u << 20);
   obs::RequestTracer& tracer = obs::RequestTracer::Global();
   ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(fixture.model).ok());
+  ASSERT_TRUE(registry.Publish(fixture.model).ok());
   FaultSpec spec;
   spec.predict_fail_p = 1.0;  // every batch fails its predict
   FaultInjector injector(spec);
@@ -1123,7 +1123,7 @@ std::string TracedReplayDump(int threads) {
   SetMaxThreads(threads);
   ScopedTracer tracing(/*sample_every=*/2);
   ModelRegistry registry;
-  TRAJKIT_CHECK(registry.RegisterAndActivate(fixture.model).ok());
+  TRAJKIT_CHECK(registry.Publish(fixture.model).ok());
   {
     ServingPlane plane(&registry, {});
     const auto report =

@@ -34,6 +34,11 @@ DETERMINISTIC_PREFIXES = (
     "serve.unavailable_total",
     "serve.batch_predictor.requests",
     "serve.registry.swaps",
+    "serve.registry.promotions",
+    "serve.registry.shadow_installs",
+    "serve.registry.shadow_retired",
+    "serve.shadow.",
+    "serve.ct.",
     "store.",
 )
 

@@ -5,10 +5,18 @@
 #   2. shard determinism: the same replay corpus at --shards=1/2/8 must
 #      produce byte-identical predictions, lifecycle accounting, and
 #      deterministic metrics (tools/check_shard_metrics.py)
-#   3. TSan:   concurrency-labelled tests under ThreadSanitizer
-#   4. ASan:   the full suite under AddressSanitizer
-#   5. bench:  perf-regression gate (tools/check_bench.py) against the
-#              checked-in BENCH_baseline.json
+#   3. continuous-training determinism: the same replay with
+#      --continuous_training at t1/t8 × s1/s2/s8 must be byte-identical
+#      (predictions + lifecycle + training lines + deterministic
+#      registry/shadow/ct counters) with >= 1 auto-promotion
+#   4. TSan:   concurrency-labelled tests under ThreadSanitizer
+#   5. chaos smokes: fault-injection replay (sharded) and a
+#      shadow-promotion run under chaos — >= 1 promotion in the trace
+#      export, metrics, and the statusz registry-audit section
+#   6. ASan:   the full suite under AddressSanitizer
+#   7. bench:  perf-regression gate (tools/check_bench.py) against the
+#              checked-in BENCH_baseline.json, incl. the shadow-scoring
+#              ingest-overhead self-gate (--require_shadow_overhead)
 #
 # Usage: tools/run_ci.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 # Env:   BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
@@ -87,6 +95,49 @@ for shards in 2 8; do
 done
 python3 tools/check_shard_metrics.py "$SHARD_OUT/metrics_s1.json" \
   "$SHARD_OUT/metrics_s2.json" "$SHARD_OUT/metrics_s8.json"
+
+# Continuous-training determinism matrix: with the refit/shadow/promotion
+# loop live (--continuous_training), the replay must STILL be
+# byte-identical at any thread or shard count — registry mutations only
+# happen at replay-step barriers, so which model answers which request is
+# a pure function of the corpus. The training summary line (steps,
+# refits, promotions, final served version) must agree too, and the run
+# must contain at least one auto-promotion or the leg proves nothing.
+echo "==> continuous-training determinism: serve-replay at --threads=1/8 x --shards=1/2/8"
+CT_OUT="$BUILD_DIR/ct-determinism"
+mkdir -p "$CT_OUT"
+CT_FLAGS=(--users=6 --days=2 --seed=42 --model="$SHARD_OUT/rf.model"
+  --continuous_training --step_every=8 --refit_every=16 --min_fit=16
+  --min_shadow=8 --promote_epsilon=-1 --ct_trees=10 --ct_buffer=256)
+for config in "t1_s1 --threads=1 --shards=1" "t8_s1 --threads=8 --shards=1" \
+              "t1_s2 --threads=1 --shards=2" "t8_s8 --threads=8 --shards=8"; do
+  # shellcheck disable=SC2086
+  set -- $config
+  tag="$1"; shift
+  "$BUILD_DIR"/tools/trajkit serve-replay "${CT_FLAGS[@]}" "$@" \
+    --predictions_out="$CT_OUT/predictions_$tag.csv" \
+    --metrics_json="$CT_OUT/metrics_$tag.json" \
+    > "$CT_OUT/replay_$tag.log"
+  grep '^lifecycle:\|^training:' "$CT_OUT/replay_$tag.log" \
+    > "$CT_OUT/summary_$tag.txt"
+done
+grep -E '^training: .* [1-9][0-9]* promotions' "$CT_OUT/summary_t1_s1.txt" \
+  >/dev/null || {
+    echo "ct determinism: the matrix corpus produced no promotion" >&2
+    exit 1
+  }
+for tag in t8_s1 t1_s2 t8_s8; do
+  cmp "$CT_OUT/predictions_t1_s1.csv" "$CT_OUT/predictions_$tag.csv" || {
+    echo "ct determinism: predictions diverge at $tag" >&2
+    exit 1
+  }
+  diff "$CT_OUT/summary_t1_s1.txt" "$CT_OUT/summary_$tag.txt" || {
+    echo "ct determinism: lifecycle/training summary diverges at $tag" >&2
+    exit 1
+  }
+done
+python3 tools/check_shard_metrics.py "$CT_OUT/metrics_t1_s1.json" \
+  "$CT_OUT/metrics_t1_s2.json" "$CT_OUT/metrics_t8_s8.json"
 
 # Fault-injection smoke: a chaos replay must survive (exit 0, every
 # request accounted — the CLI itself fails on a lifecycle leak) AND the
@@ -167,6 +218,60 @@ if shard_counters == 0:
              "the plane silently ran unsharded")
 EOF
 
+# Shadow-promotion smoke: the continuous-training loop must close under
+# chaos — candidates refit, shadow-score on the live batches, and at
+# least one auto-promotes, with the promotion landmark in the trace
+# export, the audit counters in the metrics dump, and every request
+# still accounted (the CLI fails itself on a lifecycle leak). The
+# statusz demo then proves the page's registry-audit section shows the
+# promotion.
+echo "==> shadow promotion smoke: --continuous_training under --fault_spec"
+CTP_OUT="$BUILD_DIR/ct-promotion"
+mkdir -p "$CTP_OUT"
+"$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+  --model="$CHAOS_OUT/rf.model" --shards=2 \
+  --continuous_training --step_every=8 --refit_every=16 --min_fit=16 \
+  --min_shadow=4 --promote_epsilon=-1 --ct_trees=10 --ct_buffer=256 \
+  --deadline_ms=100 --max_queue=16 --retries=2 \
+  --fault_spec="predict_fail:p=0.1;batch_delay:p=0.2,latency_ms=1;seed=3" \
+  --metrics_json="$CTP_OUT/metrics.json" \
+  --trace_json="$CTP_OUT/trace.json" | tee "$CTP_OUT/replay.log"
+grep -E '^training: .* [1-9][0-9]* promotions' "$CTP_OUT/replay.log" \
+  >/dev/null || {
+    echo "shadow promotion smoke: no promotion under chaos" >&2
+    exit 1
+  }
+grep -q registry_promotion "$CTP_OUT/trace.json" || {
+  echo "shadow promotion smoke: registry_promotion landmark missing from the trace export" >&2
+  exit 1
+}
+python3 - "$CTP_OUT/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc.get("counters", {})
+promotions = counters.get("serve.registry.promotions", 0)
+shadows = counters.get("serve.registry.shadow_installs", 0)
+samples = counters.get("serve.shadow.samples", 0)
+audit = doc.get("info", {}).get("serve.registry.audit", "")
+print(f"shadow promotion smoke: shadows={shadows} promotions={promotions} "
+      f"shadow_samples={samples}")
+if promotions == 0:
+    sys.exit("shadow promotion smoke: serve.registry.promotions == 0")
+if samples == 0:
+    sys.exit("shadow promotion smoke: the shadow was never scored "
+             "(serve.shadow.samples == 0)")
+if " promote " not in f" {audit} ":
+    sys.exit("shadow promotion smoke: no promote event in the registry "
+             "audit trail")
+EOF
+"$BUILD_DIR"/tools/trajkit statusz --continuous_training --step_every=8 \
+  --refit_every=16 --min_fit=16 --min_shadow=4 --promote_epsilon=-1 \
+  --ct_trees=10 --ct_buffer=256 > "$CTP_OUT/statusz.log"
+grep -A8 '^registry audit' "$CTP_OUT/statusz.log" | grep -q ' promote ' || {
+  echo "shadow promotion smoke: statusz registry-audit section shows no promotion" >&2
+  exit 1
+}
+
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> TSan leg skipped (--skip-tsan)"
 else
@@ -174,8 +279,8 @@ else
   cmake -B "$TSAN_BUILD_DIR" -S . -DTRAJKIT_SANITIZE=thread \
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target parallel_test serve_test serve_shard_test obs_test \
-             request_trace_test ml_flat_forest_test store_test
+    --target parallel_test serve_test serve_shard_test serve_ct_test \
+             obs_test request_trace_test ml_flat_forest_test store_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
@@ -216,7 +321,8 @@ else
   GATE_FILES=()
   for run in $(seq 1 "$BENCH_RUNS"); do
     "$BUILD_DIR"/bench/micro_serve --users=12 --days=2 --requests=4096 \
-      --threads_list=1 --shards_list=1,8 "${SHARD_SCALING_ARGS[@]}" \
+      --threads_list=1 --shards_list=1,8 --require_shadow_overhead=0.15 \
+      "${SHARD_SCALING_ARGS[@]}" \
       --timing_json="$BENCH_OUT/serve_$run.json" \
       --metrics_json="$BENCH_OUT/serve_metrics_$run.json" >/dev/null
     "$BUILD_DIR"/bench/micro_parallel \

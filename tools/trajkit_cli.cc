@@ -34,6 +34,12 @@
 //                     [--subset=FILE.csv --method=importance --top_k=20]
 //                     [--deadline_ms=D] [--max_queue=N] [--retries=R]
 //                     [--fault_spec=SPEC]
+//                     [--continuous_training [--step_every=16]
+//                      [--refit_every=48] [--min_fit=48] [--min_shadow=32]
+//                      [--promote_epsilon=E] [--cost_budget=R]
+//                      [--ct_trees=T] [--ct_seed=S] [--ct_buffer=N]
+//                      [--drift_window=N] [--drift_threshold=SIGMAS]
+//                      [--drift_degraded_rate=F]]
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
 //                     [--trace_json=FILE] [--trace_test=FILE]
 //                     [--trace_sample=N] [--trace_buffer=M]
@@ -67,6 +73,19 @@
 //       --trace_buffer=M sizes the per-thread ring (events).
 //       --store_out=FILE persists every closed segment (with its resolved
 //       prediction) as a trajectory-store segment log for `trajkit query`.
+//       --continuous_training closes the loop (serve/continuous_training.h):
+//       labeled closed segments feed background refits, candidates score
+//       in the registry's shadow slot on the live batches (never served),
+//       and the promotion policy (--promote_epsilon accuracy delta over a
+//       --min_shadow labeled window, --cost_budget flat node-count ratio)
+//       promotes or retires each one with an audit trail; drift
+//       (--drift_window/--drift_threshold/--drift_degraded_rate) forces
+//       early refits. Trainer steps run only at drained replay barriers,
+//       so the output stays byte-identical at any thread/shard count; the
+//       offline-parity check is skipped (the serving model evolves
+//       mid-replay). All serving flags parse through one validated
+//       surface (serve/serve_config.h): bad values or a CT flag without
+//       --continuous_training fail naming the offending flag.
 //
 //   trajkit query     --store=FILE [--bbox=MINLAT,MINLON,MAXLAT,MAXLON]
 //                     [--time=BEGIN,END] [--mode=walk,bus,...]
@@ -85,6 +104,7 @@
 //                     [--shards=2]
 //                     [--batch=..] [--deadline_ms=..] [--max_queue=..]
 //                     [--retries=..] [--fault_spec=SPEC | --fault_spec=]
+//                     [--continuous_training [--step_every=..] ...]
 //                     [--metrics_json/--metrics_prom/--trace_json/...]
 //       Self-contained serving demo that prints the text status page:
 //       train a small forest on a synthetic corpus, replay it through the
@@ -92,6 +112,9 @@
 //       populated; --fault_spec= turns it off), then render active model
 //       version, queue depth, shed/degraded/fault counters, latency
 //       quantiles with exemplar trace ids, and the last tail-kept traces.
+//       With --continuous_training (same flag family as serve-replay) the
+//       page adds the shadow-scoring, continuous-training, and
+//       registry-audit sections.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
@@ -121,9 +144,11 @@
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "serve/batch_predictor.h"
+#include "serve/continuous_training.h"
 #include "serve/fault_injector.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
+#include "serve/serve_config.h"
 #include "serve/serving_plane.h"
 #include "serve/session_manager.h"
 #include "serve/statusz.h"
@@ -391,6 +416,10 @@ int RunServeReplay(const Flags& flags) {
     std::fprintf(stderr, "serve-replay: --model=FILE.model is required\n");
     return 2;
   }
+  auto config_or =
+      serve::ParseServeFlags(flags, serve::ServeReplayDefaults());
+  if (!config_or.ok()) return Fail(config_or.status(), "serve flags");
+  const serve::ServeConfig& config = config_or.value();
 
   // Tracing must be armed before the registry activates the model so the
   // "registry_swap" landmark lands in the recorder.
@@ -405,8 +434,11 @@ int RunServeReplay(const Flags& flags) {
     if (!loaded.ok()) return Fail(loaded.status(), "GeoLife load");
     corpus = std::move(loaded).value();
   } else {
-    synthgeo::GeoLifeLikeGenerator generator(
-        GeneratorOptionsFromFlags(flags));
+    synthgeo::GeneratorOptions generator_options;
+    generator_options.num_users = config.users;
+    generator_options.days_per_user = config.days;
+    generator_options.seed = config.seed;
+    synthgeo::GeoLifeLikeGenerator generator(generator_options);
     corpus = generator.Generate();
     std::printf("(no --data; generated a synthetic corpus: %zu points)\n",
                 generator.summary().total_points);
@@ -438,28 +470,20 @@ int RunServeReplay(const Flags& flags) {
         "replay-v1", std::move(forest).value(),
         traj::kNumTrajectoryFeatures, subset);
     if (!model.ok()) return Fail(model.status(), "serving model");
-    const Status status =
-        registry.RegisterAndActivate(std::move(model).value());
+    const Status status = registry.Publish(std::move(model).value());
     if (!status.ok()) return Fail(status, "registry");
   }
 
-  serve::BatchPredictorOptions batching;
-  batching.max_batch_size =
-      static_cast<size_t>(flags.GetInt("batch", 64));
-  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 2.0) * 1e-3;
-  batching.max_queue = static_cast<size_t>(flags.GetInt("max_queue", 0));
+  serve::ServingPlaneOptions plane_options = config.MakePlaneOptions();
 
   // Deterministic chaos (--fault_spec): the injector must outlive the
   // predictor. Chaos runs also get the degradation chain's last rung, a
   // label prior counted from the replay corpus annotations, so a request
   // that exhausts its retry budget still resolves with an answer.
   std::optional<serve::FaultInjector> injector;
-  const std::string fault_spec = flags.GetString("fault_spec", "");
-  if (!fault_spec.empty()) {
-    auto spec = serve::FaultSpec::Parse(fault_spec);
-    if (!spec.ok()) return Fail(spec.status(), "fault spec");
-    injector.emplace(spec.value());
-    batching.fault_injector = &*injector;
+  if (config.fault_spec.has_value()) {
+    injector.emplace(config.fault_spec.value());
+    plane_options.batching.fault_injector = &*injector;
     std::vector<double> prior(
         static_cast<size_t>(labels->num_classes()), 0.0);
     for (const traj::Trajectory& trajectory : corpus) {
@@ -468,22 +492,26 @@ int RunServeReplay(const Flags& flags) {
         if (cls >= 0) prior[static_cast<size_t>(cls)] += 1.0;
       }
     }
-    batching.label_prior = std::move(prior);
-    std::printf("fault injection on: %s\n", fault_spec.c_str());
+    plane_options.batching.label_prior = std::move(prior);
+    std::printf("fault injection on: %s\n", config.fault_spec_text.c_str());
   }
 
-  serve::ServingPlaneOptions plane_options;
-  plane_options.shards = static_cast<size_t>(flags.GetInt("shards", 1));
-  plane_options.session.max_gap_seconds = flags.GetDouble("gap", 0.0);
-  plane_options.session.max_segment_points =
-      static_cast<size_t>(flags.GetInt("max_window", 0));
-  plane_options.batching = batching;
-  serve::ServingPlane plane(&registry, plane_options);
+  // --continuous_training: close the loop. The trainer owns the shadow
+  // evaluator every shard's predictor scores into, and the replay drives
+  // its step barriers (see serve/continuous_training.h for why the output
+  // stays byte-identical at any thread/shard count).
+  std::optional<serve::ContinuousTrainer> trainer;
+  serve::ReplayOptions replay_options = config.MakeReplayOptions();
+  if (config.ct.enabled) {
+    trainer.emplace(&registry, labels.value(), config.ct.MakeOptions());
+    plane_options.batching.shadow_evaluator = &trainer->evaluator();
+    replay_options.trainer = &*trainer;
+    std::printf("continuous training on: refit every %zu labeled "
+                "segments, promotion window %zu\n",
+                config.ct.refit_every, config.ct.min_shadow);
+  }
 
-  serve::ReplayOptions replay_options;
-  replay_options.deadline_seconds =
-      flags.GetDouble("deadline_ms", 0.0) * 1e-3;
-  replay_options.retry_budget = flags.GetInt("retries", 0);
+  serve::ServingPlane plane(&registry, plane_options);
 
   // --store_out: persist every closed segment (keyed by its resolved
   // prediction; segments never predicted keep their annotated mode) as a
@@ -554,6 +582,24 @@ int RunServeReplay(const Flags& flags) {
     return 1;
   }
 
+  // Continuous-training summary: every number here is a deterministic
+  // function of the corpus (the CI continuous-training matrix diffs this
+  // line across thread/shard counts alongside the predictions CSV).
+  if (trainer.has_value()) {
+    const serve::ContinuousTrainer::Stats& training = trainer->stats();
+    const std::shared_ptr<const serve::ServingModel> active =
+        registry.Acquire().active;
+    std::printf(
+        "training: %zu steps, %zu refits (%zu completed, %zu failed), "
+        "%zu shadows, %zu promotions, %zu rejections, %zu drift "
+        "triggers; serving %s\n",
+        training.steps, training.refits_launched,
+        training.refits_completed, training.fit_failures,
+        training.shadows_installed, training.promotions,
+        training.rejections, training.drift_triggers,
+        active != nullptr ? active->version.c_str() : "?");
+  }
+
   if (trajectory_store.has_value()) {
     const Status status = trajectory_store->SaveTo(store_out);
     if (!status.ok()) return Fail(status, "store save");
@@ -596,9 +642,14 @@ int RunServeReplay(const Flags& flags) {
     return 0;
   }
   if (injector.has_value() || replay_options.deadline_seconds > 0.0 ||
-      batching.max_queue > 0) {
+      config.max_queue > 0) {
     std::printf("(chaos/deadline/admission flags set: offline comparison "
                 "skipped — online answers are intentionally degraded)\n");
+    return 0;
+  }
+  if (trainer.has_value()) {
+    std::printf("(--continuous_training set: offline comparison skipped — "
+                "the serving model evolves mid-replay)\n");
     return 0;
   }
   core::PipelineOptions pipeline_options;
@@ -608,7 +659,7 @@ int RunServeReplay(const Flags& flags) {
   auto dataset = pipeline.BuildDataset(corpus, labels.value());
   if (!dataset.ok()) return Fail(dataset.status(), "offline pipeline");
   const std::shared_ptr<const serve::ServingModel> model =
-      registry.Current();
+      registry.Acquire().active;
   std::vector<std::vector<double>> rows(dataset->num_samples());
   for (size_t r = 0; r < dataset->num_samples(); ++r) {
     const std::span<const double> row = dataset->features().Row(r);
@@ -806,10 +857,14 @@ int RunStatusz(const Flags& flags) {
     obs::RequestTracer::Global().Configure(tracer_options);
   }
 
+  auto config_or = serve::ParseServeFlags(flags, serve::StatuszDefaults());
+  if (!config_or.ok()) return Fail(config_or.status(), "serve flags");
+  const serve::ServeConfig& config = config_or.value();
+
   synthgeo::GeneratorOptions generator_options;
-  generator_options.num_users = flags.GetInt("users", 6);
-  generator_options.days_per_user = flags.GetInt("days", 2);
-  generator_options.seed = flags.GetUint64("seed", 7);
+  generator_options.num_users = config.users;
+  generator_options.days_per_user = config.days;
+  generator_options.seed = config.seed;
   synthgeo::GeoLifeLikeGenerator generator(generator_options);
   const std::vector<traj::Trajectory> corpus = generator.Generate();
 
@@ -821,7 +876,7 @@ int RunStatusz(const Flags& flags) {
   if (!dataset.ok()) return Fail(dataset.status(), "pipeline");
 
   ml::RandomForestParams params;
-  params.n_estimators = flags.GetInt("trees", 15);
+  params.n_estimators = config.trees;
   params.seed = flags.GetUint64("seed", 42);
   ml::RandomForest forest(params);
   const Status fit = forest.Fit(dataset.value());
@@ -832,29 +887,19 @@ int RunStatusz(const Flags& flags) {
     auto model = serve::MakeServingModel("statusz-v1", std::move(forest),
                                          traj::kNumTrajectoryFeatures, {});
     if (!model.ok()) return Fail(model.status(), "serving model");
-    const Status status =
-        registry.RegisterAndActivate(std::move(model).value());
+    const Status status = registry.Publish(std::move(model).value());
     if (!status.ok()) return Fail(status, "registry");
   }
 
-  serve::BatchPredictorOptions batching;
-  batching.max_batch_size =
-      static_cast<size_t>(flags.GetInt("batch", 16));
-  batching.max_delay_seconds = flags.GetDouble("max_delay_ms", 1.0) * 1e-3;
-  batching.max_queue = static_cast<size_t>(flags.GetInt("max_queue", 32));
-
-  // Chaos defaults on so the faults / degraded / retained-traces sections
-  // show live numbers; --fault_spec= (empty value) turns it off.
-  std::string fault_spec =
-      "swap_stall:p=0.15,latency_ms=2;predict_fail:p=0.15;"
-      "batch_delay:p=0.2,latency_ms=1;seed=11";
-  if (flags.Has("fault_spec")) fault_spec = flags.GetString("fault_spec", "");
+  // Chaos defaults on (StatuszDefaults) so the faults / degraded /
+  // retained-traces sections show live numbers; --fault_spec= (empty
+  // value) turns it off. Two shards by default so the per-shard section
+  // renders with real numbers.
+  serve::ServingPlaneOptions plane_options = config.MakePlaneOptions();
   std::optional<serve::FaultInjector> injector;
-  if (!fault_spec.empty()) {
-    auto spec = serve::FaultSpec::Parse(fault_spec);
-    if (!spec.ok()) return Fail(spec.status(), "fault spec");
-    injector.emplace(spec.value());
-    batching.fault_injector = &*injector;
+  if (config.fault_spec.has_value()) {
+    injector.emplace(config.fault_spec.value());
+    plane_options.batching.fault_injector = &*injector;
     std::vector<double> prior(
         static_cast<size_t>(labels->num_classes()), 0.0);
     for (const traj::Trajectory& trajectory : corpus) {
@@ -863,20 +908,22 @@ int RunStatusz(const Flags& flags) {
         if (cls >= 0) prior[static_cast<size_t>(cls)] += 1.0;
       }
     }
-    batching.label_prior = std::move(prior);
+    plane_options.batching.label_prior = std::move(prior);
   }
 
-  // Two shards by default so the page's per-shard section renders with
-  // real numbers; --shards=1 collapses to the unsharded layout.
-  serve::ServingPlaneOptions plane_options;
-  plane_options.shards = static_cast<size_t>(flags.GetInt("shards", 2));
-  plane_options.batching = batching;
-  serve::ServingPlane plane(&registry, plane_options);
+  serve::ReplayOptions replay_options = config.MakeReplayOptions();
 
-  serve::ReplayOptions replay_options;
-  replay_options.deadline_seconds =
-      flags.GetDouble("deadline_ms", 50.0) * 1e-3;
-  replay_options.retry_budget = flags.GetInt("retries", 1);
+  // --continuous_training: run the refit/shadow/promotion loop during the
+  // demo replay so the page's shadow + registry-audit sections render
+  // live numbers.
+  std::optional<serve::ContinuousTrainer> trainer;
+  if (config.ct.enabled) {
+    trainer.emplace(&registry, labels.value(), config.ct.MakeOptions());
+    plane_options.batching.shadow_evaluator = &trainer->evaluator();
+    replay_options.trainer = &*trainer;
+  }
+
+  serve::ServingPlane plane(&registry, plane_options);
   // Feed a trajectory store from the replay so the page's store section
   // renders live numbers, and touch each query path once.
   store::TrajectoryStore trajectory_store;
