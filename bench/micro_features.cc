@@ -10,6 +10,7 @@
 #include "common/harness_options.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "geo/geodesy.h"
 #include "stats/descriptive.h"
 #include "synthgeo/generator.h"
@@ -133,10 +134,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!harness.metrics_json.empty() &&
-      !trajkit::obs::WriteTextFile(
-          harness.metrics_json,
-          trajkit::obs::MetricsRegistry::Global().ToJson())) {
+  if (!trajkit::obs::WriteMetricsArtifacts(
+          harness.MetricsArtifacts(),
+          trajkit::obs::MetricsRegistry::Global())) {
     return 1;
   }
   return 0;

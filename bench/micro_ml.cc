@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "ml/flat_forest.h"
@@ -165,9 +166,11 @@ int RunTimingGate(const trajkit::HarnessOptions& harness) {
     return 1;
   }
 
-  // main() owns the --metrics_json dump; this emitter only writes timings.
+  // main() owns the metric-artifact dumps; this emitter only writes timings.
   trajkit::HarnessOptions timing_only = harness;
   timing_only.metrics_json.clear();
+  timing_only.metrics_prom.clear();
+  timing_only.timeseries_json.clear();
   trajkit::bench::TimingJson timing("micro_ml", timing_only);
   Stopwatch watch;
   for (int i = 0; i < kBatchReps; ++i) {
@@ -242,10 +245,9 @@ int main(int argc, char** argv) {
     const int gate = trajkit::ml::RunTimingGate(harness);
     if (gate != 0) return gate;
   }
-  if (!harness.metrics_json.empty() &&
-      !trajkit::obs::WriteTextFile(
-          harness.metrics_json,
-          trajkit::obs::MetricsRegistry::Global().ToJson())) {
+  if (!trajkit::obs::WriteMetricsArtifacts(
+          harness.MetricsArtifacts(),
+          trajkit::obs::MetricsRegistry::Global())) {
     return 1;
   }
   return 0;

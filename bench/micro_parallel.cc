@@ -15,6 +15,7 @@
 #include "common/harness_options.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "common/rng.h"
 #include "core/experiments.h"
 #include "ml/crossval.h"
@@ -136,10 +137,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!harness.metrics_json.empty() &&
-      !trajkit::obs::WriteTextFile(
-          harness.metrics_json,
-          trajkit::obs::MetricsRegistry::Global().ToJson())) {
+  if (!trajkit::obs::WriteMetricsArtifacts(
+          harness.MetricsArtifacts(),
+          trajkit::obs::MetricsRegistry::Global())) {
     return 1;
   }
   return 0;

@@ -35,9 +35,17 @@
 // exceeds R (CI passes 0.15 — the shadow must ride the worker thread, not
 // the ingest path).
 //
+// Phase G measures the ingest cost of the live telemetry plane: the same
+// ingest loop with a TimeSeriesStore + SloEngine ticking every 16 closed
+// segments (4x the serve-replay default rate). Recorded as
+// timeseries_tick_t1_s; --require_tick_overhead=R fails the run when the
+// relative ingest overhead exceeds R (CI passes 0.05 — a tick is a
+// handful of relaxed loads, it must not show up in ingest throughput).
+//
 // Flags: --users/--days/--seed (corpus), --trees, --batch, --max_delay_ms,
 // --overload_deadline_ms, --shards_list=1,8, --require_shard_scaling=R,
-// --require_shadow_overhead=R, --threads_list=1,2,4,8, --timing_json=FILE,
+// --require_shadow_overhead=R, --require_tick_overhead=R,
+// --threads_list=1,2,4,8, --timing_json=FILE,
 // plus the shared --trace_json/--trace_test/--trace_sample/--trace_buffer
 // (flight recorder off unless a trace output is requested, so the perf
 // gate measures the untraced path).
@@ -45,12 +53,15 @@
 //   ./micro_serve --users=30 --days=4 --timing_json=BENCH_serve.json
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/strings.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "core/label_sets.h"
 #include "core/pipeline.h"
 #include "ml/random_forest.h"
@@ -266,20 +277,28 @@ int Main(int argc, char** argv) {
   // perf baseline as shadow_overhead_t1_s; --require_shadow_overhead=R
   // self-gates the relative ingest-throughput overhead.
   const auto run_ingest_loop =
-      [&](const serve::BatchPredictorOptions& options) {
+      [&](const serve::BatchPredictorOptions& options,
+          size_t tick_every = 0, const std::function<void()>& tick = {}) {
         serve::ServingPlaneOptions plane_options;
         plane_options.batching = options;
         serve::ServingPlane plane(&registry, plane_options);
         std::vector<serve::ClosedSegment> closed;
         std::vector<std::future<Result<serve::Prediction>>> futures;
         futures.reserve(segment_features.size());
+        size_t segments_closed = 0;
+        size_t next_tick = tick_every;
         const auto submit_closed = [&] {
+          segments_closed += closed.size();
           for (serve::ClosedSegment& segment : closed) {
             futures.push_back(plane.Submit(
                 segment.user_id,
                 serve::PredictRequest(std::move(segment.features))));
           }
           closed.clear();
+          while (next_tick > 0 && segments_closed >= next_tick) {
+            tick();
+            next_tick += tick_every;
+          }
         };
         Stopwatch watch;
         for (const traj::Trajectory& trajectory : corpus) {
@@ -344,6 +363,76 @@ int Main(int argc, char** argv) {
                    "%.0f%%)\n",
                    overhead * 100.0, require_overhead,
                    require_overhead * 100.0);
+      return 1;
+    }
+  }
+
+  // Phase G: telemetry tick overhead at one thread. The live telemetry
+  // plane (obs/timeseries.h + obs/slo.h) samples at ingest barriers, so
+  // the claim to pin is that a tick — sampling every tracked series plus
+  // a burn-rate evaluation — is cheap enough to ride the ingest loop.
+  // The same replay-style ingest is timed plain and with a
+  // TimeSeriesStore + SloEngine ticking every 16 closed segments (the
+  // serve-replay default is 64 — this measures 4x the production tick
+  // rate). Recorded as timeseries_tick_t1_s; --require_tick_overhead=R
+  // self-gates the relative ingest cost (CI passes 0.05).
+  {
+    SetMaxThreads(1);
+    obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+    obs::TimeSeriesStore store(global);
+    for (const char* name :
+         {"serve.sessions.points_ingested", "serve.sessions.segments_emitted",
+          "serve.batch_predictor.requests", "serve.shed_total.queue_full",
+          "serve.shed_total.preempted", "serve.deadline_exceeded_total",
+          "serve.degraded_total.previous_model",
+          "serve.degraded_total.majority_class"}) {
+      store.TrackCounter(name);
+    }
+    std::vector<obs::SloSpec> slo_specs;
+    std::string slo_error;
+    if (!obs::ParseSloSpecs(
+            "shed:type=ratio,bad=serve.shed_total.queue_full+"
+            "serve.shed_total.preempted,total=serve.batch_predictor.requests,"
+            "budget=0.02,fast=4,slow=16",
+            &slo_specs, &slo_error)) {
+      std::fprintf(stderr, "micro_serve: bad bench SLO spec: %s\n",
+                   slo_error.c_str());
+      return 1;
+    }
+    obs::SloEngine slo(&store, &global, std::move(slo_specs));
+    uint64_t tick_index = 0;
+    const auto tick = [&] {
+      store.Tick(static_cast<double>(tick_index));
+      slo.Evaluate(tick_index);
+      ++tick_index;
+    };
+    run_ingest_loop(batching);  // Warmup after the phase-F teardown.
+    double plain_seconds = 0.0;
+    double ticked_seconds = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double plain = run_ingest_loop(batching);
+      if (rep == 0 || plain < plain_seconds) plain_seconds = plain;
+      const double ticked =
+          run_ingest_loop(batching, /*tick_every=*/16, tick);
+      if (rep == 0 || ticked < ticked_seconds) ticked_seconds = ticked;
+    }
+    const double overhead =
+        plain_seconds > 0.0 ? ticked_seconds / plain_seconds - 1.0 : 0.0;
+    std::printf("telemetry tick: ingest %.3f s plain vs %.3f s ticked at 1 "
+                "thread (%+.1f%% overhead, %llu ticks, %zu series)\n",
+                plain_seconds, ticked_seconds, overhead * 100.0,
+                static_cast<unsigned long long>(tick_index),
+                store.series_count());
+    timings.Record("timeseries_tick_t1_s", ticked_seconds);
+    const double require_tick_overhead =
+        flags.GetDouble("require_tick_overhead", 0.0);
+    if (require_tick_overhead > 0.0 && overhead > require_tick_overhead) {
+      std::fprintf(stderr,
+                   "micro_serve: telemetry ticks cost %+.1f%% ingest "
+                   "throughput (--require_tick_overhead=%.2f allows "
+                   "%.0f%%)\n",
+                   overhead * 100.0, require_tick_overhead,
+                   require_tick_overhead * 100.0);
       return 1;
     }
   }

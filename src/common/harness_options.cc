@@ -27,6 +27,8 @@ HarnessOptions HarnessOptions::FromFlags(const Flags& flags) {
   options.threads = flags.GetInt("threads", 0);
   options.timing_json = flags.GetString("timing_json", "");
   options.metrics_json = flags.GetString("metrics_json", "");
+  options.metrics_prom = flags.GetString("metrics_prom", "");
+  options.timeseries_json = flags.GetString("timeseries_json", "");
   options.trace_json = flags.GetString("trace_json", "");
   options.trace_test = flags.GetString("trace_test", "");
   options.trace_sample = flags.GetUint64("trace_sample", 1);
@@ -46,6 +48,10 @@ HarnessOptions HarnessOptions::FromArgv(int* argc, char** argv) {
       options.timing_json = value;
     } else if (const char* value = MatchFlag(argv[i], "metrics_json")) {
       options.metrics_json = value;
+    } else if (const char* value = MatchFlag(argv[i], "metrics_prom")) {
+      options.metrics_prom = value;
+    } else if (const char* value = MatchFlag(argv[i], "timeseries_json")) {
+      options.timeseries_json = value;
     } else if (const char* value = MatchFlag(argv[i], "trace_json")) {
       options.trace_json = value;
     } else if (const char* value = MatchFlag(argv[i], "trace_test")) {

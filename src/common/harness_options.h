@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "obs/timeseries.h"
 
 namespace trajkit {
 
@@ -17,6 +18,9 @@ namespace trajkit {
 ///                      process default, which honors TRAJKIT_THREADS)
 ///   --timing_json=F    machine-readable phase timings (bench::TimingJson)
 ///   --metrics_json=F   process metrics registry dump after the run
+///   --metrics_prom=F   the same dump in Prometheus text exposition
+///   --timeseries_json=F  time-series store dump (entry points that tick
+///                      a TimeSeriesStore pass it to MetricsArtifacts)
 ///   --trace_json=F     request-trace dump (Chrome trace-event JSON for
 ///                      chrome://tracing / Perfetto); also enables the
 ///                      flight recorder for the run
@@ -29,6 +33,8 @@ struct HarnessOptions {
   int threads = 0;
   std::string timing_json;
   std::string metrics_json;
+  std::string metrics_prom;
+  std::string timeseries_json;
   std::string trace_json;
   std::string trace_test;
   uint64_t trace_sample = 1;
@@ -60,6 +66,20 @@ struct HarnessOptions {
   /// requested. Returns false (with a stderr note) when a file cannot be
   /// written.
   bool DumpTrace() const;
+
+  /// The metric-artifact flags as obs::WriteMetricsArtifacts options.
+  /// `timeseries` wires the store of entry points that tick one (nullptr
+  /// otherwise — --timeseries_json then fails loudly instead of writing
+  /// nothing).
+  obs::MetricsArtifactOptions MetricsArtifacts(
+      const obs::TimeSeriesStore* timeseries = nullptr) const {
+    obs::MetricsArtifactOptions artifacts;
+    artifacts.metrics_json = metrics_json;
+    artifacts.metrics_prom = metrics_prom;
+    artifacts.timeseries_json = timeseries_json;
+    artifacts.timeseries = timeseries;
+    return artifacts;
+  }
 };
 
 }  // namespace trajkit

@@ -377,6 +377,7 @@ std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
   char buffer[64];
   for (const auto& [name, counter] : counters_) {
     const std::string metric = SanitizePrometheusName(prefix, name);
+    out += "# HELP " + metric + " trajkit metric " + name + "\n";
     out += "# TYPE " + metric + " counter\n";
     std::snprintf(buffer, sizeof(buffer), " %llu\n",
                   static_cast<unsigned long long>(counter->value()));
@@ -384,12 +385,14 @@ std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string metric = SanitizePrometheusName(prefix, name);
+    out += "# HELP " + metric + " trajkit metric " + name + "\n";
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     const HistogramSnapshot snap = histogram->snapshot();
     const std::string metric = SanitizePrometheusName(prefix, name);
+    out += "# HELP " + metric + " trajkit metric " + name + "\n";
     out += "# TYPE " + metric + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < snap.buckets.size(); ++b) {
@@ -417,6 +420,7 @@ std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
   }
   for (const auto& [name, value] : info_) {
     const std::string metric = SanitizePrometheusName(prefix, name);
+    out += "# HELP " + metric + " trajkit metric " + name + "\n";
     out += "# TYPE " + metric + " gauge\n";
     std::string escaped;
     for (const char c : value) {

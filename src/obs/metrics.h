@@ -164,8 +164,9 @@ class MetricsRegistry {
   std::string ToJson() const;
 
   /// Prometheus text exposition: names are prefixed and sanitized
-  /// ([^a-zA-Z0-9_:] -> '_'), histograms use cumulative `_bucket{le=...}`
-  /// series, info metrics become `<name>{value="..."} 1` gauges.
+  /// ([^a-zA-Z0-9_:] -> '_'), every family gets a `# HELP`/`# TYPE`
+  /// pair, histograms use cumulative `_bucket{le=...}` series, info
+  /// metrics become `<name>{value="..."} 1` gauges.
   std::string ToPrometheusText(std::string_view prefix = "trajkit_") const;
 
  private:

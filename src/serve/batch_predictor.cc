@@ -98,11 +98,11 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
   }
 
   // Fast-fail a request that arrives already expired: it would only be
-  // swept later without ever being batchable.
+  // swept later without ever being batchable. Counters are published
+  // before the promise resolves, so a caller woken by the future always
+  // sees them accounted.
   if (request.context.has_deadline() &&
       request.context.deadline <= request.enqueue) {
-    request.promise.set_value(
-        Status::DeadlineExceeded("request deadline passed before enqueue"));
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.deadline_exceeded;
@@ -111,6 +111,8 @@ std::future<Result<Prediction>> BatchPredictor::Submit(
     if (shard_deadline_exceeded_ != nullptr) {
       shard_deadline_exceeded_->Increment();
     }
+    request.promise.set_value(
+        Status::DeadlineExceeded("request deadline passed before enqueue"));
     if (traced) {
       TraceTerminal(tracer, trace_id, "deadline_exceeded", tracer.NowNs(),
                     /*tail_keep=*/true);
@@ -377,30 +379,37 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
     fault_hit = faults.any();
   }
 
+  // Counters are published before any promise resolves so a caller woken
+  // by its future always finds its request accounted.
   std::vector<Request> live;
   live.reserve(batch.size());
-  size_t expired = 0;
+  std::vector<Request> expired;
   for (Request& request : batch) {
     if (request.context.has_deadline() && request.context.deadline <= start) {
-      const uint64_t trace_id = request.context.trace_id;
-      request.promise.set_value(Status::DeadlineExceeded(
-          "deadline passed before the batch was processed"));
-      ++expired;
-      if (traced) {
-        TraceTerminal(tracer, trace_id, "deadline_exceeded", start_ns,
-                      /*tail_keep=*/true);
-      }
+      expired.push_back(std::move(request));
     } else {
       live.push_back(std::move(request));
     }
   }
-  if (expired > 0) {
-    metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired));
+  if (!expired.empty()) {
+    metric_deadline_exceeded_.Increment(static_cast<uint64_t>(expired.size()));
     if (shard_deadline_exceeded_ != nullptr) {
-      shard_deadline_exceeded_->Increment(static_cast<uint64_t>(expired));
+      shard_deadline_exceeded_->Increment(
+          static_cast<uint64_t>(expired.size()));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.deadline_exceeded += expired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.deadline_exceeded += expired.size();
+    }
+    for (Request& request : expired) {
+      const uint64_t trace_id = request.context.trace_id;
+      request.promise.set_value(Status::DeadlineExceeded(
+          "deadline passed before the batch was processed"));
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "deadline_exceeded", start_ns,
+                      /*tail_keep=*/true);
+      }
+    }
   }
   if (live.empty()) return;
 
@@ -424,45 +433,52 @@ void BatchPredictor::ProcessBatch(std::vector<Request> batch) {
   if (faults.fail_predict) {
     size_t unavailable = 0;
     size_t degraded = 0;
-    for (Request& request : live) {
-      if (request.context.retry_budget <= 0 &&
-          AnswerWithLabelPrior(request, start)) {
+    for (const Request& request : live) {
+      // Mirrors the answer loop below: AnswerWithLabelPrior succeeds
+      // exactly when a prior is configured.
+      if (request.context.retry_budget <= 0 && !options_.label_prior.empty()) {
         ++degraded;
-        continue;
-      }
-      const uint64_t trace_id = request.context.trace_id;
-      request.promise.set_value(
-          Status::Unavailable("injected transient predict failure"));
-      ++unavailable;
-      if (traced) {
-        TraceTerminal(tracer, trace_id, "unavailable", start_ns,
-                      /*tail_keep=*/true);
+      } else {
+        ++unavailable;
       }
     }
     metric_unavailable_.Increment(static_cast<uint64_t>(unavailable));
     if (shard_unavailable_ != nullptr) {
       shard_unavailable_->Increment(static_cast<uint64_t>(unavailable));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.unavailable += unavailable;
-    counters_.degraded += degraded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.unavailable += unavailable;
+      counters_.degraded += degraded;
+    }
+    for (Request& request : live) {
+      if (request.context.retry_budget <= 0 &&
+          AnswerWithLabelPrior(request, start)) {
+        continue;
+      }
+      const uint64_t trace_id = request.context.trace_id;
+      request.promise.set_value(
+          Status::Unavailable("injected transient predict failure"));
+      if (traced) {
+        TraceTerminal(tracer, trace_id, "unavailable", start_ns,
+                      /*tail_keep=*/true);
+      }
+    }
     return;
   }
 
   // Degradation rung 2: no usable model at all — majority class from the
   // label prior, or the pre-degradation error when none is configured.
   if (model == nullptr) {
-    size_t degraded = 0;
+    if (!options_.label_prior.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.degraded += live.size();
+    }
     for (Request& request : live) {
-      if (AnswerWithLabelPrior(request, start)) {
-        ++degraded;
-        continue;
-      }
+      if (AnswerWithLabelPrior(request, start)) continue;
       request.promise.set_value(
           Status::FailedPrecondition("no active model in the registry"));
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.degraded += degraded;
     return;
   }
 

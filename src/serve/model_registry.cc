@@ -377,27 +377,6 @@ void ModelRegistry::ExportActiveMetricsLocked() {
   }
 }
 
-// Out-of-line definitions of the deprecated forwarders; silence the
-// attribute so the -Werror build stays clean while they live out their
-// one-release grace period.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Status ModelRegistry::Activate(std::string_view version) {
-  return Publish(version, ModelRole::kActive);
-}
-
-Status ModelRegistry::RegisterAndActivate(ServingModel model) {
-  return Publish(std::move(model), ModelRole::kActive);
-}
-
-std::shared_ptr<const ServingModel> ModelRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return active_;
-}
-
-#pragma GCC diagnostic pop
-
 std::shared_ptr<const ServingModel> ModelRegistry::Get(
     std::string_view version) const {
   std::lock_guard<std::mutex> lock(mu_);

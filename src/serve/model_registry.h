@@ -198,17 +198,6 @@ class ModelRegistry {
 
   size_t size() const;
 
-  // -- Deprecated pre-lease API (thin forwarders, one release) ----------
-
-  [[deprecated("use Publish(version, ModelRole::kActive)")]]
-  Status Activate(std::string_view version);
-
-  [[deprecated("use Publish(model, ModelRole::kActive)")]]
-  Status RegisterAndActivate(ServingModel model);
-
-  [[deprecated("use Acquire().active")]]
-  std::shared_ptr<const ServingModel> Current() const;
-
  private:
   /// Appends to the audit trail and mirrors the tail into the
   /// "serve.registry.audit" info metric. Requires mu_ held.

@@ -193,6 +193,12 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
     return Status::Ok();
   };
 
+  // Next segment count at which a telemetry tick barrier fires.
+  size_t next_tick =
+      options.tick && options.tick_every_segments > 0
+          ? options.tick_every_segments
+          : 0;
+
   Stopwatch ingest_timer;
   while (!merge.empty()) {
     Cursor cursor = merge.top();
@@ -214,6 +220,16 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
       TRAJKIT_RETURN_IF_ERROR(drain());
       TRAJKIT_RETURN_IF_ERROR(options.trainer->Step());
     }
+    // Telemetry tick barrier: like the trainer step, the tick position is
+    // a pure function of the corpus (segments closed so far), and the
+    // store only samples after every in-flight request has resolved. A
+    // burst of closes can make several ticks due at once; each fires, so
+    // the tick count never depends on batching.
+    while (next_tick > 0 && report.segments_closed >= next_tick) {
+      TRAJKIT_RETURN_IF_ERROR(drain());
+      options.tick();
+      next_tick += options.tick_every_segments;
+    }
     if (cursor.point + 1 < trajectory.points.size()) {
       merge.push(Cursor{trajectory.points[cursor.point + 1].timestamp,
                         cursor.trajectory, cursor.point + 1});
@@ -227,6 +243,9 @@ Result<ReplayReport> ReplayCorpus(const std::vector<traj::Trajectory>& corpus,
   if (options.trainer != nullptr) {
     TRAJKIT_RETURN_IF_ERROR(options.trainer->Finish());
   }
+  // Final telemetry tick: the closing window covers the stream's tail
+  // (and any trainer Finish() mutations) regardless of cadence phase.
+  if (options.tick) options.tick();
   if (options.closed_sink) {
     for (size_t i = 0; i < staged.size(); ++i) {
       options.closed_sink(staged[i], staged_pred[i]);

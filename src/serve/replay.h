@@ -41,6 +41,17 @@ struct ReplayOptions {
   /// `serve-replay --store_out` persists a trajectory store through this.
   std::function<void(const ClosedSegment& segment, int predicted_class)>
       closed_sink;
+  /// Telemetry tick barrier: every `tick_every_segments` closed segments
+  /// the replay drains all in-flight requests and then invokes `tick` —
+  /// the same drain-then-mutate contract as the trainer barrier, so a
+  /// TimeSeriesStore sampled inside the callback sees quiescent metrics
+  /// at a position that is a pure function of the corpus (byte-identical
+  /// series at any thread/shard count). A final tick fires after the
+  /// end-of-stream drain. 0 (default) = no ticks. With ticks installed,
+  /// `ingest_seconds` includes the barrier drains (the tick-overhead
+  /// bench phase measures exactly this).
+  size_t tick_every_segments = 0;
+  std::function<void()> tick;
   /// Continuous trainer driven at replay-step barriers (not owned;
   /// nullptr = continuous training off). The replay feeds it every
   /// labeled closed segment and every gathered outcome; whenever the

@@ -165,6 +165,36 @@ Result<ServeConfig> ParseServeFlags(const Flags& flags,
     config.fault_spec = spec.value();
   }
 
+  // Telemetry plane.
+  config.http_port = flags.GetInt("http_port", -1);
+  if (config.http_port < -1 || config.http_port > 65535) {
+    return Status::InvalidArgument(StrPrintf(
+        "--http_port must be in [0, 65535] (got %d)", config.http_port));
+  }
+  config.http_linger = flags.GetBool("http_linger", false);
+  if (config.http_linger && config.http_port < 0) {
+    return Status::InvalidArgument(
+        "--http_linger requires --http_port");
+  }
+  config.slo_spec_text = flags.GetString("slo_spec", "");
+  if (!config.slo_spec_text.empty()) {
+    std::string error;
+    if (!obs::ParseSloSpecs(config.slo_spec_text, &config.slo_specs,
+                            &error)) {
+      return Status::InvalidArgument(
+          StrPrintf("--slo_spec: %s", error.c_str()));
+    }
+  }
+  const int timeseries_capacity = flags.GetInt(
+      "timeseries_capacity", static_cast<int>(config.timeseries_capacity));
+  TRAJKIT_RETURN_IF_ERROR(
+      RequireAtLeast(timeseries_capacity, 2, "timeseries_capacity"));
+  config.timeseries_capacity = static_cast<size_t>(timeseries_capacity);
+  const int tick_every =
+      flags.GetInt("tick_every", static_cast<int>(config.tick_every));
+  TRAJKIT_RETURN_IF_ERROR(RequireAtLeast(tick_every, 1, "tick_every"));
+  config.tick_every = static_cast<size_t>(tick_every);
+
   // Continuous training: every knob requires the main switch, so a typo'd
   // or stray CT flag fails loudly instead of silently doing nothing.
   config.ct.enabled = flags.GetBool("continuous_training", false);

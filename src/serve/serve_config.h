@@ -13,8 +13,11 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "common/flags.h"
 #include "common/result.h"
+#include "obs/slo.h"
 #include "serve/batch_predictor.h"
 #include "serve/continuous_training.h"
 #include "serve/fault_injector.h"
@@ -93,6 +96,21 @@ struct ServeConfig {
   // outlive the plane.
   std::string fault_spec_text;
   std::optional<FaultSpec> fault_spec;
+
+  // Telemetry plane. `slo_specs` is parsed from `slo_spec_text`; the
+  // TimeSeriesStore / SloEngine / HttpExportServer themselves are built
+  // by the caller (their lifetimes span the replay).
+  int http_port = -1;        ///< --http_port: -1 = no server, 0 = ephemeral.
+  bool http_linger = false;  ///< --http_linger: serve until /quitquitquit.
+  std::string slo_spec_text;
+  std::vector<obs::SloSpec> slo_specs;
+  size_t timeseries_capacity = 512;  ///< --timeseries_capacity
+  size_t tick_every = 64;            ///< --tick_every (segments per tick)
+
+  /// True when any telemetry surface was requested (ticks are armed).
+  bool telemetry_enabled() const {
+    return http_port >= 0 || !slo_specs.empty();
+  }
 
   ContinuousTrainingConfig ct;
 

@@ -43,6 +43,28 @@ void AppendQuantileLine(std::string& out, const char* label, double q,
 
 }  // namespace
 
+std::string Sparkline(const std::vector<double>& values) {
+  // Eight block characters, three bytes of UTF-8 each.
+  static constexpr const char* kBlocks[] = {
+      "\u2581", "\u2582", "\u2583", "\u2584",
+      "\u2585", "\u2586", "\u2587", "\u2588"};
+  double max = 0.0;
+  for (const double v : values) {
+    if (v > max) max = v;
+  }
+  std::string out;
+  for (const double v : values) {
+    int level = 0;
+    if (max > 0.0 && v > 0.0) {
+      level = static_cast<int>(v / max * 7.0 + 0.5);
+      if (level < 0) level = 0;
+      if (level > 7) level = 7;
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
 std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
                              const obs::RequestTracer& tracer,
                              const StatusPageOptions& options) {
@@ -118,8 +140,10 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
   // Shadow evaluation + continuous training (serve/continuous_training.h):
   // rendered only when a shadow has ever been scored / a trainer is live
   // in this process.
-  if (metrics.FindCounter("serve.shadow.samples") != nullptr) {
-    out += "shadow\n";
+  out += "shadow\n";
+  if (metrics.FindCounter("serve.shadow.samples") == nullptr) {
+    out += "  (no data)\n";
+  } else {
     Appendf(out, "  samples: %" PRIu64 "  agreement: %" PRIu64 "\n",
             CounterValue(metrics, "serve.shadow.samples"),
             CounterValue(metrics, "serve.shadow.agreement"));
@@ -127,8 +151,10 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
             GaugeValue(metrics, "serve.shadow.accuracy_delta"),
             GaugeValue(metrics, "serve.shadow.latency_ratio"));
   }
-  if (metrics.FindCounter("serve.ct.steps") != nullptr) {
-    out += "continuous training\n";
+  out += "continuous training\n";
+  if (metrics.FindCounter("serve.ct.steps") == nullptr) {
+    out += "  (no data)\n";
+  } else {
     Appendf(out, "  steps: %" PRIu64 "  refits: %" PRIu64
                  "  buffer: %.0f\n",
             CounterValue(metrics, "serve.ct.steps"),
@@ -147,8 +173,10 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
   // Registry audit trail: the last few publish/promote/retire events,
   // mirrored by the registry into one info metric (" | "-joined).
   const std::string audit = metrics.InfoValue("serve.registry.audit");
-  if (!audit.empty()) {
-    out += "registry audit (most recent last)\n";
+  out += "registry audit (most recent last)\n";
+  if (audit.empty()) {
+    out += "  (no data)\n";
+  } else {
     size_t begin = 0;
     while (begin <= audit.size()) {
       const size_t end = audit.find(" | ", begin);
@@ -165,11 +193,13 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
   // ServingPlane is live in this process — shard 0's counters exist once
   // one was built. Counts attribute load; the unlabelled metrics above
   // stay the cross-shard aggregate.
-  if (metrics.FindCounter("serve.shard0.sessions.points_ingested") !=
-          nullptr ||
-      metrics.FindCounter("serve.shard0.batch_predictor.requests") !=
+  out += "shards\n";
+  if (metrics.FindCounter("serve.shard0.sessions.points_ingested") ==
+          nullptr &&
+      metrics.FindCounter("serve.shard0.batch_predictor.requests") ==
           nullptr) {
-    out += "shards\n";
+    out += "  (no data)\n";
+  } else {
     for (int s = 0;; ++s) {
       const std::string prefix = StrPrintf("serve.shard%d.", s);
       const bool has_sessions =
@@ -208,10 +238,63 @@ std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
     AppendQuantileLine(out, "p99", 0.99, snap);
   }
 
+  // Live telemetry: current SLO burn-rate state and recent-history
+  // sparklines from the time-series store. Both render "(no data)" when
+  // no telemetry plane is armed in this process.
+  out += "slo\n";
+  if (options.slo == nullptr || options.slo->states().empty()) {
+    out += "  (no data)\n";
+  } else {
+    for (const obs::SloState& state : options.slo->states()) {
+      Appendf(out,
+              "  %s: %s  burn_fast=%.3g burn_slow=%.3g "
+              "budget_remaining=%.3g transitions=%" PRIu64 "\n",
+              state.name.c_str(), state.breached ? "BREACH" : "ok",
+              state.burn_fast, state.burn_slow, state.budget_remaining,
+              state.transitions);
+    }
+  }
+
+  out += "timeseries\n";
+  if (options.timeseries == nullptr ||
+      options.timeseries->tick_count() == 0) {
+    out += "  (no data)\n";
+  } else {
+    const obs::TimeSeriesStore& ts = *options.timeseries;
+    Appendf(out, "  ticks: %zu (capacity %zu)\n", ts.tick_count(),
+            ts.capacity());
+    for (const auto& [name, kind] : ts.SeriesKinds()) {
+      // Counters/histograms plot per-tick increments (a cumulative ramp
+      // reads as a wedge, not a trend); gauges plot raw values.
+      std::vector<double> values =
+          ts.RecentSamples(name, options.sparkline_ticks + 1);
+      if (kind != "gauge" && !values.empty()) {
+        for (size_t i = values.size() - 1; i > 0; --i) {
+          const double step = values[i] - values[i - 1];
+          values[i] = step >= 0 ? step : values[i];
+        }
+        values.erase(values.begin());
+      }
+      Appendf(out, "  %-44s %s ", name.c_str(), kind.c_str());
+      out += Sparkline(values);
+      Appendf(out, " delta=%.6g rate=%.6g",
+              ts.Delta(name, options.sparkline_ticks),
+              ts.Rate(name, options.sparkline_ticks));
+      if (kind == "histogram") {
+        Appendf(out, " p99=%.3fms",
+                ts.WindowedQuantile(name, 0.99, options.sparkline_ticks) *
+                    1e3);
+      }
+      out += "\n";
+    }
+  }
+
   // Trajectory store (src/store/): rendered only when a store is live in
   // this process — the store.segments counter exists once one was built.
-  if (metrics.FindCounter("store.segments") != nullptr) {
-    out += "store\n";
+  out += "store\n";
+  if (metrics.FindCounter("store.segments") == nullptr) {
+    out += "  (no data)\n";
+  } else {
     Appendf(out, "  segments: %.0f\n", GaugeValue(metrics, "store.size"));
     Appendf(out, "  ingested_total: %" PRIu64 "\n",
             CounterValue(metrics, "store.segments"));

@@ -12,19 +12,34 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 namespace trajkit::serve {
 
 struct StatusPageOptions {
   /// How many of the most recent tail-kept traces to list.
   size_t max_retained_traces = 8;
+  /// Live telemetry sources: recent history sparklines and the SLO
+  /// section render "(no data)" when these are absent.
+  const obs::TimeSeriesStore* timeseries = nullptr;
+  const obs::SloEngine* slo = nullptr;
+  /// How many trailing ticks a sparkline covers.
+  size_t sparkline_ticks = 32;
 };
 
-/// Renders the status page from `metrics` + `tracer`. Metrics that were
-/// never touched in this process are omitted (lookups never create).
+/// Unicode block-character sparkline of `values` (empty -> ""). All-equal
+/// inputs render as the lowest block so a flat line reads as flat.
+/// Exposed for the statusz golden test.
+std::string Sparkline(const std::vector<double>& values);
+
+/// Renders the status page from `metrics` + `tracer`. Every section
+/// always renders; subsystems that have emitted nothing show a stable
+/// "(no data)" placeholder (lookups never create metrics).
 std::string RenderStatusPage(const obs::MetricsRegistry& metrics,
                              const obs::RequestTracer& tracer,
                              const StatusPageOptions& options = {});

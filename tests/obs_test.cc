@@ -266,16 +266,20 @@ TEST(MetricsRegistryTest, GoldenPrometheusExport) {
   MetricsRegistry registry;
   FillGoldenRegistry(registry);
   const std::string expected =
+      "# HELP test_a trajkit metric a\n"
       "# TYPE test_a counter\n"
       "test_a 3\n"
+      "# HELP test_g trajkit metric g\n"
       "# TYPE test_g gauge\n"
       "test_g 2.5\n"
+      "# HELP test_h trajkit metric h\n"
       "# TYPE test_h histogram\n"
       "test_h_bucket{le=\"1\"} 1\n"
       "test_h_bucket{le=\"2\"} 2\n"
       "test_h_bucket{le=\"+Inf\"} 2\n"
       "test_h_sum 2\n"
       "test_h_count 2\n"
+      "# HELP test_k trajkit metric k\n"
       "# TYPE test_k gauge\n"
       "test_k{value=\"v\"} 1\n";
   EXPECT_EQ(registry.ToPrometheusText("test_"), expected);

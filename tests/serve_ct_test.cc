@@ -230,21 +230,6 @@ TEST(ModelRegistryTest, PromoteOrRetireWithoutShadowFailsPrecondition) {
   EXPECT_EQ(registry.Acquire().active->version, "v1");
 }
 
-// The deprecated pre-lease API must keep working for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ModelRegistryTest, DeprecatedForwardersStillServe) {
-  ModelRegistry registry;
-  ASSERT_TRUE(registry.RegisterAndActivate(CloneAs("legacy-v1")).ok());
-  ASSERT_NE(registry.Current(), nullptr);
-  EXPECT_EQ(registry.Current()->version, "legacy-v1");
-  ASSERT_TRUE(registry.Register(CloneAs("legacy-v2")).ok());
-  ASSERT_TRUE(registry.Activate("legacy-v2").ok());
-  EXPECT_EQ(registry.Current()->version, "legacy-v2");
-  EXPECT_EQ(registry.Acquire().active->version, "legacy-v2");
-}
-#pragma GCC diagnostic pop
-
 // ------------------------------------------------------- Lease coherence --
 
 // Readers must never observe a promotion half-applied: within one lease

@@ -1179,5 +1179,100 @@ TEST(StatuszTest, RendersEverySectionFromRegistryAndTracer) {
   EXPECT_NE(page.find("swap_stall: 0"), std::string::npos);
 }
 
+TEST(StatuszTest, GoldenEmptyPageRendersEverySectionWithPlaceholders) {
+  // The full-page golden: an empty registry and a disabled tracer still
+  // render EVERY section, with "(no data)" placeholders where a subsystem
+  // has emitted nothing — a scraper parsing section headers never has to
+  // handle an absent section.
+  obs::MetricsRegistry metrics;
+  obs::RequestTracer tracer;
+  const std::string expected =
+      "==== trajkit statusz ====\n"
+      "model\n"
+      "  active_version: (none)\n"
+      "  registered: 0\n"
+      "  swaps: 0  promotions: 0\n"
+      "  flat_form: (not compiled)\n"
+      "queue\n"
+      "  depth: 0\n"
+      "  requests: 0\n"
+      "  batches: 0\n"
+      "lifecycle\n"
+      "  shed: 0 (queue_full=0, preempted=0)\n"
+      "  degraded: 0 (previous_model=0, majority_class=0)\n"
+      "  deadline_exceeded: 0\n"
+      "  unavailable: 0\n"
+      "faults injected\n"
+      "  swap_stall: 0\n"
+      "  predict_fail: 0\n"
+      "  batch_delay: 0\n"
+      "shadow\n"
+      "  (no data)\n"
+      "continuous training\n"
+      "  (no data)\n"
+      "registry audit (most recent last)\n"
+      "  (no data)\n"
+      "shards\n"
+      "  (no data)\n"
+      "latency (serve.batch_predictor.latency_seconds)\n"
+      "  (no observations)\n"
+      "slo\n"
+      "  (no data)\n"
+      "timeseries\n"
+      "  (no data)\n"
+      "store\n"
+      "  (no data)\n"
+      "retained traces: (tracing disabled)\n";
+  EXPECT_EQ(RenderStatusPage(metrics, tracer), expected);
+}
+
+TEST(StatuszTest, RendersSloAndTimeseriesSectionsWhenWired) {
+  obs::MetricsRegistry metrics;
+  obs::Counter& shed = metrics.GetCounter("serve.shed_total.queue_full");
+  obs::Counter& total = metrics.GetCounter("serve.batch_predictor.requests");
+  obs::TimeSeriesStore store(metrics);
+  std::vector<obs::SloSpec> specs;
+  std::string error;
+  ASSERT_TRUE(obs::ParseSloSpecs(
+      "shed:type=ratio,bad=serve.shed_total.queue_full,"
+      "total=serve.batch_predictor.requests,budget=0.5,fast=1,slow=1",
+      &specs, &error))
+      << error;
+  obs::SloEngine engine(&store, &metrics, specs);
+  total.Increment(10);
+  store.Tick(0.0);
+  engine.Evaluate(0);
+  total.Increment(10);
+  shed.Increment(10);
+  store.Tick(1.0);
+  engine.Evaluate(1);
+
+  obs::RequestTracer tracer;
+  StatusPageOptions options;
+  options.timeseries = &store;
+  options.slo = &engine;
+  const std::string page = RenderStatusPage(metrics, tracer, options);
+  // Bad fraction 1.0 against a 0.5 budget: burn rate 2 in both windows.
+  EXPECT_NE(page.find("shed: BREACH  burn_fast=2 burn_slow=2 "
+                      "budget_remaining=0 transitions=1"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("ticks: 2 (capacity 512)"), std::string::npos);
+  EXPECT_NE(page.find("serve.batch_predictor.requests"), std::string::npos);
+  // Counters plot per-tick increments, peaking at the full block.
+  EXPECT_NE(page.find("█"), std::string::npos);
+  EXPECT_NE(page.find("delta=10"), std::string::npos);
+}
+
+TEST(StatuszTest, SparklineNormalizesToMax) {
+  EXPECT_EQ(Sparkline({}), "");
+  // All-zero (and all-equal-at-zero) input stays on the lowest block.
+  EXPECT_EQ(Sparkline({0.0, 0.0}), "▁▁");
+  // Max maps to the full block, 0 to the lowest, midpoints interpolate.
+  EXPECT_EQ(Sparkline({0.0, 4.0, 8.0}), "▁▅█");
+  // Negative values clamp to the lowest block rather than indexing UB.
+  EXPECT_EQ(Sparkline({-1.0, 1.0}), "▁█");
+}
+
 }  // namespace
 }  // namespace trajkit::serve

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Lint for the Prometheus text exposition our exporters emit.
+
+Usage:
+    tools/check_prom.py METRICS.prom [METRICS.prom ...]
+
+Validates the exposition-format invariants a scraper relies on, over
+either a --metrics_prom file or a saved /metrics scrape (they must be
+byte-identical anyway — the CI scrape-smoke leg checks both):
+
+  1. Every metric family is announced by a `# HELP` line immediately
+     followed by a `# TYPE` line for the same metric name, with a known
+     type (counter | gauge | histogram), and each family is announced at
+     most once.
+  2. Every sample line belongs to the most recently announced family
+     (samples never appear before their family header or after another
+     family's), and sample values parse as numbers.
+  3. Histogram `le` buckets are cumulative: counts are monotonically
+     non-decreasing as `le` increases, the bounds strictly increase, the
+     last bucket is `le="+Inf"`, and `_count` equals the +Inf bucket.
+  4. OpenMetrics-style exemplars (`... # {trace_id="..."} value`) only
+     appear on bucket lines and carry a parsable value.
+
+Exit 0 when every file is clean; exit 1 with per-line diagnostics.
+"""
+
+import math
+import re
+import sys
+
+KNOWN_TYPES = ("counter", "gauge", "histogram")
+
+# <name>{labels} <value> [# {exemplar-labels} <exemplar-value>]
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?P<exemplar> # \{[^}]*\} \S+)?$"
+)
+EXEMPLAR_RE = re.compile(r"^ # \{trace_id=\"[^\"]+\"\} (?P<value>\S+)$")
+LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def family_of(name):
+    """Strips the histogram sample suffix to the announced family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    errors = []
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    announced = {}  # family -> type
+    pending_help = None  # family named by a HELP line awaiting its TYPE
+    current = None  # family the sample lines must belong to
+    buckets = []  # (le, count) of the open histogram
+    saw_count = {}  # family -> _count value
+
+    def close_histogram(lineno):
+        if not buckets:
+            return
+        prev_le, prev_count = None, None
+        for le, count in buckets:
+            if prev_le is not None:
+                if le <= prev_le:
+                    err(lineno, f"bucket le=\"{le}\" does not increase past "
+                                f"le=\"{prev_le}\"")
+                if count < prev_count:
+                    err(lineno, f"bucket le=\"{le}\" count {count} < "
+                                f"preceding count {prev_count} "
+                                "(buckets must be cumulative)")
+            prev_le, prev_count = le, count
+        if buckets[-1][0] != math.inf:
+            err(lineno, f"histogram {current} is missing the le=\"+Inf\" "
+                        "bucket")
+        elif current in saw_count and saw_count[current] != buckets[-1][1]:
+            err(lineno, f"histogram {current}_count {saw_count[current]} != "
+                        f"+Inf bucket {buckets[-1][1]}")
+        buckets.clear()
+
+    for lineno, line in enumerate(lines, start=1):
+        if line.startswith("# HELP "):
+            close_histogram(lineno)
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                err(lineno, "HELP line has no help text")
+                continue
+            if pending_help is not None:
+                err(lineno, f"HELP {parts[2]} while HELP {pending_help} "
+                            "still awaits its TYPE line")
+            pending_help = parts[2]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err(lineno, "malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in KNOWN_TYPES:
+                err(lineno, f"unknown metric type \"{kind}\"")
+            if pending_help != name:
+                err(lineno, f"TYPE {name} is not immediately preceded by "
+                            f"HELP {name} (HELP/TYPE must pair up)")
+            pending_help = None
+            if name in announced:
+                err(lineno, f"family {name} announced twice")
+            announced[name] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            err(lineno, f"unexpected comment line: {line!r}")
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            err(lineno, f"unparsable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        family = family_of(name)
+        if family not in announced:
+            err(lineno, f"sample {name} before any HELP/TYPE for {family}")
+            continue
+        if family != current:
+            err(lineno, f"sample {name} appears after family {current} "
+                        "was announced (families must be contiguous)")
+        value = parse_value(match.group("value"))
+        if value is None:
+            err(lineno, f"sample {name} value {match.group('value')!r} "
+                        "is not a number")
+            continue
+        if match.group("exemplar"):
+            if not name.endswith("_bucket"):
+                err(lineno, "exemplar on a non-bucket sample")
+            exemplar = EXEMPLAR_RE.match(match.group("exemplar"))
+            if exemplar is None:
+                err(lineno, f"malformed exemplar: {match.group('exemplar')!r}")
+            elif parse_value(exemplar.group("value")) is None:
+                err(lineno, "exemplar value is not a number")
+        if name.endswith("_bucket") and announced[family] == "histogram":
+            labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+            le = parse_value(labels.get("le", ""))
+            if le is None:
+                err(lineno, f"bucket of {family} has no parsable le label")
+            else:
+                buckets.append((le, value))
+        elif name.endswith("_count") and announced[family] == "histogram":
+            saw_count[family] = value
+            close_histogram(lineno)
+
+    close_histogram(len(lines))
+    if pending_help is not None:
+        err(len(lines), f"HELP {pending_help} has no TYPE line")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        for error in errors:
+            print(error, file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

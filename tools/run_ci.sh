@@ -9,14 +9,19 @@
 #      --continuous_training at t1/t8 × s1/s2/s8 must be byte-identical
 #      (predictions + lifecycle + training lines + deterministic
 #      registry/shadow/ct counters) with >= 1 auto-promotion
-#   4. TSan:   concurrency-labelled tests under ThreadSanitizer
+#   4. telemetry determinism + scrape smoke: tick-sampled time-series
+#      dumps and SLO transitions byte-identical at t1/t8 × s1/s8; a
+#      lingering serve-replay's /metrics byte-matches --metrics_prom and
+#      passes tools/check_prom.py, then exits via /quitquitquit
 #   5. chaos smokes: fault-injection replay (sharded) and a
 #      shadow-promotion run under chaos — >= 1 promotion in the trace
 #      export, metrics, and the statusz registry-audit section
-#   6. ASan:   the full suite under AddressSanitizer
-#   7. bench:  perf-regression gate (tools/check_bench.py) against the
+#   6. TSan:   concurrency-labelled tests under ThreadSanitizer
+#   7. ASan:   the full suite under AddressSanitizer
+#   8. bench:  perf-regression gate (tools/check_bench.py) against the
 #              checked-in BENCH_baseline.json, incl. the shadow-scoring
-#              ingest-overhead self-gate (--require_shadow_overhead)
+#              and telemetry-tick ingest-overhead self-gates
+#              (--require_shadow_overhead / --require_tick_overhead)
 #
 # Usage: tools/run_ci.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 # Env:   BUILD_DIR (default build), TSAN_BUILD_DIR (default build-tsan),
@@ -138,6 +143,106 @@ for tag in t8_s1 t1_s2 t8_s8; do
 done
 python3 tools/check_shard_metrics.py "$CT_OUT/metrics_t1_s1.json" \
   "$CT_OUT/metrics_t1_s2.json" "$CT_OUT/metrics_t8_s8.json"
+
+# Telemetry determinism matrix: the live telemetry plane samples at
+# replay barriers, so the tick-sampled time-series rings and the SLO
+# burn-rate transitions are a pure function of the corpus — the
+# --timeseries_json dump and the slo/telemetry summary lines must be
+# byte-identical at any thread or shard count.
+echo "==> telemetry determinism: serve-replay at --threads=1/8 x --shards=1/8"
+TELE_OUT="$BUILD_DIR/telemetry"
+mkdir -p "$TELE_OUT"
+TELE_SLO='shed:type=ratio,bad=serve.shed_total.queue_full+serve.shed_total.preempted,total=serve.batch_predictor.requests,budget=0.02,fast=4,slow=16'
+for config in "t1_s1 --threads=1 --shards=1" "t8_s1 --threads=8 --shards=1" \
+              "t1_s8 --threads=1 --shards=8" "t8_s8 --threads=8 --shards=8"; do
+  # shellcheck disable=SC2086
+  set -- $config
+  tag="$1"; shift
+  "$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+    --model="$SHARD_OUT/rf.model" "$@" --tick_every=16 \
+    --slo_spec="$TELE_SLO" \
+    --timeseries_json="$TELE_OUT/timeseries_$tag.json" \
+    > "$TELE_OUT/replay_$tag.log"
+  grep '^telemetry:\|^slo:' "$TELE_OUT/replay_$tag.log" \
+    > "$TELE_OUT/summary_$tag.txt"
+done
+grep -q '^telemetry: [1-9]' "$TELE_OUT/summary_t1_s1.txt" || {
+  echo "telemetry determinism: the replay never ticked" >&2
+  exit 1
+}
+for tag in t8_s1 t1_s8 t8_s8; do
+  cmp "$TELE_OUT/timeseries_t1_s1.json" "$TELE_OUT/timeseries_$tag.json" || {
+    echo "telemetry determinism: time-series dump diverges at $tag" >&2
+    exit 1
+  }
+  diff "$TELE_OUT/summary_t1_s1.txt" "$TELE_OUT/summary_$tag.txt" || {
+    echo "telemetry determinism: slo/telemetry summary diverges at $tag" >&2
+    exit 1
+  }
+done
+
+# Scrape smoke: a lingering serve-replay serves the frozen post-run
+# snapshot over HTTP; /metrics must byte-match the --metrics_prom file
+# (a scrape never mutates what it exports), both must pass the
+# exposition-format lint, and /quitquitquit ends the process cleanly —
+# no signals, no sleeps against a moving target.
+echo "==> scrape smoke: serve-replay --http_port=0 --http_linger"
+"$BUILD_DIR"/tools/trajkit serve-replay --users=6 --days=2 --seed=42 \
+  --model="$SHARD_OUT/rf.model" --tick_every=16 --slo_spec="$TELE_SLO" \
+  --http_port=0 --http_linger \
+  --metrics_prom="$TELE_OUT/metrics.prom" \
+  --timeseries_json="$TELE_OUT/timeseries.json" \
+  > "$TELE_OUT/http.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 200); do
+  PORT=$(sed -n 's/^http: lingering on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$TELE_OUT/http.log" | head -1)
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || {
+  echo "scrape smoke: server never reached the linger state" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+scrape() {
+  python3 -c 'import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1]) as response:
+    sys.stdout.buffer.write(response.read())' "http://127.0.0.1:$PORT$1"
+}
+scrape /metrics > "$TELE_OUT/scrape_metrics.prom"
+cmp "$TELE_OUT/metrics.prom" "$TELE_OUT/scrape_metrics.prom" || {
+  echo "scrape smoke: /metrics differs from the --metrics_prom file" >&2
+  exit 1
+}
+python3 tools/check_prom.py "$TELE_OUT/metrics.prom" \
+  "$TELE_OUT/scrape_metrics.prom"
+scrape /timeseries.json > "$TELE_OUT/scrape_timeseries.json"
+cmp "$TELE_OUT/timeseries.json" "$TELE_OUT/scrape_timeseries.json" || {
+  echo "scrape smoke: /timeseries.json differs from the --timeseries_json file" >&2
+  exit 1
+}
+scrape /healthz | grep -qx ok || {
+  echo "scrape smoke: /healthz is not ok" >&2
+  exit 1
+}
+scrape /metrics.json | python3 -c 'import json, sys; json.load(sys.stdin)'
+scrape /statusz > "$TELE_OUT/scrape_statusz.txt"
+grep -q '^slo$' "$TELE_OUT/scrape_statusz.txt" || {
+  echo "scrape smoke: /statusz lost its slo section" >&2
+  exit 1
+}
+grep -q '^timeseries$' "$TELE_OUT/scrape_statusz.txt" || {
+  echo "scrape smoke: /statusz lost its timeseries section" >&2
+  exit 1
+}
+scrape /quitquitquit >/dev/null
+wait "$SERVE_PID" || {
+  echo "scrape smoke: lingering serve-replay exited nonzero" >&2
+  exit 1
+}
+echo "scrape smoke: ok (port $PORT)"
 
 # Fault-injection smoke: a chaos replay must survive (exit 0, every
 # request accounted — the CLI itself fails on a lifecycle leak) AND the
@@ -280,7 +385,8 @@ else
     "${COMMON_CMAKE_ARGS[@]}"
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
     --target parallel_test serve_test serve_shard_test serve_ct_test \
-             obs_test request_trace_test ml_flat_forest_test store_test
+             obs_test obs_timeseries_test http_export_test \
+             request_trace_test ml_flat_forest_test store_test
 
   echo "==> TSan: concurrency-labelled tests"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
@@ -322,6 +428,7 @@ else
   for run in $(seq 1 "$BENCH_RUNS"); do
     "$BUILD_DIR"/bench/micro_serve --users=12 --days=2 --requests=4096 \
       --threads_list=1 --shards_list=1,8 --require_shadow_overhead=0.15 \
+      --require_tick_overhead=0.05 \
       "${SHARD_SCALING_ARGS[@]}" \
       --timing_json="$BENCH_OUT/serve_$run.json" \
       --metrics_json="$BENCH_OUT/serve_metrics_$run.json" >/dev/null

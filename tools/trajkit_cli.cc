@@ -41,6 +41,9 @@
 //                      [--drift_window=N] [--drift_threshold=SIGMAS]
 //                      [--drift_degraded_rate=F]]
 //                     [--metrics_json=FILE] [--metrics_prom=FILE]
+//                     [--timeseries_json=FILE] [--tick_every=64]
+//                     [--timeseries_capacity=512] [--slo_spec=SPEC]
+//                     [--http_port=P [--http_linger]]
 //                     [--trace_json=FILE] [--trace_test=FILE]
 //                     [--trace_sample=N] [--trace_buffer=M]
 //                     [--store_out=FILE] [--predictions_out=FILE]
@@ -71,6 +74,19 @@
 //       deterministic rank-timestamp dump, --trace_sample=N head-samples
 //       every Nth request (bad outcomes are always tail-kept), and
 //       --trace_buffer=M sizes the per-thread ring (events).
+//       The live telemetry plane samples the registry into ring-buffered
+//       time series at replay barriers — one tick per --tick_every closed
+//       segments (ring capacity --timeseries_capacity), so the sampled
+//       history is byte-identical at any thread/shard count.
+//       --timeseries_json dumps the rings; --slo_spec declares burn-rate
+//       objectives over them (obs/slo.h grammar, e.g.
+//       "shed:type=ratio,bad=serve.shed_total.queue_full,
+//       total=serve.batch_predictor.requests,budget=0.02") whose
+//       ok<->breach transitions are logged and exported as slo.* metrics.
+//       --http_port=P serves /metrics, /metrics.json, /timeseries.json,
+//       /statusz, /healthz, /tracez live on 127.0.0.1:P while the replay
+//       runs (0 picks a free port); --http_linger keeps serving the
+//       frozen post-run snapshot until GET /quitquitquit.
 //       --store_out=FILE persists every closed segment (with its resolved
 //       prediction) as a trajectory-store segment log for `trajkit query`.
 //       --continuous_training closes the loop (serve/continuous_training.h):
@@ -114,13 +130,18 @@
 //       quantiles with exemplar trace ids, and the last tail-kept traces.
 //       With --continuous_training (same flag family as serve-replay) the
 //       page adds the shadow-scoring, continuous-training, and
-//       registry-audit sections.
+//       registry-audit sections. Every section always renders — subsystems
+//       that emitted nothing show "(no data)". The demo arms the live
+//       telemetry plane (a built-in latency+shed --slo_spec unless one is
+//       given), so the slo section and per-series sparklines render too.
 //
 // Every command also accepts --threads=N to bound the shared worker pool
 // (default: TRAJKIT_THREADS env var, else hardware concurrency). Results
 // are bit-identical at any thread count.
 
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -141,8 +162,11 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "obs/http_export.h"
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "serve/batch_predictor.h"
 #include "serve/continuous_training.h"
 #include "serve/fault_injector.h"
@@ -387,25 +411,24 @@ int RunPredict(const Flags& flags) {
   return 0;
 }
 
-/// Dumps the process metrics registry to the --metrics_json /
-/// --metrics_prom paths (no-op for absent flags). Returns false on a
-/// write failure.
-bool DumpMetrics(const Flags& flags) {
-  const std::string json_path = flags.GetString("metrics_json", "");
-  if (!json_path.empty()) {
-    if (!obs::WriteTextFile(json_path,
-                            obs::MetricsRegistry::Global().ToJson())) {
-      return false;
-    }
-    std::printf("metrics written to %s\n", json_path.c_str());
+/// Dumps the metric artifacts (--metrics_json / --metrics_prom /
+/// --timeseries_json, no-op for absent flags) through the shared
+/// obs::WriteMetricsArtifacts helper. Returns false on a write failure.
+bool DumpMetrics(const HarnessOptions& harness,
+                 const obs::TimeSeriesStore* timeseries = nullptr) {
+  if (!obs::WriteMetricsArtifacts(harness.MetricsArtifacts(timeseries),
+                                  obs::MetricsRegistry::Global())) {
+    return false;
   }
-  const std::string prom_path = flags.GetString("metrics_prom", "");
-  if (!prom_path.empty()) {
-    if (!obs::WriteTextFile(
-            prom_path, obs::MetricsRegistry::Global().ToPrometheusText())) {
-      return false;
-    }
-    std::printf("metrics written to %s\n", prom_path.c_str());
+  if (!harness.metrics_json.empty()) {
+    std::printf("metrics written to %s\n", harness.metrics_json.c_str());
+  }
+  if (!harness.metrics_prom.empty()) {
+    std::printf("metrics written to %s\n", harness.metrics_prom.c_str());
+  }
+  if (!harness.timeseries_json.empty()) {
+    std::printf("timeseries written to %s\n",
+                harness.timeseries_json.c_str());
   }
   return true;
 }
@@ -530,6 +553,87 @@ int RunServeReplay(const Flags& flags) {
     };
   }
 
+  // Telemetry plane (--http_port / --slo_spec / --timeseries_json): a
+  // TimeSeriesStore (and SLO engine over it) ticked at replay barriers —
+  // one tick per --tick_every closed segments, with every in-flight
+  // request drained first, so the sampled series and SLO transitions are
+  // byte-identical at any thread/shard count. The HTTP server exports
+  // the same registry live while the replay runs.
+  std::optional<obs::TimeSeriesStore> timeseries;
+  std::optional<obs::SloEngine> slo;
+  size_t tick_index = 0;
+  if (config.telemetry_enabled() || !harness.timeseries_json.empty()) {
+    obs::TimeSeriesOptions ts_options;
+    ts_options.capacity = config.timeseries_capacity;
+    timeseries.emplace(obs::MetricsRegistry::Global(), ts_options);
+    // Default tracked series: the counters whose values are a pure
+    // function of the corpus (the shard-determinism allowlist), so the
+    // exported series stay byte-comparable across thread/shard counts.
+    // SLO specs add whatever they reference on top.
+    timeseries->TrackCounter("serve.sessions.points_ingested");
+    timeseries->TrackCounter("serve.sessions.segments_emitted");
+    timeseries->TrackCounter("serve.batch_predictor.requests");
+    timeseries->TrackCounter("serve.shed_total.queue_full");
+    timeseries->TrackCounter("serve.shed_total.preempted");
+    timeseries->TrackCounter("serve.deadline_exceeded_total");
+    timeseries->TrackCounter("serve.degraded_total.previous_model");
+    timeseries->TrackCounter("serve.degraded_total.majority_class");
+    if (!config.slo_specs.empty()) {
+      slo.emplace(&*timeseries, &obs::MetricsRegistry::Global(),
+                  config.slo_specs);
+      std::printf("slo engine on: %zu objectives, tick every %zu "
+                  "segments\n",
+                  slo->specs().size(), config.tick_every);
+    }
+    replay_options.tick_every_segments = config.tick_every;
+    replay_options.tick = [&timeseries, &slo, &tick_index] {
+      timeseries->Tick(static_cast<double>(tick_index));
+      if (slo.has_value()) slo->Evaluate(tick_index);
+      ++tick_index;
+    };
+  }
+
+  std::optional<obs::HttpExportServer> http;
+  std::mutex quit_mu;
+  std::condition_variable quit_cv;
+  bool quit_requested = false;
+  if (config.http_port >= 0) {
+    obs::HttpExportOptions http_options;
+    http_options.port = config.http_port;
+    http_options.registry = &obs::MetricsRegistry::Global();
+    http_options.timeseries =
+        timeseries.has_value() ? &*timeseries : nullptr;
+    http_options.slo = slo.has_value() ? &*slo : nullptr;
+    if (harness.tracing_requested()) {
+      http_options.tracer = &obs::RequestTracer::Global();
+    }
+    http_options.statusz = [&timeseries, &slo] {
+      serve::StatusPageOptions page;
+      page.timeseries = timeseries.has_value() ? &*timeseries : nullptr;
+      page.slo = slo.has_value() ? &*slo : nullptr;
+      return serve::RenderStatusPage(obs::MetricsRegistry::Global(),
+                                     obs::RequestTracer::Global(), page);
+    };
+    if (config.http_linger) {
+      http_options.on_quit = [&quit_mu, &quit_cv, &quit_requested] {
+        std::lock_guard<std::mutex> lock(quit_mu);
+        quit_requested = true;
+        quit_cv.notify_all();
+      };
+    }
+    http.emplace();
+    std::string error;
+    if (!http->Start(std::move(http_options), &error)) {
+      std::fprintf(stderr, "serve-replay: --http_port: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    // CI polls this line for the bound port, so flush past any pipe
+    // buffering.
+    std::printf("http: listening on 127.0.0.1:%d\n", http->port());
+    std::fflush(stdout);
+  }
+
   Stopwatch timer;
   auto report = serve::ReplayCorpus(corpus, labels.value(), plane,
                                     replay_options);
@@ -582,6 +686,28 @@ int RunServeReplay(const Flags& flags) {
     return 1;
   }
 
+  // Telemetry summary + SLO transition log: tick positions are corpus
+  // positions, so (for SLOs over deterministic counters) every line here
+  // is byte-identical at any thread/shard count — the CI telemetry
+  // determinism leg diffs the "slo:" lines across t1/t8 x s1/s8.
+  if (timeseries.has_value()) {
+    std::printf("telemetry: %zu ticks, %zu series (capacity %zu)\n",
+                timeseries->tick_count(), timeseries->series_count(),
+                timeseries->capacity());
+  }
+  if (slo.has_value()) {
+    for (const std::string& line : slo->transition_log()) {
+      std::printf("slo: %s\n", line.c_str());
+    }
+    for (const obs::SloState& state : slo->states()) {
+      std::printf("slo: final %s %s burn_fast=%.6g burn_slow=%.6g "
+                  "budget_remaining=%.6g transitions=%llu\n",
+                  state.name.c_str(), state.breached ? "breach" : "ok",
+                  state.burn_fast, state.burn_slow, state.budget_remaining,
+                  static_cast<unsigned long long>(state.transitions));
+    }
+  }
+
   // Continuous-training summary: every number here is a deterministic
   // function of the corpus (the CI continuous-training matrix diffs this
   // line across thread/shard counts alongside the predictions CSV).
@@ -628,8 +754,24 @@ int RunServeReplay(const Flags& flags) {
 
   // The metrics/trace artifacts reflect the serving replay itself, so
   // dump them before the offline-comparison pipeline adds its own samples.
-  if (!DumpMetrics(flags)) return 1;
+  if (!DumpMetrics(harness, timeseries.has_value() ? &*timeseries : nullptr)) {
+    return 1;
+  }
   if (!harness.DumpTrace()) return 1;
+
+  // --http_linger: keep serving this exact post-replay snapshot until a
+  // scraper hits /quitquitquit. Nothing mutates the registry between the
+  // artifact dump above and here, so a /metrics scrape during the linger
+  // is byte-identical to the --metrics_prom file (the CI scrape-smoke
+  // leg compares them).
+  if (http.has_value() && config.http_linger) {
+    std::printf("http: lingering on 127.0.0.1:%d until /quitquitquit\n",
+                http->port());
+    std::fflush(stdout);
+    std::unique_lock<std::mutex> lock(quit_mu);
+    quit_cv.wait(lock, [&quit_requested] { return quit_requested; });
+    std::printf("http: quit requested\n");
+  }
 
   // Offline comparison: the batch pipeline on the same corpus with the
   // same segmentation rules, predicted through the same serving model.
@@ -923,6 +1065,46 @@ int RunStatusz(const Flags& flags) {
     replay_options.trainer = &*trainer;
   }
 
+  // The statusz demo always arms the telemetry plane so the page's slo +
+  // timeseries sections render live sparklines: --slo_spec overrides the
+  // built-in demo objectives (a p99 latency ceiling and a shed-rate
+  // ceiling).
+  obs::TimeSeriesOptions ts_options;
+  ts_options.capacity = config.timeseries_capacity;
+  obs::TimeSeriesStore timeseries(obs::MetricsRegistry::Global(),
+                                  ts_options);
+  timeseries.TrackCounter("serve.sessions.points_ingested");
+  timeseries.TrackCounter("serve.sessions.segments_emitted");
+  timeseries.TrackCounter("serve.batch_predictor.requests");
+  timeseries.TrackGauge("serve.sessions.active");
+  timeseries.TrackHistogram("serve.batch_predictor.latency_seconds");
+  std::vector<obs::SloSpec> slo_specs = config.slo_specs;
+  if (slo_specs.empty()) {
+    std::string error;
+    const bool parsed = obs::ParseSloSpecs(
+        "latency_p99:type=latency,"
+        "metric=serve.batch_predictor.latency_seconds,ceiling_ms=50,"
+        "budget=0.05,fast=4,slow=16;"
+        "shed:type=ratio,bad=serve.shed_total.queue_full+"
+        "serve.shed_total.preempted,total=serve.batch_predictor.requests,"
+        "budget=0.02,fast=4,slow=16",
+        &slo_specs, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "statusz: built-in slo spec: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+  obs::SloEngine slo(&timeseries, &obs::MetricsRegistry::Global(),
+                     std::move(slo_specs));
+  size_t tick_index = 0;
+  replay_options.tick_every_segments = config.tick_every;
+  replay_options.tick = [&timeseries, &slo, &tick_index] {
+    timeseries.Tick(static_cast<double>(tick_index));
+    slo.Evaluate(tick_index);
+    ++tick_index;
+  };
+
   serve::ServingPlane plane(&registry, plane_options);
   // Feed a trajectory store from the replay so the page's store section
   // renders live numbers, and touch each query path once.
@@ -944,11 +1126,14 @@ int RunStatusz(const Flags& flags) {
   (void)trajectory_store.QueryBBox(everywhere);
   (void)trajectory_store.TopKHotspots(/*cell_deg=*/0.01, /*k=*/5);
 
+  serve::StatusPageOptions page;
+  page.timeseries = &timeseries;
+  page.slo = &slo;
   std::printf("%s", serve::RenderStatusPage(
                         obs::MetricsRegistry::Global(),
-                        obs::RequestTracer::Global())
+                        obs::RequestTracer::Global(), page)
                         .c_str());
-  if (!DumpMetrics(flags)) return 1;
+  if (!DumpMetrics(harness, &timeseries)) return 1;
   if (!harness.DumpTrace()) return 1;
   return 0;
 }
